@@ -1,0 +1,81 @@
+// Command rdvbench regenerates every experiment table of the
+// reproduction (E1..E11 from DESIGN.md), checking each measurement
+// against the bound the paper claims.
+//
+// Usage:
+//
+//	rdvbench                 # run every experiment, plain-text tables
+//	rdvbench -run E3,E7      # run a subset
+//	rdvbench -markdown       # emit GitHub-flavoured markdown (EXPERIMENTS.md body)
+//	rdvbench -list           # list experiment IDs and titles
+//
+// The process exits non-zero if any bound check fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rendezvous/internal/bench"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		runList  = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		markdown = flag.Bool("markdown", false, "emit markdown instead of plain text")
+		list     = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, exp := range bench.Registry() {
+			fmt.Println(exp.ID)
+		}
+		return 0
+	}
+
+	experiments := bench.Registry()
+	if *runList != "" {
+		experiments = experiments[:0]
+		for _, id := range strings.Split(*runList, ",") {
+			exp, err := bench.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			experiments = append(experiments, exp)
+		}
+	}
+
+	failures := 0
+	for _, exp := range experiments {
+		table, err := exp.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", exp.ID, err)
+			failures++
+			continue
+		}
+		var renderErr error
+		if *markdown {
+			renderErr = table.Markdown(os.Stdout)
+		} else {
+			renderErr = table.Render(os.Stdout)
+		}
+		if renderErr != nil {
+			fmt.Fprintf(os.Stderr, "%s: render: %v\n", exp.ID, renderErr)
+			return 2
+		}
+		failures += len(table.Failed())
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "%d check(s) failed\n", failures)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,128 @@
+// Command rdvexplore inspects exploration procedures: it prints E, the
+// walk from a chosen start, and verifies the explorer contract (exact
+// duration, full coverage, from every start) on the chosen graph.
+//
+// Usage:
+//
+//	rdvexplore -graph torus -n 12 -explorer eulerian -start 3
+//	rdvexplore -graph tree -n 9 -explorer dfs -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"rendezvous/internal/explore"
+	"rendezvous/internal/graph"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		graphKind = flag.String("graph", "ring", "ring | path | star | tree | grid | torus | hypercube | complete")
+		n         = flag.Int("n", 12, "graph size parameter")
+		expName   = flag.String("explorer", "auto", "auto | dfs | unmarked-dfs | ring-sweep | eulerian | hamiltonian")
+		start     = flag.Int("start", 0, "starting node for the printed walk")
+		verify    = flag.Bool("verify", false, "verify the contract from every start")
+		seed      = flag.Int64("seed", 1, "seed for randomized generators")
+	)
+	flag.Parse()
+
+	g, err := buildGraph(*graphKind, *n, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	var ex explore.Explorer
+	switch *expName {
+	case "auto":
+		ex = explore.Best(g, 16)
+	case "dfs":
+		ex = explore.DFS{}
+	case "unmarked-dfs":
+		ex = explore.UnmarkedDFS{}
+	case "ring-sweep":
+		ex = explore.OrientedRingSweep{}
+	case "eulerian":
+		ex = explore.Eulerian{}
+	case "hamiltonian":
+		ex = explore.Hamiltonian{}
+	default:
+		fmt.Fprintf(os.Stderr, "rdvexplore: unknown explorer %q\n", *expName)
+		return 2
+	}
+
+	fmt.Printf("graph    %s: %v (diameter %d, eulerian %v)\n", *graphKind, g, g.Diameter(), g.IsEulerian())
+	fmt.Printf("explorer %s, E = %d\n", ex.Name(), ex.Duration(g))
+
+	plan, err := ex.Plan(g, *start)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rdvexplore: plan: %v\n", err)
+		return 1
+	}
+	nodes, err := plan.Apply(g, *start)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rdvexplore: apply: %v\n", err)
+		return 1
+	}
+	fmt.Printf("plan     %d steps (%d moves, %d waits)\n", len(plan), plan.Moves(), len(plan)-plan.Moves())
+	fmt.Printf("walk     %s\n", renderWalk(nodes, 30))
+
+	if *verify {
+		if err := explore.Verify(ex, g); err != nil {
+			fmt.Fprintf(os.Stderr, "rdvexplore: VERIFY FAILED: %v\n", err)
+			return 1
+		}
+		fmt.Println("verify   contract holds from every start")
+	}
+	return 0
+}
+
+func renderWalk(nodes []int, limit int) string {
+	var parts []string
+	for i, v := range nodes {
+		if i == limit {
+			parts = append(parts, fmt.Sprintf("... (%d more)", len(nodes)-limit))
+			break
+		}
+		parts = append(parts, fmt.Sprint(v))
+	}
+	return strings.Join(parts, "→")
+}
+
+func buildGraph(kind string, n int, seed int64) (*graph.Graph, error) {
+	switch kind {
+	case "ring":
+		return graph.OrientedRing(n), nil
+	case "path":
+		return graph.Path(n), nil
+	case "star":
+		return graph.Star(n), nil
+	case "tree":
+		return graph.RandomTree(n, rand.New(rand.NewSource(seed))), nil
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return graph.Grid(side, side), nil
+	case "torus":
+		side := 3
+		for side*side < n {
+			side++
+		}
+		return graph.Torus(side, side), nil
+	case "hypercube":
+		return graph.Hypercube(n), nil
+	case "complete":
+		return graph.Complete(n), nil
+	default:
+		return nil, fmt.Errorf("rdvexplore: unknown graph %q", kind)
+	}
+}

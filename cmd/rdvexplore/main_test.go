@@ -1,0 +1,36 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderWalk(t *testing.T) {
+	if got := renderWalk([]int{1, 2, 3}, 10); got != "1→2→3" {
+		t.Errorf("renderWalk = %q", got)
+	}
+	long := renderWalk([]int{0, 1, 2, 3, 4, 5}, 3)
+	if !strings.Contains(long, "(3 more)") {
+		t.Errorf("renderWalk truncation = %q", long)
+	}
+}
+
+func TestBuildGraphKinds(t *testing.T) {
+	for _, kind := range []string{"ring", "path", "star", "tree", "grid", "torus", "hypercube", "complete"} {
+		n := 8
+		if kind == "hypercube" {
+			n = 3
+		}
+		g, err := buildGraph(kind, n, 7)
+		if err != nil {
+			t.Errorf("%s: %v", kind, err)
+			continue
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", kind, err)
+		}
+	}
+	if _, err := buildGraph("zzz", 5, 1); err == nil {
+		t.Error("unknown kind: want error")
+	}
+}

@@ -1,0 +1,182 @@
+// Command rdvsim runs a single rendezvous execution and prints its
+// time, cost and meeting point — the smallest way to poke at the model.
+//
+// Usage:
+//
+//	rdvsim -graph ring -n 24 -algo fast -L 16 -a 3 -b 7 -sa 0 -sb 12 -delay 5
+//
+// Flags:
+//
+//	-graph   ring | path | star | tree | grid | torus | hypercube | complete
+//	-n       graph size parameter (nodes; dimension for hypercube)
+//	-algo    cheap | cheap-sim | fast | fwr1 | fwr2 | fwr3 | oracle
+//	-L       label space size
+//	-a,-b    the two agents' labels (distinct, in 1..L)
+//	-sa,-sb  starting nodes (distinct)
+//	-delay   wake-up delay of agent B in rounds (agent A wakes in round 1)
+//	-explorer auto | dfs | ring-sweep | eulerian | hamiltonian
+//	-parachuted  agent B absent before its wake-up round (Conclusion's model)
+//	-seed    seed for randomized generators (tree)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"rendezvous/internal/core"
+	"rendezvous/internal/explore"
+	"rendezvous/internal/graph"
+	"rendezvous/internal/sim"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		graphKind  = flag.String("graph", "ring", "graph family")
+		n          = flag.Int("n", 24, "graph size parameter")
+		algoName   = flag.String("algo", "fast", "algorithm")
+		labelSpace = flag.Int("L", 16, "label space size")
+		labelA     = flag.Int("a", 3, "label of agent A")
+		labelB     = flag.Int("b", 7, "label of agent B")
+		startA     = flag.Int("sa", 0, "start node of agent A")
+		startB     = flag.Int("sb", -1, "start node of agent B (default n/2)")
+		delay      = flag.Int("delay", 0, "wake-up delay of agent B")
+		expName    = flag.String("explorer", "auto", "exploration procedure")
+		parachuted = flag.Bool("parachuted", false, "agent B absent before wake-up")
+		seed       = flag.Int64("seed", 1, "seed for randomized generators")
+		trace      = flag.Bool("trace", false, "print a round-by-round timeline")
+	)
+	flag.Parse()
+
+	g, err := buildGraph(*graphKind, *n, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	ex, err := pickExplorer(*expName, g)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	algo, err := pickAlgorithm(*algoName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if *startB < 0 {
+		*startB = g.N() / 2
+	}
+
+	params := core.Params{L: *labelSpace}
+	sc := sim.Scenario{
+		Graph:      g,
+		Explorer:   ex,
+		A:          sim.AgentSpec{Label: *labelA, Start: *startA, Wake: 1, Schedule: algo.Schedule(*labelA, params)},
+		B:          sim.AgentSpec{Label: *labelB, Start: *startB, Wake: 1 + *delay, Schedule: algo.Schedule(*labelB, params)},
+		Parachuted: *parachuted,
+	}
+	res, err := sim.Run(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if *trace {
+		if err := sim.Trace(os.Stdout, sc, 48); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		fmt.Println()
+	}
+
+	e := ex.Duration(g)
+	fmt.Printf("graph       %s (n=%d, m=%d)\n", *graphKind, g.N(), g.M())
+	fmt.Printf("explorer    %s (E=%d)\n", ex.Name(), e)
+	fmt.Printf("algorithm   %s (L=%d)\n", algo.Name(), *labelSpace)
+	fmt.Printf("agents      A: label %d at node %d (wake 1)   B: label %d at node %d (wake %d)\n",
+		*labelA, *startA, *labelB, *startB, 1+*delay)
+	if !res.Met {
+		fmt.Println("result      NO MEETING (schedules exhausted)")
+		return 1
+	}
+	fmt.Printf("result      met at node %d in round %d\n", res.Node, res.Round)
+	fmt.Printf("time        %d rounds (%.2f·E)\n", res.Time(), float64(res.Time())/float64(e))
+	fmt.Printf("cost        %d traversals (%.2f·E); A moved %d, B moved %d\n",
+		res.Cost(), float64(res.Cost())/float64(e), res.CostA, res.CostB)
+	return 0
+}
+
+func buildGraph(kind string, n int, seed int64) (*graph.Graph, error) {
+	switch kind {
+	case "ring":
+		return graph.OrientedRing(n), nil
+	case "path":
+		return graph.Path(n), nil
+	case "star":
+		return graph.Star(n), nil
+	case "tree":
+		return graph.RandomTree(n, rand.New(rand.NewSource(seed))), nil
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return graph.Grid(side, side), nil
+	case "torus":
+		side := 3
+		for side*side < n {
+			side++
+		}
+		return graph.Torus(side, side), nil
+	case "hypercube":
+		return graph.Hypercube(n), nil
+	case "complete":
+		return graph.Complete(n), nil
+	default:
+		return nil, fmt.Errorf("rdvsim: unknown graph %q", kind)
+	}
+}
+
+func pickExplorer(name string, g *graph.Graph) (explore.Explorer, error) {
+	switch name {
+	case "auto":
+		return explore.Best(g, 16), nil
+	case "dfs":
+		return explore.DFS{}, nil
+	case "ring-sweep":
+		return explore.OrientedRingSweep{}, nil
+	case "eulerian":
+		return explore.Eulerian{}, nil
+	case "hamiltonian":
+		return explore.Hamiltonian{}, nil
+	case "unmarked-dfs":
+		return explore.UnmarkedDFS{}, nil
+	default:
+		return nil, fmt.Errorf("rdvsim: unknown explorer %q", name)
+	}
+}
+
+func pickAlgorithm(name string) (core.Algorithm, error) {
+	switch name {
+	case "cheap":
+		return core.Cheap{}, nil
+	case "cheap-sim":
+		return core.CheapSimultaneous{}, nil
+	case "fast":
+		return core.Fast{}, nil
+	case "fwr1":
+		return core.NewFastWithRelabeling(1), nil
+	case "fwr2":
+		return core.NewFastWithRelabeling(2), nil
+	case "fwr3":
+		return core.NewFastWithRelabeling(3), nil
+	case "oracle":
+		return core.WaitForMate{}, nil
+	default:
+		return nil, fmt.Errorf("rdvsim: unknown algorithm %q", name)
+	}
+}

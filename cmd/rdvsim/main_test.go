@@ -1,0 +1,78 @@
+package main
+
+import "testing"
+
+func TestBuildGraph(t *testing.T) {
+	tests := []struct {
+		kind    string
+		n       int
+		wantN   int
+		wantErr bool
+	}{
+		{"ring", 10, 10, false},
+		{"path", 5, 5, false},
+		{"star", 6, 6, false},
+		{"tree", 9, 9, false},
+		{"grid", 10, 16, false}, // rounded up to 4x4
+		{"torus", 10, 16, false},
+		{"hypercube", 3, 8, false},
+		{"complete", 5, 5, false},
+		{"nope", 5, 0, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.kind, func(t *testing.T) {
+			g, err := buildGraph(tt.kind, tt.n, 1)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatal("want error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.N() != tt.wantN {
+				t.Errorf("N = %d, want %d", g.N(), tt.wantN)
+			}
+			if err := g.Validate(); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestPickExplorer(t *testing.T) {
+	g, err := buildGraph("ring", 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"auto", "dfs", "ring-sweep", "eulerian", "unmarked-dfs"} {
+		ex, err := pickExplorer(name, g)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if ex == nil {
+			t.Errorf("%s: nil explorer", name)
+		}
+	}
+	if _, err := pickExplorer("bogus", g); err == nil {
+		t.Error("bogus explorer: want error")
+	}
+}
+
+func TestPickAlgorithm(t *testing.T) {
+	for _, name := range []string{"cheap", "cheap-sim", "fast", "fwr1", "fwr2", "fwr3", "oracle"} {
+		algo, err := pickAlgorithm(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if algo.Name() == "" {
+			t.Errorf("%s: empty name", name)
+		}
+	}
+	if _, err := pickAlgorithm("bogus"); err == nil {
+		t.Error("bogus algorithm: want error")
+	}
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"math/rand"
+
+	"rendezvous/internal/core"
+	"rendezvous/internal/explore"
+	"rendezvous/internal/graph"
+)
+
+// E15ExplorerSensitivity measures how the choice of EXPLORE — and hence
+// the benchmark parameter E — propagates into rendezvous performance.
+// Section 1.2 argues that a sharper E improves everything linearly:
+// the algorithms' guarantees are all of the form c(L)·E, so running the
+// same algorithm on the same graph with a slack-free exploration
+// (E = n-1 ring sweep) versus a slack-heavy one (DFS's 2n-2, the
+// rotor-router's simulated cover time, the unmarked-map Θ(n²) DFS)
+// should change absolute time proportionally to E while the time/E
+// ratio stays within the same band.
+func E15ExplorerSensitivity() (*Table, error) {
+	t := &Table{
+		ID:      "E15",
+		Title:   "Sensitivity to the exploration procedure (Section 1.2)",
+		Claim:   "time and cost of rendezvous scale linearly in E: sharper explorations improve everything proportionally, and the time/E ratio is explorer-independent",
+		Columns: []string{"graph", "explorer", "E", "worst time", "time/E", "worst cost", "cost/E", "Fast bound/E"},
+		Notes: []string{
+			"same algorithm (Fast, L=8), same graphs, same adversary; only EXPLORE changes",
+			"rotor-router explores without a map (agent-private rotors); its E is the exact simulated worst-case cover time",
+		},
+	}
+	const L = 8
+	rng := rand.New(rand.NewSource(77))
+	type cfg struct {
+		name string
+		g    *graph.Graph
+		exs  []explore.Explorer
+	}
+	cfgs := []cfg{
+		{"oriented-ring-12", graph.OrientedRing(12), []explore.Explorer{
+			explore.OrientedRingSweep{}, explore.DFS{}, explore.RotorRouter{}, explore.UnmarkedDFS{},
+		}},
+		{"tree-9", graph.RandomTree(9, rng), []explore.Explorer{
+			explore.DFS{}, explore.RotorRouter{},
+		}},
+		{"torus-3x3", graph.Torus(3, 3), []explore.Explorer{
+			explore.Eulerian{}, explore.DFS{}, explore.RotorRouter{},
+		}},
+	}
+	allBounded := true
+	ratiosTight := true
+	for _, c := range cfgs {
+		for _, ex := range c.exs {
+			e := ex.Duration(c.g)
+			delays := []int{0, 1, e}
+			wc, err := graphWorst(c.g, ex, L, core.Fast{}, allLabelPairs(L), delays)
+			if err != nil {
+				return nil, err
+			}
+			bound := core.FastTimeBound(e, L)
+			if wc.Time.Value > bound {
+				allBounded = false
+			}
+			timePerE := float64(wc.Time.Value) / float64(e)
+			boundPerE := float64(bound) / float64(e)
+			if timePerE > boundPerE {
+				ratiosTight = false
+			}
+			t.AddRow(c.name, ex.Name(), e, wc.Time.Value, timePerE, wc.Cost.Value,
+				float64(wc.Cost.Value)/float64(e), boundPerE)
+		}
+	}
+	t.AddCheck("Prop 2.2 holds for every explorer", allBounded, "time <= (4log(L-1)+9)E with each explorer's own E")
+	t.AddCheck("time/E ratio explorer-independent", ratiosTight, "the normalized worst case never exceeds the normalized bound")
+	return t, nil
+}

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rendezvous/internal/core"
+	"rendezvous/internal/explore"
+	"rendezvous/internal/graph"
+	"rendezvous/internal/sim"
+)
+
+// ringOffsets returns the start pairs (0, d) for all d in 1..n-1. On an
+// oriented ring only the relative offset matters, so this is an
+// exhaustive start-pair space at 1/n of the price.
+func ringOffsets(n int) [][2]int {
+	pairs := make([][2]int, 0, n-1)
+	for d := 1; d < n; d++ {
+		pairs = append(pairs, [2]int{0, d})
+	}
+	return pairs
+}
+
+// allLabelPairs returns all ordered pairs of distinct labels in {1..L}.
+func allLabelPairs(L int) [][2]int {
+	pairs := make([][2]int, 0, L*(L-1))
+	for a := 1; a <= L; a++ {
+		for b := 1; b <= L; b++ {
+			if a != b {
+				pairs = append(pairs, [2]int{a, b})
+			}
+		}
+	}
+	return pairs
+}
+
+// sampledLabelPairs returns a seeded sample of distinct-label pairs,
+// always including the structurally adversarial ones: consecutive
+// labels, the top pair, the bottom pair, and pairs straddling powers of
+// two (which share long transformed-label prefixes and so delay Fast's
+// first difference).
+func sampledLabelPairs(L, count int, seed int64) [][2]int {
+	if total := L * (L - 1); count > total {
+		count = total // fewer distinct ordered pairs exist than requested
+	}
+	seen := make(map[[2]int]bool)
+	var pairs [][2]int
+	add := func(a, b int) {
+		if a < 1 || b < 1 || a > L || b > L || a == b || seen[[2]int{a, b}] {
+			return
+		}
+		seen[[2]int{a, b}] = true
+		pairs = append(pairs, [2]int{a, b})
+	}
+	add(1, 2)
+	add(L-1, L)
+	add(L, L-1)
+	for p := 2; p < L; p *= 2 {
+		add(p-1, p)
+		add(p, p+1)
+		add(p, 2*p-1)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for len(pairs) < count {
+		a, b := rng.Intn(L)+1, rng.Intn(L)+1
+		if a == b {
+			continue
+		}
+		add(a, b)
+	}
+	return pairs
+}
+
+// ringWorst computes the adversary's worst time and cost for algo on the
+// oriented ring of size n, over the given label pairs, all relative
+// offsets, and the given delays.
+func ringWorst(n, L int, algo core.Algorithm, labelPairs [][2]int, delays []int) (sim.WorstCase, error) {
+	g := graph.OrientedRing(n)
+	params := core.Params{L: L}
+	tc := sim.NewTrajectories(g, explore.OrientedRingSweep{}, func(l int) sim.Schedule {
+		return algo.Schedule(l, params)
+	})
+	wc, err := sim.Search(tc, sim.SearchSpace{
+		LabelPairs: labelPairs,
+		StartPairs: ringOffsets(n),
+		Delays:     delays,
+	})
+	if err != nil {
+		return sim.WorstCase{}, fmt.Errorf("bench: %s on ring-%d: %w", algo.Name(), n, err)
+	}
+	if !wc.AllMet {
+		return wc, fmt.Errorf("bench: %s on ring-%d: some executions never meet", algo.Name(), n)
+	}
+	return wc, nil
+}
+
+// graphWorst computes the adversary's worst time and cost for algo on an
+// arbitrary graph with the given explorer, over the given label pairs,
+// all ordered start pairs, and the given delays.
+func graphWorst(g *graph.Graph, ex explore.Explorer, L int, algo core.Algorithm, labelPairs [][2]int, delays []int) (sim.WorstCase, error) {
+	params := core.Params{L: L}
+	tc := sim.NewTrajectories(g, ex, func(l int) sim.Schedule {
+		return algo.Schedule(l, params)
+	})
+	wc, err := sim.Search(tc, sim.SearchSpace{
+		LabelPairs: labelPairs,
+		Delays:     delays,
+	})
+	if err != nil {
+		return sim.WorstCase{}, fmt.Errorf("bench: %s on %v: %w", algo.Name(), g, err)
+	}
+	if !wc.AllMet {
+		return wc, fmt.Errorf("bench: %s on %v: some executions never meet", algo.Name(), g)
+	}
+	return wc, nil
+}
+
+// delaysFor returns the canonical adversarial delay set for a given E:
+// simultaneous, one round, half an exploration, exactly E (the pivot of
+// the proofs' case analyses), just past it, and far beyond.
+func delaysFor(e int) []int {
+	return []int{0, 1, e / 2, e, e + 1, 2 * e}
+}
+
+// fitExponent fits the least-squares slope of log(y) against log(x) —
+// used to estimate empirical scaling exponents such as Corollary 2.1's
+// L^{1/c}.
+func fitExponent(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+	}
+	return (n*sxy - sx*sy) / (n*sxx - sx*sx)
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"rendezvous/internal/label"
+	"rendezvous/internal/sim"
+)
+
+// This file holds ablations of the paper's design choices. Each removes
+// one ingredient from an algorithm; the benchmark harness (experiment
+// E13) demonstrates what breaks, turning the proofs' motivating remarks
+// into measurements:
+//
+//   - FastUndoubled drops the bit-doubling of Algorithm 2's T vector.
+//     The doubling is what aligns an idle window of one agent with a
+//     full exploration of the other under wake-up delays up to E;
+//     without it the algorithm stays correct for simultaneous start but
+//     admits non-meeting executions under delay.
+//   - CheapLazy drops Line 1 (the leading exploration) of Algorithm
+//     Cheap. The leading exploration is what catches a still-sleeping
+//     partner within E rounds; without it the rendezvous still happens
+//     eventually (the trailing exploration finds the other agent idle)
+//     but the time degrades from (2ℓ+3)E to Ω(τ), unbounded in the
+//     delay.
+
+// FastUndoubled is the no-bit-doubling ablation of Algorithm Fast:
+// T = (1, S[1..m]) instead of (1, S[1]S[1], ..., S[m]S[m]).
+type FastUndoubled struct{}
+
+var _ Algorithm = FastUndoubled{}
+
+// Name implements Algorithm.
+func (FastUndoubled) Name() string { return "ablation-fast-undoubled" }
+
+// Schedule implements Algorithm.
+func (FastUndoubled) Schedule(l int, params Params) sim.Schedule {
+	checkLabel(l, params, "ablation-fast-undoubled")
+	s := label.Transform(l)
+	t := make([]byte, 0, len(s)+1)
+	t = append(t, 1)
+	t = append(t, s...)
+	return sim.FromBits(t)
+}
+
+// CheapLazy is the no-leading-exploration ablation of Algorithm Cheap:
+// wait 2ℓE rounds, then explore once.
+type CheapLazy struct{}
+
+var _ Algorithm = CheapLazy{}
+
+// Name implements Algorithm.
+func (CheapLazy) Name() string { return "ablation-cheap-lazy" }
+
+// Schedule implements Algorithm.
+func (CheapLazy) Schedule(l int, params Params) sim.Schedule {
+	checkLabel(l, params, "ablation-cheap-lazy")
+	sched := make(sim.Schedule, 0, 2*l+1)
+	for i := 0; i < 2*l; i++ {
+		sched = append(sched, sim.SegmentWait)
+	}
+	sched = append(sched, sim.SegmentExplore)
+	return sched
+}

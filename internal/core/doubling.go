@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+
+	"rendezvous/internal/graph"
+	"rendezvous/internal/sim"
+	"rendezvous/internal/uxs"
+)
+
+// DoublingTrajectory compiles the solo trajectory of the unknown-E
+// iterated algorithm from the paper's Conclusion: for i = 1..levels, the
+// agent runs algo's schedule using EXPLORE_i (duration E_i = R(2^i)) as
+// its exploration procedure, then moves on to level i+1. Rendezvous is
+// guaranteed during the first level whose size bound 2^i reaches the
+// actual graph size; because the E_i grow geometrically, the total time
+// and cost telescope to O(time(E_j)) and O(cost(E_j)) for that level j.
+func DoublingTrajectory(g *graph.Graph, fam uxs.Family, algo Algorithm, l int, params Params, start, levels int) (sim.Trajectory, error) {
+	if levels < 1 {
+		return sim.Trajectory{}, fmt.Errorf("core: DoublingTrajectory: need levels >= 1, got %d", levels)
+	}
+	sched := algo.Schedule(l, params)
+	traj := sim.Trajectory{Pos: []int{start}, Moves: []int{0}}
+	for i := 1; i <= levels; i++ {
+		cur := traj.Pos[len(traj.Pos)-1]
+		next, err := sim.CompileTrajectory(g, fam.Level(i), cur, sched)
+		if err != nil {
+			return sim.Trajectory{}, fmt.Errorf("core: DoublingTrajectory: level %d: %w", i, err)
+		}
+		traj = traj.Concat(next)
+	}
+	return traj, nil
+}
+
+// DoublingScenario describes one execution of the unknown-E wrapper.
+type DoublingScenario struct {
+	Graph  *graph.Graph
+	Family uxs.Family
+	Algo   Algorithm
+	Params Params
+	A, B   sim.AgentSpec // Schedule fields are ignored; labels drive everything
+	// Levels caps the number of iterations compiled. It must be at least
+	// Family.LevelFor(n) for rendezvous to be reachable.
+	Levels int
+}
+
+// RunDoubling executes the unknown-E wrapper for both agents and scans
+// for the first meeting, mirroring sim.Run for the iterated algorithm.
+func RunDoubling(sc DoublingScenario) (sim.Result, error) {
+	if sc.A.Start == sc.B.Start {
+		return sim.Result{}, sim.ErrSameStart
+	}
+	if sc.A.Label == sc.B.Label {
+		return sim.Result{}, sim.ErrSameLabel
+	}
+	if min(sc.A.Wake, sc.B.Wake) != 1 {
+		return sim.Result{}, sim.ErrBadWake
+	}
+	trajA, err := DoublingTrajectory(sc.Graph, sc.Family, sc.Algo, sc.A.Label, sc.Params, sc.A.Start, sc.Levels)
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("core: RunDoubling: agent A: %w", err)
+	}
+	trajB, err := DoublingTrajectory(sc.Graph, sc.Family, sc.Algo, sc.B.Label, sc.Params, sc.B.Start, sc.Levels)
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("core: RunDoubling: agent B: %w", err)
+	}
+	return sim.Meet(trajA, trajB, sc.A.Wake, sc.B.Wake, false), nil
+}

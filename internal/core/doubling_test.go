@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"rendezvous/internal/graph"
+	"rendezvous/internal/sim"
+	"rendezvous/internal/uxs"
+)
+
+func TestDoublingTrajectoryStitches(t *testing.T) {
+	g := graph.OrientedRing(6)
+	fam := uxs.Family{}
+	traj, err := DoublingTrajectory(g, fam, Cheap{}, 2, Params{L: 4}, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total rounds: schedule has 2·2+2 = 6 segments, run at levels 1..4
+	// with E_i = 2·2^i-2.
+	want := 0
+	for i := 1; i <= 4; i++ {
+		want += 6 * (2*(1<<i) - 2)
+	}
+	if traj.Len() != want {
+		t.Errorf("trajectory length = %d, want %d", traj.Len(), want)
+	}
+	// Moves must be monotone and adjacent positions adjacent-or-equal.
+	for k := 1; k <= traj.Len(); k++ {
+		if traj.Moves[k] < traj.Moves[k-1] || traj.Moves[k] > traj.Moves[k-1]+1 {
+			t.Fatalf("Moves not a unit-step cumulative count at %d", k)
+		}
+		if traj.Moves[k] == traj.Moves[k-1] && traj.Pos[k] != traj.Pos[k-1] {
+			t.Fatalf("position changed without a move at %d", k)
+		}
+	}
+}
+
+func TestDoublingValidation(t *testing.T) {
+	g := graph.OrientedRing(6)
+	if _, err := DoublingTrajectory(g, uxs.Family{}, Cheap{}, 1, Params{L: 4}, 0, 0); err == nil {
+		t.Error("levels=0: want error")
+	}
+	base := DoublingScenario{
+		Graph:  g,
+		Family: uxs.Family{},
+		Algo:   Fast{},
+		Params: Params{L: 4},
+		A:      sim.AgentSpec{Label: 1, Start: 0, Wake: 1},
+		B:      sim.AgentSpec{Label: 2, Start: 3, Wake: 1},
+		Levels: 4,
+	}
+	sc := base
+	sc.B.Start = 0
+	if _, err := RunDoubling(sc); err != sim.ErrSameStart {
+		t.Errorf("same start: err = %v", err)
+	}
+	sc = base
+	sc.B.Label = 1
+	if _, err := RunDoubling(sc); err != sim.ErrSameLabel {
+		t.Errorf("same label: err = %v", err)
+	}
+	sc = base
+	sc.A.Wake, sc.B.Wake = 2, 2
+	if _, err := RunDoubling(sc); err != sim.ErrBadWake {
+		t.Errorf("bad wake: err = %v", err)
+	}
+}
+
+func TestDoublingAchievesRendezvousWithoutKnowingE(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	fam := uxs.Family{}
+	graphs := map[string]*graph.Graph{
+		"ring-11": graph.OrientedRing(11),
+		"tree-9":  graph.RandomTree(9, rng),
+		"grid":    graph.Grid(3, 3),
+	}
+	for name, g := range graphs {
+		for _, algo := range []Algorithm{Cheap{}, Fast{}, NewFastWithRelabeling(2)} {
+			levels := fam.LevelFor(g.N()) + 1
+			for _, delay := range []int{0, 3} {
+				res, err := RunDoubling(DoublingScenario{
+					Graph:  g,
+					Family: fam,
+					Algo:   algo,
+					Params: Params{L: 5},
+					A:      sim.AgentSpec{Label: 2, Start: 0, Wake: 1},
+					B:      sim.AgentSpec{Label: 5, Start: g.N() / 2, Wake: 1 + delay},
+					Levels: levels,
+				})
+				if err != nil {
+					t.Fatalf("%s/%s delay %d: %v", name, algo.Name(), delay, err)
+				}
+				if !res.Met {
+					t.Errorf("%s/%s delay %d: agents never met", name, algo.Name(), delay)
+				}
+			}
+		}
+	}
+}
+
+func TestDoublingTelescopingOverhead(t *testing.T) {
+	// The Conclusion's claim: iterating over EXPLORE_1..EXPLORE_j with
+	// geometrically growing E_i costs only a constant factor over running
+	// directly at level j. Compare worst-case time over all start pairs.
+	g := graph.OrientedRing(13)
+	fam := uxs.Family{}
+	level := fam.LevelFor(g.N()) // 4: E_4 = 30
+	params := Params{L: 4}
+	algo := Fast{}
+
+	worstDoubling := 0
+	worstDirect := 0
+	for sa := 0; sa < g.N(); sa++ {
+		for sb := 0; sb < g.N(); sb++ {
+			if sa == sb {
+				continue
+			}
+			res, err := RunDoubling(DoublingScenario{
+				Graph: g, Family: fam, Algo: algo, Params: params,
+				A:      sim.AgentSpec{Label: 1, Start: sa, Wake: 1},
+				B:      sim.AgentSpec{Label: 3, Start: sb, Wake: 1},
+				Levels: level + 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Met {
+				t.Fatalf("doubling never met from (%d,%d)", sa, sb)
+			}
+			if res.Time() > worstDoubling {
+				worstDoubling = res.Time()
+			}
+
+			direct, err := sim.Run(sim.Scenario{
+				Graph:    g,
+				Explorer: fam.Level(level),
+				A:        sim.AgentSpec{Label: 1, Start: sa, Wake: 1, Schedule: algo.Schedule(1, params)},
+				B:        sim.AgentSpec{Label: 3, Start: sb, Wake: 1, Schedule: algo.Schedule(3, params)},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !direct.Met {
+				t.Fatalf("direct never met from (%d,%d)", sa, sb)
+			}
+			if direct.Time() > worstDirect {
+				worstDirect = direct.Time()
+			}
+		}
+	}
+	// Sum of E_1..E_{j} <= 2·E_j, so the wrapper's overhead factor over
+	// the direct run is bounded by a small constant; assert a generous 4x.
+	if worstDoubling > 4*worstDirect {
+		t.Errorf("doubling worst time %d exceeds 4x direct worst time %d", worstDoubling, worstDirect)
+	}
+}

@@ -1,0 +1,53 @@
+package explore_test
+
+import (
+	"fmt"
+
+	"rendezvous/internal/explore"
+	"rendezvous/internal/graph"
+)
+
+// The ring sweep is the optimal exploration of an oriented ring:
+// E = n-1 moves, zero waits.
+func ExampleOrientedRingSweep() {
+	g := graph.OrientedRing(6)
+	ex := explore.OrientedRingSweep{}
+	plan, err := ex.Plan(g, 2)
+	if err != nil {
+		panic(err)
+	}
+	nodes, err := plan.Apply(g, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("E =", ex.Duration(g), "walk:", nodes)
+	// Output: E = 5 walk: [2 3 4 5 0 1]
+}
+
+// DFS explores any graph from a marked start in exactly 2n-2 rounds,
+// returning to the start.
+func ExampleDFS() {
+	g := graph.Star(5)
+	plan, err := explore.DFS{}.Plan(g, 0)
+	if err != nil {
+		panic(err)
+	}
+	nodes, err := plan.Apply(g, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("E =", explore.DFS{}.Duration(g), "walk:", nodes)
+	// Output: E = 8 walk: [0 1 0 2 0 3 0 4 0]
+}
+
+// Verify checks the Explorer contract on a graph: every plan has
+// exactly Duration steps, uses valid ports and visits all nodes, from
+// every start.
+func ExampleVerify() {
+	g := graph.Torus(3, 3)
+	fmt.Println(explore.Verify(explore.Eulerian{}, g))
+	fmt.Println(explore.Verify(explore.OrientedRingSweep{}, g) != nil)
+	// Output:
+	// <nil>
+	// true
+}

@@ -1,0 +1,146 @@
+// Package explore implements the EXPLORE procedures of Miller & Pelc's
+// model: fixed-duration walks that visit every node of the graph from an
+// arbitrary starting node.
+//
+// The paper assumes "a procedure EXPLORE that, for every possible
+// starting node, takes E rounds to perform an exploration of the entire
+// input graph. If the exploration is completed earlier, the agent waits
+// after finishing it until a total of E rounds have elapsed." An
+// Explorer in this package captures exactly that contract: Duration
+// returns E for a given graph, and Plan returns a step sequence of
+// exactly E entries (port moves or waits) that covers all nodes from the
+// given start.
+//
+// The provided explorers mirror the scenarios enumerated in Section 1.2
+// of the paper:
+//
+//   - DFS with a marked start on a port-labeled map (E = 2n-2),
+//   - DFS on a map without a marked start, trying the DFS of every
+//     candidate start and retreating on port mismatch (E = 2n(2n-2)),
+//   - the optimal clockwise sweep of an oriented ring (E = n-1),
+//   - a Hamiltonian-cycle walk when one exists (E = n-1),
+//   - an Eulerian-circuit walk when one exists (E = e-1).
+package explore
+
+import (
+	"fmt"
+
+	"rendezvous/internal/graph"
+)
+
+// Wait is the step value denoting "remain at the current node this
+// round". All other step values are port numbers.
+const Wait = -1
+
+// Plan is a fixed-length sequence of steps: each entry is either a port
+// number to exit by, or Wait.
+type Plan []int
+
+// Moves returns the number of non-Wait steps, i.e. the cost in edge
+// traversals of executing the plan.
+func (p Plan) Moves() int {
+	moves := 0
+	for _, s := range p {
+		if s != Wait {
+			moves++
+		}
+	}
+	return moves
+}
+
+// Apply executes the plan from start and returns the visited node
+// sequence (length len(p)+1, waits repeat the current node). It fails if
+// a step names an unavailable port.
+func (p Plan) Apply(g *graph.Graph, start int) ([]int, error) {
+	nodes := make([]int, 0, len(p)+1)
+	nodes = append(nodes, start)
+	cur := start
+	for i, s := range p {
+		if s == Wait {
+			nodes = append(nodes, cur)
+			continue
+		}
+		if s < 0 || s >= g.Degree(cur) {
+			return nodes, fmt.Errorf("explore: plan step %d: port %d unavailable at node of degree %d", i, s, g.Degree(cur))
+		}
+		cur, _ = g.Neighbor(cur, s)
+		nodes = append(nodes, cur)
+	}
+	return nodes, nil
+}
+
+// End returns the node at which the plan terminates when executed from
+// start.
+func (p Plan) End(g *graph.Graph, start int) (int, error) {
+	nodes, err := p.Apply(g, start)
+	if err != nil {
+		return -1, err
+	}
+	return nodes[len(nodes)-1], nil
+}
+
+// Explorer produces exploration plans of a fixed duration for a graph.
+//
+// Implementations must guarantee, for every connected graph they accept
+// and every start node: len(plan) == Duration(g), every step is valid,
+// and the walk visits all nodes of g. Verify (below) checks this
+// contract exhaustively and is run in tests against every
+// explorer/family pair.
+type Explorer interface {
+	// Name identifies the exploration procedure in reports.
+	Name() string
+	// Duration returns E, the exact number of rounds every plan takes on
+	// this graph.
+	Duration(g *graph.Graph) int
+	// Plan returns the step sequence from the given start node. It
+	// returns an error if the explorer does not support the graph (e.g.
+	// EulerianExplorer on a graph with odd-degree nodes).
+	Plan(g *graph.Graph, start int) (Plan, error)
+}
+
+// pad extends a plan with Wait steps to exactly length e. It panics if
+// the plan is already longer than e, which would indicate a bug in the
+// explorer: the model forbids explorations exceeding their declared
+// duration.
+func pad(p Plan, e int) Plan {
+	if len(p) > e {
+		panic(fmt.Sprintf("explore: plan length %d exceeds declared duration %d", len(p), e))
+	}
+	for len(p) < e {
+		p = append(p, Wait)
+	}
+	return p
+}
+
+// Verify checks the Explorer contract for a specific graph: from every
+// start node the plan must have exactly Duration(g) steps, use only
+// available ports, and visit all nodes. It returns the first violation
+// found.
+func Verify(ex Explorer, g *graph.Graph) error {
+	e := ex.Duration(g)
+	for start := 0; start < g.N(); start++ {
+		p, err := ex.Plan(g, start)
+		if err != nil {
+			return fmt.Errorf("explore: %s: Plan(start=%d): %w", ex.Name(), start, err)
+		}
+		if len(p) != e {
+			return fmt.Errorf("explore: %s: Plan(start=%d) has %d steps, want Duration = %d", ex.Name(), start, len(p), e)
+		}
+		nodes, err := p.Apply(g, start)
+		if err != nil {
+			return fmt.Errorf("explore: %s: Plan(start=%d) invalid: %w", ex.Name(), start, err)
+		}
+		seen := make([]bool, g.N())
+		count := 0
+		for _, v := range nodes {
+			if !seen[v] {
+				seen[v] = true
+				count++
+			}
+		}
+		if count != g.N() {
+			return fmt.Errorf("explore: %s: Plan(start=%d) visits %d of %d nodes", ex.Name(), start, count, g.N())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,265 @@
+package explore
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rendezvous/internal/graph"
+)
+
+func TestDFSExplorerContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	graphs := map[string]*graph.Graph{
+		"ring-9":       graph.OrientedRing(9),
+		"shuffled-10":  graph.Ring(10, rng),
+		"path-6":       graph.Path(6),
+		"star-8":       graph.Star(8),
+		"tree-12":      graph.RandomTree(12, rng),
+		"grid-3x4":     graph.Grid(3, 4),
+		"torus-3x3":    graph.Torus(3, 3),
+		"hypercube-3":  graph.Hypercube(3),
+		"complete-5":   graph.Complete(5),
+		"random-15":    graph.RandomConnected(15, 0.25, rng),
+		"lollipop-9-4": graph.Lollipop(9, 4),
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			if err := Verify(DFS{}, g); err != nil {
+				t.Error(err)
+			}
+			if got, want := (DFS{}).Duration(g), 2*(g.N()-1); got != want {
+				t.Errorf("Duration = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+func TestDFSPlanIsClosed(t *testing.T) {
+	g := graph.Grid(4, 4)
+	for start := 0; start < g.N(); start++ {
+		p, err := DFS{}.Plan(g, start)
+		if err != nil {
+			t.Fatalf("Plan(%d): %v", start, err)
+		}
+		end, err := p.End(g, start)
+		if err != nil {
+			t.Fatalf("End(%d): %v", start, err)
+		}
+		if end != start {
+			t.Errorf("DFS plan from %d ends at %d, want closed walk", start, end)
+		}
+	}
+}
+
+func TestUnmarkedDFSContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	graphs := map[string]*graph.Graph{
+		"ring-6":     graph.OrientedRing(6),
+		"path-5":     graph.Path(5),
+		"star-6":     graph.Star(6),
+		"tree-8":     graph.RandomTree(8, rng),
+		"grid-2x3":   graph.Grid(2, 3),
+		"complete-4": graph.Complete(4),
+		"random-7":   graph.RandomConnected(7, 0.4, rng),
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			if err := Verify(UnmarkedDFS{}, g); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestUnmarkedDFSAttemptsReturnToStart(t *testing.T) {
+	g := graph.Star(7)
+	u := UnmarkedDFS{}
+	n := g.N()
+	window := 2 * (2 * (n - 1))
+	for start := 0; start < n; start++ {
+		p, err := u.Plan(g, start)
+		if err != nil {
+			t.Fatalf("Plan(%d): %v", start, err)
+		}
+		// After each attempt window the agent must be back at its start.
+		for a := 1; a <= n; a++ {
+			prefix := p[:a*window]
+			end, err := Plan(prefix).End(g, start)
+			if err != nil {
+				t.Fatalf("start %d attempt %d: %v", start, a, err)
+			}
+			if end != start {
+				t.Errorf("start %d: after attempt %d agent at %d, want %d", start, a, end, start)
+			}
+		}
+	}
+}
+
+func TestOrientedRingSweep(t *testing.T) {
+	g := graph.OrientedRing(12)
+	if err := Verify(OrientedRingSweep{}, g); err != nil {
+		t.Error(err)
+	}
+	if got := (OrientedRingSweep{}).Duration(g); got != 11 {
+		t.Errorf("Duration = %d, want 11", got)
+	}
+	// Every step must be a move: the sweep is an optimal exploration with
+	// zero waiting.
+	p, err := OrientedRingSweep{}.Plan(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Moves() != 11 {
+		t.Errorf("Moves = %d, want 11", p.Moves())
+	}
+}
+
+func TestOrientedRingSweepRejectsOtherGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for name, g := range map[string]*graph.Graph{
+		"path":          graph.Path(5),
+		"shuffled-ring": graph.Ring(30, rng),
+		"grid":          graph.Grid(2, 3),
+	} {
+		if _, err := (OrientedRingSweep{}).Plan(g, 0); !errors.Is(err, ErrNotOrientedRing) {
+			t.Errorf("%s: err = %v, want ErrNotOrientedRing", name, err)
+		}
+	}
+}
+
+func TestHamiltonianExplorer(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"ring-8":      graph.OrientedRing(8),
+		"complete-6":  graph.Complete(6),
+		"torus-3x4":   graph.Torus(3, 4),
+		"hypercube-3": graph.Hypercube(3),
+	} {
+		t.Run(name, func(t *testing.T) {
+			if err := Verify(Hamiltonian{}, g); err != nil {
+				t.Error(err)
+			}
+			if got, want := (Hamiltonian{}).Duration(g), g.N()-1; got != want {
+				t.Errorf("Duration = %d, want %d", got, want)
+			}
+		})
+	}
+	if _, err := (Hamiltonian{}).Plan(graph.Star(5), 0); err == nil {
+		t.Error("Hamiltonian on star: want error")
+	}
+}
+
+func TestEulerianExplorer(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"ring-7":      graph.OrientedRing(7),
+		"torus-3x3":   graph.Torus(3, 3),
+		"complete-5":  graph.Complete(5),
+		"hypercube-4": graph.Hypercube(4),
+	} {
+		t.Run(name, func(t *testing.T) {
+			if err := Verify(Eulerian{}, g); err != nil {
+				t.Error(err)
+			}
+			if got, want := (Eulerian{}).Duration(g), g.M()-1; got != want {
+				t.Errorf("Duration = %d, want %d", got, want)
+			}
+		})
+	}
+	if _, err := (Eulerian{}).Plan(graph.Path(4), 0); err == nil {
+		t.Error("Eulerian on path: want error")
+	}
+}
+
+func TestBestSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		want string
+	}{
+		{"oriented ring", graph.OrientedRing(10), "ring-sweep"},
+		{"small hamiltonian", graph.Torus(3, 3), "hamiltonian"},
+		{"eulerian beyond budget", graph.Ring(30, rng), "eulerian"},
+		{"tree", graph.RandomTree(9, rng), "dfs"},
+		{"star", graph.Star(12), "dfs"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Best(tt.g, 12)
+			if got.Name() != tt.want {
+				t.Errorf("Best = %s, want %s", got.Name(), tt.want)
+			}
+			if err := Verify(got, tt.g); err != nil {
+				t.Errorf("selected explorer fails contract: %v", err)
+			}
+		})
+	}
+}
+
+func TestBestEulerianOnlyWhenCheaper(t *testing.T) {
+	// Complete(9) is Eulerian (8-regular) but e-1 = 35 > 2n-2 = 16, so DFS
+	// must win.
+	if got := Best(graph.Complete(9), 0); got.Name() != "dfs" {
+		t.Errorf("Best(K9) = %s, want dfs", got.Name())
+	}
+}
+
+func TestPlanMoves(t *testing.T) {
+	p := Plan{0, Wait, 1, Wait, Wait, 0}
+	if got := p.Moves(); got != 3 {
+		t.Errorf("Moves = %d, want 3", got)
+	}
+	if got := (Plan{}).Moves(); got != 0 {
+		t.Errorf("empty Moves = %d, want 0", got)
+	}
+}
+
+func TestPlanApplyWaitStays(t *testing.T) {
+	g := graph.Path(3)
+	nodes, err := Plan{Wait, 0, Wait, Wait}.Apply(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 1, 0, 0, 0}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Fatalf("nodes = %v, want %v", nodes, want)
+		}
+	}
+}
+
+func TestPadPanicsOnOverflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("pad must panic when plan exceeds duration")
+		}
+	}()
+	pad(Plan{0, 1, 0}, 2)
+}
+
+// Property: DFS contract holds on arbitrary random connected graphs.
+func TestDFSContractProperty(t *testing.T) {
+	property := func(seed int64, size, pRaw uint8) bool {
+		n := int(size%14) + 2
+		p := float64(pRaw) / 255
+		g := graph.RandomConnected(n, p, rand.New(rand.NewSource(seed)))
+		return Verify(DFS{}, g) == nil
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: UnmarkedDFS contract holds on random trees (the scenario from
+// the paper: map known, start unknown).
+func TestUnmarkedDFSContractProperty(t *testing.T) {
+	property := func(seed int64, size uint8) bool {
+		n := int(size%8) + 2
+		g := graph.RandomTree(n, rand.New(rand.NewSource(seed)))
+		return Verify(UnmarkedDFS{}, g) == nil
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

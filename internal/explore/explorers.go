@@ -1,0 +1,214 @@
+package explore
+
+import (
+	"errors"
+	"fmt"
+
+	"rendezvous/internal/graph"
+)
+
+// DFS is the exploration available to an agent holding a port-labeled
+// map with a marked starting position (Section 1.2): a depth-first
+// closed walk of duration E = 2n-2 that visits every node and returns to
+// the start. (The paper quotes 2n-3 by omitting the final retreat; we
+// keep the closed walk, which is within the same bound class, simplifies
+// composition of consecutive explorations, and is exactly what the
+// proofs require — a fixed, start-independent duration.)
+type DFS struct{}
+
+var _ Explorer = DFS{}
+
+// Name implements Explorer.
+func (DFS) Name() string { return "dfs" }
+
+// Duration implements Explorer: E = 2n-2.
+func (DFS) Duration(g *graph.Graph) int { return 2 * (g.N() - 1) }
+
+// Plan implements Explorer.
+func (d DFS) Plan(g *graph.Graph, start int) (Plan, error) {
+	w := graph.DFSWalk(g, start)
+	return pad(Plan(w), d.Duration(g)), nil
+}
+
+// UnmarkedDFS models the agent with a port-labeled map but no marked
+// starting position. The agent identifies, for each of the n candidate
+// start nodes, the DFS exit-port sequence of that node, and tries them
+// one after another: if a prescribed port is unavailable at the current
+// node the attempt aborts and the agent retraces its steps to the
+// starting node; otherwise the attempt is executed in full and retraced
+// as well (the agent cannot tell which attempt was the correct one, so
+// every attempt must fit in the same fixed window). One attempt is the
+// DFS of the true start and visits all nodes.
+//
+// Duration: each attempt takes at most 2n-2 forward steps plus the same
+// number of retreat steps, padded to exactly 2(2n-2); with n attempts,
+// E = 2n(2n-2). The paper quotes n(2n-2) by not charging the retreats
+// separately; both are Θ(n²) and E is only required to be an upper
+// bound, so the substitution is faithful (recorded in DESIGN.md).
+type UnmarkedDFS struct{}
+
+var _ Explorer = UnmarkedDFS{}
+
+// Name implements Explorer.
+func (UnmarkedDFS) Name() string { return "unmarked-dfs" }
+
+// Duration implements Explorer: E = 2n(2n-2).
+func (UnmarkedDFS) Duration(g *graph.Graph) int {
+	n := g.N()
+	return 2 * n * (2 * (n - 1))
+}
+
+// Plan implements Explorer.
+func (u UnmarkedDFS) Plan(g *graph.Graph, start int) (Plan, error) {
+	n := g.N()
+	attemptWindow := 2 * (2 * (n - 1))
+	plan := make(Plan, 0, u.Duration(g))
+
+	for candidate := 0; candidate < n; candidate++ {
+		// The DFS port sequence the map prescribes for this candidate.
+		prescribed := graph.DFSWalk(g, candidate)
+		attempt := make(Plan, 0, attemptWindow)
+
+		// Execute from the true start, aborting on port mismatch. Track
+		// entry ports so the retreat can retrace.
+		cur := start
+		entries := make([]int, 0, len(prescribed))
+		for _, port := range prescribed {
+			if port >= g.Degree(cur) {
+				break // prescribed port unavailable: abort this attempt
+			}
+			to, entry := g.Neighbor(cur, port)
+			attempt = append(attempt, port)
+			entries = append(entries, entry)
+			cur = to
+		}
+		// Retrace to the starting node.
+		for i := len(entries) - 1; i >= 0; i-- {
+			attempt = append(attempt, entries[i])
+		}
+		if len(attempt) > attemptWindow {
+			return nil, fmt.Errorf("explore: unmarked-dfs: attempt %d takes %d steps, window %d", candidate, len(attempt), attemptWindow)
+		}
+		plan = append(plan, pad(attempt, attemptWindow)...)
+	}
+	return plan, nil
+}
+
+// ErrNotOrientedRing is returned by OrientedRingSweep.Plan when the graph
+// is not an oriented ring (port 0 consistently clockwise).
+var ErrNotOrientedRing = errors.New("explore: graph is not an oriented ring")
+
+// OrientedRingSweep is the optimal exploration of the oriented ring used
+// throughout Section 3: walk n-1 steps clockwise (port 0). E = n-1.
+type OrientedRingSweep struct{}
+
+var _ Explorer = OrientedRingSweep{}
+
+// Name implements Explorer.
+func (OrientedRingSweep) Name() string { return "ring-sweep" }
+
+// Duration implements Explorer: E = n-1, the optimal exploration time of
+// a ring.
+func (OrientedRingSweep) Duration(g *graph.Graph) int { return g.N() - 1 }
+
+// Plan implements Explorer.
+func (r OrientedRingSweep) Plan(g *graph.Graph, start int) (Plan, error) {
+	if !isOrientedRing(g) {
+		return nil, ErrNotOrientedRing
+	}
+	plan := make(Plan, r.Duration(g))
+	for i := range plan {
+		plan[i] = 0
+	}
+	return plan, nil
+}
+
+// isOrientedRing checks that the graph is a cycle in which port 0 always
+// continues in the same direction (and port 1 reverses).
+func isOrientedRing(g *graph.Graph) bool {
+	n := g.N()
+	if n < 3 {
+		return false
+	}
+	cur := 0
+	for i := 0; i < n; i++ {
+		if g.Degree(cur) != 2 {
+			return false
+		}
+		to, entry := g.Neighbor(cur, 0)
+		if entry != 1 {
+			return false
+		}
+		cur = to
+	}
+	return cur == 0
+}
+
+// Hamiltonian explores along a Hamiltonian cycle computed from the
+// agent's map: E = n-1 (the closing edge of the cycle is not needed to
+// visit all nodes). Plan fails with graph.ErrNoHamiltonianCycle when the
+// graph has none; the cycle search is exponential in the worst case and
+// intended for experiment-scale graphs.
+type Hamiltonian struct{}
+
+var _ Explorer = Hamiltonian{}
+
+// Name implements Explorer.
+func (Hamiltonian) Name() string { return "hamiltonian" }
+
+// Duration implements Explorer: E = n-1.
+func (Hamiltonian) Duration(g *graph.Graph) int { return g.N() - 1 }
+
+// Plan implements Explorer.
+func (h Hamiltonian) Plan(g *graph.Graph, start int) (Plan, error) {
+	w, err := graph.HamiltonianCycle(g, start)
+	if err != nil {
+		return nil, err
+	}
+	// Dropping the closing step leaves n-1 moves visiting all n nodes.
+	return Plan(w[:len(w)-1]), nil
+}
+
+// Eulerian explores along an Eulerian circuit: E = e-1, where e is the
+// number of edges (the final step of the circuit returns to the already-
+// visited start, so it can be dropped). Plan fails with
+// graph.ErrNoEulerianCircuit if some node has odd degree.
+type Eulerian struct{}
+
+var _ Explorer = Eulerian{}
+
+// Name implements Explorer.
+func (Eulerian) Name() string { return "eulerian" }
+
+// Duration implements Explorer: E = e-1.
+func (Eulerian) Duration(g *graph.Graph) int { return g.M() - 1 }
+
+// Plan implements Explorer.
+func (e Eulerian) Plan(g *graph.Graph, start int) (Plan, error) {
+	w, err := graph.EulerianCircuit(g, start)
+	if err != nil {
+		return nil, err
+	}
+	return Plan(w[:len(w)-1]), nil
+}
+
+// Best returns the cheapest applicable explorer for the given graph,
+// preferring E = n-1 walks (oriented ring sweep, Hamiltonian cycle),
+// then Eulerian circuits (E = e-1), then DFS (E = 2n-2). It mirrors the
+// paper's discussion of how a sharper E improves both time and cost. The
+// hamiltonianBudget caps the graph size for which the exponential
+// Hamiltonian search is attempted; pass 0 to skip it.
+func Best(g *graph.Graph, hamiltonianBudget int) Explorer {
+	if isOrientedRing(g) {
+		return OrientedRingSweep{}
+	}
+	if g.N() <= hamiltonianBudget {
+		if _, err := graph.HamiltonianCycle(g, 0); err == nil {
+			return Hamiltonian{}
+		}
+	}
+	if g.IsEulerian() && g.M()-1 < 2*(g.N()-1) {
+		return Eulerian{}
+	}
+	return DFS{}
+}

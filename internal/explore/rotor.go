@@ -1,0 +1,101 @@
+package explore
+
+import (
+	"fmt"
+
+	"rendezvous/internal/graph"
+)
+
+// RotorRouter explores with the rotor-router (Propp machine) rule: each
+// node remembers a rotor pointing at one of its ports; an arriving (or
+// starting) agent departs by the rotor's port and advances the rotor
+// cyclically. Yanovski, Wagner & Bruckstein proved the walk covers any
+// connected graph within 2·m·D steps (m edges, D diameter), without a
+// map and with only O(log deg) state per node — the cheapest-knowledge
+// exploration in this package, complementing the map-based ones from
+// the paper's Section 1.2.
+//
+// Duration is the exact worst-case cover time over all starts (computed
+// by simulation, capped at the 2mD bound plus slack), so plans satisfy
+// the fixed-duration contract the rendezvous algorithms need. In the
+// rendezvous model the rotors belong to the agent's own bookkeeping
+// (simulated on its map), not to the nodes: agents cannot mark the
+// graph, so this models an agent replaying the rotor walk it computes
+// privately.
+type RotorRouter struct{}
+
+var _ Explorer = RotorRouter{}
+
+// Name implements Explorer.
+func (RotorRouter) Name() string { return "rotor-router" }
+
+// Duration implements Explorer: the maximum number of rotor steps, over
+// all starting nodes, until every node has been visited.
+func (RotorRouter) Duration(g *graph.Graph) int {
+	maxSteps := 0
+	for start := 0; start < g.N(); start++ {
+		steps, err := rotorCoverSteps(g, start)
+		if err != nil {
+			// The cover bound can only be exceeded through a bug; the
+			// contract verifier (Verify) would surface it in tests.
+			panic(err)
+		}
+		if steps > maxSteps {
+			maxSteps = steps
+		}
+	}
+	return maxSteps
+}
+
+// Plan implements Explorer.
+func (r RotorRouter) Plan(g *graph.Graph, start int) (Plan, error) {
+	e := r.Duration(g)
+	plan := make(Plan, 0, e)
+	rotors := make([]int, g.N())
+	cur := start
+	seen := make([]bool, g.N())
+	seen[cur] = true
+	remaining := g.N() - 1
+	for len(plan) < e {
+		port := rotors[cur]
+		rotors[cur] = (rotors[cur] + 1) % g.Degree(cur)
+		plan = append(plan, port)
+		cur, _ = g.Neighbor(cur, port)
+		if !seen[cur] {
+			seen[cur] = true
+			remaining--
+		}
+		if remaining == 0 {
+			break
+		}
+	}
+	if remaining != 0 {
+		return nil, fmt.Errorf("explore: rotor-router: %d nodes unvisited after %d steps", remaining, len(plan))
+	}
+	return pad(plan, e), nil
+}
+
+// rotorCoverSteps simulates the rotor walk from start and returns the
+// number of steps until full coverage, erroring past the theoretical
+// cover bound.
+func rotorCoverSteps(g *graph.Graph, start int) (int, error) {
+	cap := 2*g.M()*(g.Diameter()+1) + g.N() + 1
+	rotors := make([]int, g.N())
+	seen := make([]bool, g.N())
+	cur := start
+	seen[cur] = true
+	remaining := g.N() - 1
+	for steps := 1; steps <= cap; steps++ {
+		port := rotors[cur]
+		rotors[cur] = (rotors[cur] + 1) % g.Degree(cur)
+		cur, _ = g.Neighbor(cur, port)
+		if !seen[cur] {
+			seen[cur] = true
+			remaining--
+			if remaining == 0 {
+				return steps, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("explore: rotor-router: cover bound %d exceeded from start %d", cap, start)
+}

@@ -1,0 +1,78 @@
+package explore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rendezvous/internal/graph"
+)
+
+func TestRotorRouterContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	graphs := map[string]*graph.Graph{
+		"ring-10":     graph.OrientedRing(10),
+		"path-7":      graph.Path(7),
+		"star-8":      graph.Star(8),
+		"tree-11":     graph.RandomTree(11, rng),
+		"grid-3x4":    graph.Grid(3, 4),
+		"torus-3x3":   graph.Torus(3, 3),
+		"complete-5":  graph.Complete(5),
+		"hypercube-3": graph.Hypercube(3),
+		"lollipop":    graph.Lollipop(9, 4),
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			if err := Verify(RotorRouter{}, g); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestRotorRouterDurationWithinCoverBound(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.OrientedRing(12),
+		graph.Grid(4, 4),
+		graph.Star(10),
+	} {
+		e := RotorRouter{}.Duration(g)
+		bound := 2 * g.M() * (g.Diameter() + 1)
+		if e > bound {
+			t.Errorf("%v: rotor duration %d exceeds 2mD bound %d", g, e, bound)
+		}
+		if e < g.N()-1 {
+			t.Errorf("%v: rotor duration %d below the trivial n-1 floor", g, e)
+		}
+	}
+}
+
+func TestRotorRouterDeterministic(t *testing.T) {
+	g := graph.Grid(3, 3)
+	p1, err := RotorRouter{}.Plan(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := RotorRouter{}.Plan(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("rotor plans must be deterministic")
+		}
+	}
+}
+
+// Property: the rotor contract holds on random connected graphs.
+func TestRotorRouterContractProperty(t *testing.T) {
+	property := func(seed int64, size, pRaw uint8) bool {
+		n := int(size%10) + 3
+		p := float64(pRaw) / 255
+		g := graph.RandomConnected(n, p, rand.New(rand.NewSource(seed)))
+		return Verify(RotorRouter{}, g) == nil
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

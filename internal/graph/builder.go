@@ -1,0 +1,155 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Builder incrementally assembles a port-labeled graph. Two construction
+// styles are supported:
+//
+//   - explicit ports via AddEdgePorts, when the caller controls the local
+//     labeling (e.g. oriented rings, where port 0 is always "clockwise");
+//   - automatic ports via AddEdge, which assigns the next free port at
+//     each endpoint in insertion order, matching the usual convention for
+//     generated topologies.
+//
+// Build validates the result and freezes it into an immutable Graph.
+type Builder struct {
+	n    int
+	adj  [][]halfEdge
+	errs []error
+}
+
+// NewBuilder returns a builder for a graph on n nodes (0..n-1) with no
+// edges.
+func NewBuilder(n int) *Builder {
+	return &Builder{
+		n:   n,
+		adj: make([][]halfEdge, n),
+	}
+}
+
+// AddEdge connects u and v, assigning to the new edge the next free port
+// at each endpoint. It returns the two assigned ports.
+func (b *Builder) AddEdge(u, v int) (portU, portV int) {
+	portU = len(b.adj[u])
+	// For a self-loop, the second endpoint's port is allocated after the
+	// first, so account for the entry we are about to add.
+	if u == v {
+		portV = portU + 1
+		b.adj[u] = append(b.adj[u], halfEdge{to: v, toPort: portV})
+		b.adj[v] = append(b.adj[v], halfEdge{to: u, toPort: portU})
+		return portU, portV
+	}
+	portV = len(b.adj[v])
+	b.adj[u] = append(b.adj[u], halfEdge{to: v, toPort: portV})
+	b.adj[v] = append(b.adj[v], halfEdge{to: u, toPort: portU})
+	return portU, portV
+}
+
+// AddEdgePorts connects u and v using explicit port numbers at each
+// endpoint. Port collisions are detected at Build time; out-of-range
+// nodes are recorded as errors immediately.
+func (b *Builder) AddEdgePorts(u, portU, v, portV int) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		b.errs = append(b.errs, fmt.Errorf("graph: AddEdgePorts(%d,%d,%d,%d): node out of range [0,%d)", u, portU, v, portV, b.n))
+		return
+	}
+	b.grow(u, portU)
+	b.grow(v, portV)
+	if b.adj[u][portU].to >= 0 || b.adj[v][portV].to >= 0 {
+		b.errs = append(b.errs, fmt.Errorf("graph: AddEdgePorts(%d,%d,%d,%d): port already in use", u, portU, v, portV))
+		return
+	}
+	b.adj[u][portU] = halfEdge{to: v, toPort: portV}
+	b.adj[v][portV] = halfEdge{to: u, toPort: portU}
+}
+
+// grow extends node v's port table so that the given port index exists,
+// filling gaps with sentinel (unassigned) entries.
+func (b *Builder) grow(v, port int) {
+	for len(b.adj[v]) <= port {
+		b.adj[v] = append(b.adj[v], halfEdge{to: -1, toPort: -1})
+	}
+}
+
+// Build validates all structural invariants (every declared port is
+// assigned, the port labeling is a bijection 0..deg-1 at each node, the
+// edge relation is symmetric, the graph is connected) and returns the
+// immutable graph.
+func (b *Builder) Build() (*Graph, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	for v := range b.adj {
+		for p, h := range b.adj[v] {
+			if h.to < 0 {
+				return nil, fmt.Errorf("graph: node %d has unassigned port %d (ports must form 0..deg-1)", v, p)
+			}
+		}
+	}
+	g := &Graph{adj: b.adj}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// MustBuild is Build for generators with statically correct construction;
+// it panics on error. Reserve it for code where a failure indicates a bug
+// in this package, never for user-supplied topology.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// ShufflePorts returns a copy of g in which each node's port labels are
+// permuted by the given random source. The underlying topology is
+// unchanged; only the local labeling differs. This models the
+// adversarial/arbitrary port assignments the algorithms must tolerate:
+// correctness can never depend on a friendly labeling.
+func ShufflePorts(g *Graph, rng *rand.Rand) *Graph {
+	n := g.N()
+	// perm[v][oldPort] = newPort
+	perm := make([][]int, n)
+	for v := 0; v < n; v++ {
+		perm[v] = rng.Perm(g.Degree(v))
+	}
+	adj := make([][]halfEdge, n)
+	for v := 0; v < n; v++ {
+		adj[v] = make([]halfEdge, g.Degree(v))
+	}
+	for v := 0; v < n; v++ {
+		for p := 0; p < g.Degree(v); p++ {
+			to, toPort := g.Neighbor(v, p)
+			adj[v][perm[v][p]] = halfEdge{to: to, toPort: perm[to][toPort]}
+		}
+	}
+	return &Graph{adj: adj}
+}
+
+// FromEdgeList builds a graph from a plain undirected edge list with
+// automatic port assignment. Edges are first sorted to make the port
+// assignment deterministic regardless of input order.
+func FromEdgeList(n int, edges [][2]int) (*Graph, error) {
+	sorted := append([][2]int(nil), edges...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i][0] != sorted[j][0] {
+			return sorted[i][0] < sorted[j][0]
+		}
+		return sorted[i][1] < sorted[j][1]
+	})
+	b := NewBuilder(n)
+	for _, e := range sorted {
+		if e[0] < 0 || e[0] >= n || e[1] < 0 || e[1] >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e[0], e[1], n)
+		}
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}

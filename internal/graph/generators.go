@@ -1,0 +1,291 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OrientedRing returns the n-node oriented ring: at every node, port 0
+// leads clockwise and port 1 counterclockwise. This is the lower-bound
+// arena of Section 3 of the paper; its optimal exploration time is
+// E = n-1 (walk n-1 steps clockwise). n must be at least 3.
+func OrientedRing(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: OrientedRing(%d): need n >= 3", n))
+	}
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		// Edge from v (port 0, clockwise) to v+1 (port 1, counterclockwise).
+		b.AddEdgePorts(v, 0, (v+1)%n, 1)
+	}
+	return b.MustBuild()
+}
+
+// Ring returns an n-node ring whose port labels at each node are chosen
+// arbitrarily (randomly) rather than consistently oriented. Algorithms
+// must not rely on orientation, so tests exercise both variants. n must
+// be at least 3.
+func Ring(n int, rng *rand.Rand) *Graph {
+	return ShufflePorts(OrientedRing(n), rng)
+}
+
+// Path returns the n-node path 0-1-...-(n-1) with ports in insertion
+// order. n must be at least 2.
+func Path(n int) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("graph: Path(%d): need n >= 2", n))
+	}
+	b := NewBuilder(n)
+	for v := 0; v+1 < n; v++ {
+		b.AddEdge(v, v+1)
+	}
+	return b.MustBuild()
+}
+
+// Star returns the star on n nodes: node 0 is the center, connected to
+// nodes 1..n-1. The paper notes DFS explores a star in the optimal
+// 2n-3 moves (the final leaf need not be departed). n must be at least 2.
+func Star(n int) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("graph: Star(%d): need n >= 2", n))
+	}
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, v)
+	}
+	return b.MustBuild()
+}
+
+// Complete returns the complete graph K_n. Ports at node v are assigned
+// to neighbors in increasing node order. n must be at least 2.
+func Complete(n int) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("graph: Complete(%d): need n >= 2", n))
+	}
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.MustBuild()
+}
+
+// CompleteBinaryTree returns the complete binary tree on n nodes with the
+// standard heap layout: node v has children 2v+1 and 2v+2. n must be at
+// least 1.
+func CompleteBinaryTree(n int) *Graph {
+	if n < 1 {
+		panic(fmt.Sprintf("graph: CompleteBinaryTree(%d): need n >= 1", n))
+	}
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge((v-1)/2, v)
+	}
+	return b.MustBuild()
+}
+
+// RandomTree returns a uniformly random labeled tree on n nodes, built by
+// decoding a random Prüfer sequence. Port labels follow insertion order
+// of the decoded edges. n must be at least 2.
+func RandomTree(n int, rng *rand.Rand) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("graph: RandomTree(%d): need n >= 2", n))
+	}
+	if n == 2 {
+		b := NewBuilder(2)
+		b.AddEdge(0, 1)
+		return b.MustBuild()
+	}
+	prufer := make([]int, n-2)
+	for i := range prufer {
+		prufer[i] = rng.Intn(n)
+	}
+	degree := make([]int, n)
+	for i := range degree {
+		degree[i] = 1
+	}
+	for _, v := range prufer {
+		degree[v]++
+	}
+	b := NewBuilder(n)
+	for _, v := range prufer {
+		for leaf := 0; leaf < n; leaf++ {
+			if degree[leaf] == 1 {
+				b.AddEdge(leaf, v)
+				degree[leaf]--
+				degree[v]--
+				break
+			}
+		}
+	}
+	u, w := -1, -1
+	for v := 0; v < n; v++ {
+		if degree[v] == 1 {
+			if u < 0 {
+				u = v
+			} else {
+				w = v
+			}
+		}
+	}
+	b.AddEdge(u, w)
+	return b.MustBuild()
+}
+
+// Grid returns the rows x cols king-free rectangular grid graph with
+// 4-neighbor adjacency. Both dimensions must be at least 1 and the total
+// node count at least 2.
+func Grid(rows, cols int) *Graph {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		panic(fmt.Sprintf("graph: Grid(%d,%d): need rows,cols >= 1 and >= 2 nodes", rows, cols))
+	}
+	b := NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Torus returns the rows x cols torus (grid with wraparound in both
+// dimensions). Both dimensions must be at least 3 so that no parallel
+// edges arise.
+func Torus(rows, cols int) *Graph {
+	if rows < 3 || cols < 3 {
+		panic(fmt.Sprintf("graph: Torus(%d,%d): need rows,cols >= 3", rows, cols))
+	}
+	b := NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			b.AddEdge(id(r, c), id(r, (c+1)%cols))
+			b.AddEdge(id(r, c), id((r+1)%rows, c))
+		}
+	}
+	return b.MustBuild()
+}
+
+// Hypercube returns the d-dimensional hypercube on 2^d nodes. Port i at
+// every node flips bit i, so the labeling is dimension-consistent.
+// d must be between 1 and 20.
+func Hypercube(d int) *Graph {
+	if d < 1 || d > 20 {
+		panic(fmt.Sprintf("graph: Hypercube(%d): need 1 <= d <= 20", d))
+	}
+	n := 1 << d
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			u := v ^ (1 << i)
+			if v < u {
+				b.AddEdgePorts(v, i, u, i)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// RandomConnected returns a random connected graph on n nodes: a uniform
+// random spanning tree plus each non-tree edge independently with
+// probability p. Ports are assigned in insertion order and then shuffled,
+// so the labeling carries no structural hints. n must be at least 2 and p
+// in [0,1].
+func RandomConnected(n int, p float64, rng *rand.Rand) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("graph: RandomConnected(%d,%v): need n >= 2", n, p))
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("graph: RandomConnected(%d,%v): need p in [0,1]", n, p))
+	}
+	tree := RandomTree(n, rng)
+	inTree := make(map[[2]int]bool, n-1)
+	edges := make([][2]int, 0, n-1)
+	for _, e := range tree.Edges() {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		inTree[[2]int{u, v}] = true
+		edges = append(edges, [2]int{u, v})
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !inTree[[2]int{u, v}] && rng.Float64() < p {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+	}
+	g, err := FromEdgeList(n, edges)
+	if err != nil {
+		panic(fmt.Sprintf("graph: RandomConnected internal error: %v", err))
+	}
+	return ShufflePorts(g, rng)
+}
+
+// Lollipop returns the lollipop graph: a clique on k nodes attached to a
+// path of n-k further nodes. Lollipops are classic worst cases for
+// walk-based exploration. Requires k >= 3 and n > k.
+func Lollipop(n, k int) *Graph {
+	if k < 3 || n <= k {
+		panic(fmt.Sprintf("graph: Lollipop(%d,%d): need k >= 3 and n > k", n, k))
+	}
+	b := NewBuilder(n)
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	for v := k - 1; v+1 < n; v++ {
+		b.AddEdge(v, v+1)
+	}
+	return b.MustBuild()
+}
+
+// Barbell returns two k-cliques joined by a path so the total node count
+// is n. Requires k >= 3 and n >= 2k.
+func Barbell(n, k int) *Graph {
+	if k < 3 || n < 2*k {
+		panic(fmt.Sprintf("graph: Barbell(%d,%d): need k >= 3 and n >= 2k", n, k))
+	}
+	b := NewBuilder(n)
+	// First clique on 0..k-1, second clique on n-k..n-1.
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			b.AddEdge(u, v)
+			b.AddEdge(n-k+u, n-k+v)
+		}
+	}
+	// Path from node k-1 through the middle nodes to node n-k.
+	prev := k - 1
+	for v := k; v <= n-k; v++ {
+		b.AddEdge(prev, v)
+		prev = v
+	}
+	return b.MustBuild()
+}
+
+// CycleWithChords returns an n-cycle with chords connecting each node v
+// to node (v + n/2) mod n when n is even (a Möbius–Kantor-like circulant),
+// giving a 3-regular Hamiltonian graph used in exploration experiments.
+// n must be even and at least 6.
+func CycleWithChords(n int) *Graph {
+	if n < 6 || n%2 != 0 {
+		panic(fmt.Sprintf("graph: CycleWithChords(%d): need even n >= 6", n))
+	}
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.AddEdge(v, (v+1)%n)
+	}
+	for v := 0; v < n/2; v++ {
+		b.AddEdge(v, v+n/2)
+	}
+	return b.MustBuild()
+}

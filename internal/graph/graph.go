@@ -1,0 +1,246 @@
+// Package graph implements the network substrate of Miller & Pelc's
+// rendezvous model (PODC 2014): anonymous, undirected, connected graphs
+// whose edges carry local port numbers. At a node v of degree d, the
+// incident edges are labeled with distinct ports 0..d-1; the labeling at
+// the two endpoints of an edge is unrelated. Agents navigate exclusively
+// by ports: nodes expose no identifiers.
+//
+// The package provides the graph representation, a safe builder,
+// generators for the families used in the paper's analysis and in the
+// reproduction experiments (oriented rings, trees, grids, tori,
+// hypercubes, random connected graphs, ...), and classic traversal
+// utilities (BFS, DFS, Eulerian circuits, Hamiltonian cycles) on which
+// the exploration procedures of package explore are built.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// halfEdge records, for one endpoint of an edge, the node reached through
+// it and the port assigned to the edge at that node.
+type halfEdge struct {
+	to     int // node at the other endpoint
+	toPort int // port number of this edge at the other endpoint
+}
+
+// Graph is an immutable, undirected, port-labeled graph. Node identities
+// (integers 0..n-1) exist only for the simulator's bookkeeping; agents in
+// the model never observe them.
+//
+// The zero value is an empty graph with no nodes; use Builder or a
+// generator to obtain a usable instance.
+type Graph struct {
+	adj [][]halfEdge
+}
+
+// ErrNotConnected is returned by Builder.Build when the constructed graph
+// does not consist of a single connected component. The rendezvous model
+// requires connectivity: otherwise agents placed in different components
+// can never meet.
+var ErrNotConnected = errors.New("graph: not connected")
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int {
+	total := 0
+	for _, nbrs := range g.adj {
+		total += len(nbrs)
+	}
+	return total / 2
+}
+
+// Degree returns the degree of node v, i.e. the number of ports available
+// at v (0..Degree(v)-1).
+func (g *Graph) Degree(v int) int {
+	return len(g.adj[v])
+}
+
+// Neighbor follows the edge with the given port at node v. It returns the
+// node reached and the port of entry at that node, matching what an agent
+// learns upon arrival in the model ("when an agent enters a node, it
+// learns the node's degree and the port of entry").
+func (g *Graph) Neighbor(v, port int) (to, entryPort int) {
+	h := g.adj[v][port]
+	return h.to, h.toPort
+}
+
+// MaxDegree returns the maximum degree over all nodes, or 0 for the empty
+// graph.
+func (g *Graph) MaxDegree() int {
+	maxDeg := 0
+	for v := range g.adj {
+		if d := len(g.adj[v]); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	return maxDeg
+}
+
+// MinDegree returns the minimum degree over all nodes, or 0 for the empty
+// graph.
+func (g *Graph) MinDegree() int {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	minDeg := len(g.adj[0])
+	for v := range g.adj {
+		if d := len(g.adj[v]); d < minDeg {
+			minDeg = d
+		}
+	}
+	return minDeg
+}
+
+// IsRegular reports whether every node has the same degree.
+func (g *Graph) IsRegular() bool {
+	return g.N() == 0 || g.MaxDegree() == g.MinDegree()
+}
+
+// Edges returns every undirected edge once, as (u, portAtU, v, portAtV)
+// quadruples with u <= v, in deterministic order. Self-loops (u == v) are
+// reported once.
+func (g *Graph) Edges() []Edge {
+	edges := make([]Edge, 0, g.M())
+	for u := range g.adj {
+		for p, h := range g.adj[u] {
+			if h.to > u || (h.to == u && h.toPort > p) {
+				edges = append(edges, Edge{U: u, PortU: p, V: h.to, PortV: h.toPort})
+			}
+		}
+	}
+	return edges
+}
+
+// Edge is an undirected edge with its two port labels.
+type Edge struct {
+	U, PortU int
+	V, PortV int
+}
+
+// Validate checks the structural invariants of a port-labeled graph:
+// every adjacency entry has a matching reverse entry (the edge relation is
+// symmetric and port-consistent), and the graph is connected. A Graph
+// produced by Builder.Build or by any generator in this package always
+// validates; Validate exists for defence in depth and for tests.
+func (g *Graph) Validate() error {
+	for v := range g.adj {
+		for p, h := range g.adj[v] {
+			if h.to < 0 || h.to >= len(g.adj) {
+				return fmt.Errorf("graph: node %d port %d points to out-of-range node %d", v, p, h.to)
+			}
+			if h.toPort < 0 || h.toPort >= len(g.adj[h.to]) {
+				return fmt.Errorf("graph: node %d port %d points to out-of-range port %d at node %d", v, p, h.toPort, h.to)
+			}
+			back := g.adj[h.to][h.toPort]
+			if back.to != v || back.toPort != p {
+				return fmt.Errorf("graph: edge (%d,%d)->(%d,%d) has no matching reverse entry", v, p, h.to, h.toPort)
+			}
+		}
+	}
+	if !g.IsConnected() {
+		return ErrNotConnected
+	}
+	return nil
+}
+
+// IsConnected reports whether the graph has a single connected component.
+// The empty graph is considered connected.
+func (g *Graph) IsConnected() bool {
+	n := g.N()
+	if n == 0 {
+		return true
+	}
+	seen := make([]bool, n)
+	stack := make([]int, 0, n)
+	stack = append(stack, 0)
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, h := range g.adj[v] {
+			if !seen[h.to] {
+				seen[h.to] = true
+				count++
+				stack = append(stack, h.to)
+			}
+		}
+	}
+	return count == n
+}
+
+// BFSDistances returns the array of hop distances from the given source
+// node to every node.
+func (g *Graph) BFSDistances(src int) []int {
+	n := g.N()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int, 0, n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, h := range g.adj[v] {
+			if dist[h.to] < 0 {
+				dist[h.to] = dist[v] + 1
+				queue = append(queue, h.to)
+			}
+		}
+	}
+	return dist
+}
+
+// Diameter returns the maximum hop distance between any pair of nodes.
+// It runs a BFS from every node, so it costs O(n·m).
+func (g *Graph) Diameter() int {
+	diam := 0
+	for v := 0; v < g.N(); v++ {
+		for _, d := range g.BFSDistances(v) {
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}
+
+// Distance returns the hop distance between nodes u and v, or -1 if they
+// are disconnected.
+func (g *Graph) Distance(u, v int) int {
+	return g.BFSDistances(u)[v]
+}
+
+// IsEulerian reports whether the graph admits an Eulerian circuit, i.e.
+// it is connected and every node has even degree. The paper observes that
+// for such graphs E can be taken as the number of edges (an Eulerian walk
+// visits all nodes traversing each edge once).
+func (g *Graph) IsEulerian() bool {
+	for v := range g.adj {
+		if len(g.adj[v])%2 != 0 {
+			return false
+		}
+	}
+	return g.IsConnected()
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	adj := make([][]halfEdge, len(g.adj))
+	for v := range g.adj {
+		adj[v] = append([]halfEdge(nil), g.adj[v]...)
+	}
+	return &Graph{adj: adj}
+}
+
+// String renders a compact human-readable summary, useful in test
+// failures and CLI output.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d degmax=%d}", g.N(), g.M(), g.MaxDegree())
+}

@@ -1,0 +1,384 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// allGenerated returns a representative instance of every generator, for
+// table-driven invariant checks.
+func allGenerated(t *testing.T) map[string]*Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	return map[string]*Graph{
+		"oriented-ring-8":   OrientedRing(8),
+		"oriented-ring-3":   OrientedRing(3),
+		"ring-10":           Ring(10, rng),
+		"path-7":            Path(7),
+		"path-2":            Path(2),
+		"star-9":            Star(9),
+		"star-2":            Star(2),
+		"complete-6":        Complete(6),
+		"complete-2":        Complete(2),
+		"binary-tree-11":    CompleteBinaryTree(11),
+		"binary-tree-1":     CompleteBinaryTree(1),
+		"random-tree-13":    RandomTree(13, rng),
+		"random-tree-2":     RandomTree(2, rng),
+		"grid-3x4":          Grid(3, 4),
+		"grid-1x2":          Grid(1, 2),
+		"torus-3x3":         Torus(3, 3),
+		"torus-4x5":         Torus(4, 5),
+		"hypercube-1":       Hypercube(1),
+		"hypercube-4":       Hypercube(4),
+		"random-conn-12":    RandomConnected(12, 0.3, rng),
+		"random-conn-dense": RandomConnected(8, 1.0, rng),
+		"lollipop-10-4":     Lollipop(10, 4),
+		"barbell-11-4":      Barbell(11, 4),
+		"chords-8":          CycleWithChords(8),
+	}
+}
+
+func TestGeneratorsValidate(t *testing.T) {
+	for name, g := range allGenerated(t) {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: Validate() = %v", name, err)
+		}
+		if !g.IsConnected() {
+			t.Errorf("%s: not connected", name)
+		}
+	}
+}
+
+func TestGeneratorSizes(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		n, m int
+	}{
+		{"oriented-ring-8", OrientedRing(8), 8, 8},
+		{"path-7", Path(7), 7, 6},
+		{"star-9", Star(9), 9, 8},
+		{"complete-6", Complete(6), 6, 15},
+		{"binary-tree-11", CompleteBinaryTree(11), 11, 10},
+		{"grid-3x4", Grid(3, 4), 12, 17},
+		{"torus-3x3", Torus(3, 3), 9, 18},
+		{"hypercube-4", Hypercube(4), 16, 32},
+		{"lollipop-10-4", Lollipop(10, 4), 10, 12},
+		{"barbell-11-4", Barbell(11, 4), 11, 16},
+		{"chords-8", CycleWithChords(8), 8, 12},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.g.N(); got != tt.n {
+				t.Errorf("N() = %d, want %d", got, tt.n)
+			}
+			if got := tt.g.M(); got != tt.m {
+				t.Errorf("M() = %d, want %d", got, tt.m)
+			}
+		})
+	}
+}
+
+func TestOrientedRingPorts(t *testing.T) {
+	g := OrientedRing(5)
+	for v := 0; v < 5; v++ {
+		if d := g.Degree(v); d != 2 {
+			t.Fatalf("node %d degree = %d, want 2", v, d)
+		}
+		cw, entry := g.Neighbor(v, 0)
+		if cw != (v+1)%5 {
+			t.Errorf("node %d port 0 leads to %d, want %d (clockwise)", v, cw, (v+1)%5)
+		}
+		if entry != 1 {
+			t.Errorf("node %d port 0 enters via port %d, want 1", v, entry)
+		}
+		ccw, entry := g.Neighbor(v, 1)
+		if ccw != (v+4)%5 {
+			t.Errorf("node %d port 1 leads to %d, want %d (counterclockwise)", v, ccw, (v+4)%5)
+		}
+		if entry != 0 {
+			t.Errorf("node %d port 1 enters via port %d, want 0", v, entry)
+		}
+	}
+}
+
+func TestHypercubePortsFlipBits(t *testing.T) {
+	g := Hypercube(5)
+	for v := 0; v < g.N(); v++ {
+		for p := 0; p < 5; p++ {
+			to, entry := g.Neighbor(v, p)
+			if to != v^(1<<p) {
+				t.Fatalf("node %d port %d leads to %d, want %d", v, p, to, v^(1<<p))
+			}
+			if entry != p {
+				t.Fatalf("node %d port %d enters via %d, want %d", v, p, entry, p)
+			}
+		}
+	}
+}
+
+func TestShufflePortsPreservesTopology(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for name, g := range allGenerated(t) {
+		s := ShufflePorts(g, rng)
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: shuffled graph invalid: %v", name, err)
+			continue
+		}
+		if s.N() != g.N() || s.M() != g.M() {
+			t.Errorf("%s: shuffle changed size: (%d,%d) -> (%d,%d)", name, g.N(), g.M(), s.N(), s.M())
+		}
+		// Neighbor multisets must be identical node-by-node.
+		for v := 0; v < g.N(); v++ {
+			want := neighborCounts(g, v)
+			got := neighborCounts(s, v)
+			for u, c := range want {
+				if got[u] != c {
+					t.Errorf("%s: node %d neighbor %d count %d -> %d", name, v, u, c, got[u])
+				}
+			}
+		}
+	}
+}
+
+func neighborCounts(g *Graph, v int) map[int]int {
+	counts := make(map[int]int)
+	for p := 0; p < g.Degree(v); p++ {
+		to, _ := g.Neighbor(v, p)
+		counts[to]++
+	}
+	return counts
+}
+
+func TestBuilderErrors(t *testing.T) {
+	t.Run("port collision", func(t *testing.T) {
+		b := NewBuilder(3)
+		b.AddEdgePorts(0, 0, 1, 0)
+		b.AddEdgePorts(0, 0, 2, 0)
+		if _, err := b.Build(); err == nil {
+			t.Error("Build() = nil error, want port collision")
+		}
+	})
+	t.Run("node out of range", func(t *testing.T) {
+		b := NewBuilder(2)
+		b.AddEdgePorts(0, 0, 5, 0)
+		if _, err := b.Build(); err == nil {
+			t.Error("Build() = nil error, want out of range")
+		}
+	})
+	t.Run("gap in ports", func(t *testing.T) {
+		b := NewBuilder(2)
+		b.AddEdgePorts(0, 1, 1, 0) // port 0 at node 0 never assigned
+		if _, err := b.Build(); err == nil {
+			t.Error("Build() = nil error, want unassigned port")
+		}
+	})
+	t.Run("disconnected", func(t *testing.T) {
+		b := NewBuilder(4)
+		b.AddEdge(0, 1)
+		b.AddEdge(2, 3)
+		if _, err := b.Build(); err != ErrNotConnected {
+			t.Errorf("Build() error = %v, want ErrNotConnected", err)
+		}
+	})
+}
+
+func TestFromEdgeList(t *testing.T) {
+	g, err := FromEdgeList(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if err != nil {
+		t.Fatalf("FromEdgeList: %v", err)
+	}
+	if g.N() != 4 || g.M() != 4 {
+		t.Errorf("got (n,m) = (%d,%d), want (4,4)", g.N(), g.M())
+	}
+	if _, err := FromEdgeList(2, [][2]int{{0, 5}}); err == nil {
+		t.Error("FromEdgeList with bad edge: want error")
+	}
+}
+
+func TestDistancesAndDiameter(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		diam int
+	}{
+		{"path-5", Path(5), 4},
+		{"ring-8", OrientedRing(8), 4},
+		{"ring-9", OrientedRing(9), 4},
+		{"star-10", Star(10), 2},
+		{"complete-7", Complete(7), 1},
+		{"hypercube-4", Hypercube(4), 4},
+		{"grid-3x4", Grid(3, 4), 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.g.Diameter(); got != tt.diam {
+				t.Errorf("Diameter() = %d, want %d", got, tt.diam)
+			}
+		})
+	}
+}
+
+func TestDistanceSymmetry(t *testing.T) {
+	g := RandomConnected(20, 0.2, rand.New(rand.NewSource(3)))
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			if g.Distance(u, v) != g.Distance(v, u) {
+				t.Fatalf("Distance(%d,%d) != Distance(%d,%d)", u, v, v, u)
+			}
+		}
+	}
+}
+
+func TestIsEulerian(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want bool
+	}{
+		{"ring", OrientedRing(6), true},
+		{"torus", Torus(3, 4), true},
+		{"path", Path(4), false},
+		{"star", Star(5), false},
+		{"complete-5", Complete(5), true},  // 4-regular
+		{"complete-4", Complete(4), false}, // 3-regular
+		{"hypercube-4", Hypercube(4), true},
+		{"hypercube-3", Hypercube(3), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.g.IsEulerian(); got != tt.want {
+				t.Errorf("IsEulerian() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRegularity(t *testing.T) {
+	if !OrientedRing(7).IsRegular() {
+		t.Error("ring should be regular")
+	}
+	if Path(5).IsRegular() {
+		t.Error("path should not be regular")
+	}
+	if got := Star(6).MaxDegree(); got != 5 {
+		t.Errorf("star MaxDegree = %d, want 5", got)
+	}
+	if got := Star(6).MinDegree(); got != 1 {
+		t.Errorf("star MinDegree = %d, want 1", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := OrientedRing(5)
+	c := g.Clone()
+	// Mutate the clone's internals and check the original is untouched.
+	c.adj[0][0] = halfEdge{to: 3, toPort: 0}
+	if to, _ := g.Neighbor(0, 0); to != 1 {
+		t.Error("Clone shares adjacency storage with original")
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	for name, g := range allGenerated(t) {
+		edges := g.Edges()
+		if len(edges) != g.M() {
+			t.Errorf("%s: Edges() returned %d, want %d", name, len(edges), g.M())
+			continue
+		}
+		for _, e := range edges {
+			to, entry := g.Neighbor(e.U, e.PortU)
+			if to != e.V || entry != e.PortV {
+				t.Errorf("%s: edge %+v inconsistent with Neighbor", name, e)
+			}
+		}
+	}
+}
+
+// Property: random trees on n nodes always have n-1 edges, are connected,
+// and validate.
+func TestRandomTreeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	property := func(seed int64, size uint8) bool {
+		n := int(size%30) + 2
+		g := RandomTree(n, rand.New(rand.NewSource(seed)))
+		return g.N() == n && g.M() == n-1 && g.Validate() == nil
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RandomConnected is connected and validates for any p.
+func TestRandomConnectedProperties(t *testing.T) {
+	property := func(seed int64, size uint8, pRaw uint8) bool {
+		n := int(size%20) + 2
+		p := float64(pRaw) / 255
+		g := RandomConnected(n, p, rand.New(rand.NewSource(seed)))
+		return g.N() == n && g.M() >= n-1 && g.Validate() == nil
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: shuffling ports never breaks validity, for arbitrary seeds.
+func TestShufflePortsProperty(t *testing.T) {
+	base := Complete(6)
+	property := func(seed int64) bool {
+		s := ShufflePorts(base, rand.New(rand.NewSource(seed)))
+		return s.Validate() == nil
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	tests := []struct {
+		name string
+		fn   func()
+	}{
+		{"ring too small", func() { OrientedRing(2) }},
+		{"path too small", func() { Path(1) }},
+		{"star too small", func() { Star(1) }},
+		{"complete too small", func() { Complete(1) }},
+		{"grid empty", func() { Grid(1, 1) }},
+		{"torus too small", func() { Torus(2, 3) }},
+		{"hypercube zero", func() { Hypercube(0) }},
+		{"lollipop bad", func() { Lollipop(4, 4) }},
+		{"barbell bad", func() { Barbell(7, 4) }},
+		{"chords odd", func() { CycleWithChords(7) }},
+		{"random-connected bad p", func() { RandomConnected(5, 1.5, rand.New(rand.NewSource(1))) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			tt.fn()
+		})
+	}
+}
+
+func TestSelfLoopBuilder(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(0, 1)
+	pu, pv := b.AddEdge(0, 0)
+	if pu == pv {
+		t.Fatalf("self-loop ports must differ, both = %d", pu)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if g.Degree(0) != 3 {
+		t.Errorf("Degree(0) = %d, want 3 (one edge + self-loop uses two ports)", g.Degree(0))
+	}
+	if to, entry := g.Neighbor(0, pu); to != 0 || entry != pv {
+		t.Errorf("self-loop Neighbor(0,%d) = (%d,%d), want (0,%d)", pu, to, entry, pv)
+	}
+}

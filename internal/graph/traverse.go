@@ -1,0 +1,203 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Walk is a sequence of port numbers describing a route through a graph:
+// starting at some node, the agent repeatedly exits via the next port in
+// the sequence. Walks are the common currency between this package and
+// the exploration procedures of package explore.
+type Walk []int
+
+// Apply follows the walk from start and returns the sequence of nodes
+// visited, including the start (so the result has len(w)+1 entries). It
+// returns an error if any port is out of range at the node where it is
+// used — the exact abort condition the paper's "map without marked
+// starting position" scheme relies on.
+func (w Walk) Apply(g *Graph, start int) ([]int, error) {
+	nodes := make([]int, 0, len(w)+1)
+	nodes = append(nodes, start)
+	cur := start
+	for i, port := range w {
+		if port < 0 || port >= g.Degree(cur) {
+			return nodes, fmt.Errorf("graph: walk step %d: port %d unavailable at node of degree %d", i, port, g.Degree(cur))
+		}
+		cur, _ = g.Neighbor(cur, port)
+		nodes = append(nodes, cur)
+	}
+	return nodes, nil
+}
+
+// End follows the walk from start and returns the final node, or an
+// error if a port is unavailable along the way.
+func (w Walk) End(g *Graph, start int) (int, error) {
+	nodes, err := w.Apply(g, start)
+	if err != nil {
+		return -1, err
+	}
+	return nodes[len(nodes)-1], nil
+}
+
+// CoversAllNodes reports whether the walk, applied from start, visits
+// every node of the graph.
+func (w Walk) CoversAllNodes(g *Graph, start int) bool {
+	nodes, err := w.Apply(g, start)
+	if err != nil {
+		return false
+	}
+	seen := make([]bool, g.N())
+	count := 0
+	for _, v := range nodes {
+		if !seen[v] {
+			seen[v] = true
+			count++
+		}
+	}
+	return count == g.N()
+}
+
+// DFSWalk returns the closed depth-first walk from start that visits all
+// nodes and returns to start, trying ports in increasing order. Each tree
+// edge is traversed exactly twice, so the walk has length 2(n-1). This is
+// the exploration the paper assumes when an agent has a port-labeled map
+// with a marked starting position (E = 2n-2; the paper's 2n-3 variant
+// saves the final retreat, but a closed walk composes more cleanly and
+// never exceeds the bound used in the analysis).
+func DFSWalk(g *Graph, start int) Walk {
+	visited := make([]bool, g.N())
+	walk := make(Walk, 0, 2*(g.N()-1))
+
+	var dfs func(v int)
+	dfs = func(v int) {
+		visited[v] = true
+		for p := 0; p < g.Degree(v); p++ {
+			to, entry := g.Neighbor(v, p)
+			if !visited[to] {
+				walk = append(walk, p)
+				dfs(to)
+				walk = append(walk, entry)
+			}
+		}
+	}
+	dfs(start)
+	return walk
+}
+
+// ErrNoEulerianCircuit is returned by EulerianCircuit when the graph has
+// a node of odd degree.
+var ErrNoEulerianCircuit = errors.New("graph: no Eulerian circuit (odd-degree node)")
+
+// EulerianCircuit returns a closed walk from start traversing every edge
+// exactly once (Hierholzer's algorithm), as a port sequence of length
+// M(). It fails with ErrNoEulerianCircuit when some node has odd degree.
+func EulerianCircuit(g *Graph, start int) (Walk, error) {
+	n := g.N()
+	for v := 0; v < n; v++ {
+		if g.Degree(v)%2 != 0 {
+			return nil, ErrNoEulerianCircuit
+		}
+	}
+	// usedFrom[v][p] marks directed half-edge (v,p) as consumed.
+	usedFrom := make([][]bool, n)
+	nextPort := make([]int, n)
+	for v := 0; v < n; v++ {
+		usedFrom[v] = make([]bool, g.Degree(v))
+	}
+
+	// Hierholzer with an explicit stack: vertices on the stack carry the
+	// port used to reach them so the final circuit can be reassembled as
+	// a port sequence.
+	type frame struct {
+		node    int
+		viaPort int // port taken FROM the previous node to reach node; -1 for start
+	}
+	stack := []frame{{node: start, viaPort: -1}}
+	var reversed []int // ports in reverse circuit order
+
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		v := f.node
+		advanced := false
+		for nextPort[v] < g.Degree(v) {
+			p := nextPort[v]
+			nextPort[v]++
+			if usedFrom[v][p] {
+				continue
+			}
+			to, entry := g.Neighbor(v, p)
+			usedFrom[v][p] = true
+			usedFrom[to][entry] = true
+			stack = append(stack, frame{node: to, viaPort: p})
+			advanced = true
+			break
+		}
+		if !advanced {
+			stack = stack[:len(stack)-1]
+			if f.viaPort >= 0 {
+				reversed = append(reversed, f.viaPort)
+			}
+		}
+	}
+
+	walk := make(Walk, len(reversed))
+	for i, p := range reversed {
+		walk[len(reversed)-1-i] = p
+	}
+	if len(walk) != g.M() {
+		// All edges must be consumed in a connected even-degree graph.
+		return nil, fmt.Errorf("graph: Eulerian circuit covered %d of %d edges", len(walk), g.M())
+	}
+	return walk, nil
+}
+
+// ErrNoHamiltonianCycle is returned by HamiltonianCycle when exhaustive
+// search proves no Hamiltonian cycle exists.
+var ErrNoHamiltonianCycle = errors.New("graph: no Hamiltonian cycle")
+
+// HamiltonianCycle searches for a Hamiltonian cycle by backtracking and
+// returns it as a port sequence of length n starting and ending at start.
+// The search is exponential in the worst case; intended for the moderate
+// graph sizes used in experiments. The paper notes that when a
+// Hamiltonian cycle is known, E can be taken as n-1 (the closing edge is
+// unnecessary for visiting all nodes).
+func HamiltonianCycle(g *Graph, start int) (Walk, error) {
+	n := g.N()
+	visited := make([]bool, n)
+	visited[start] = true
+	walk := make(Walk, 0, n)
+
+	var search func(v int, depth int) bool
+	search = func(v, depth int) bool {
+		if depth == n {
+			// All nodes visited; close the cycle if an edge back to start
+			// exists.
+			for p := 0; p < g.Degree(v); p++ {
+				if to, _ := g.Neighbor(v, p); to == start {
+					walk = append(walk, p)
+					return true
+				}
+			}
+			return false
+		}
+		for p := 0; p < g.Degree(v); p++ {
+			to, _ := g.Neighbor(v, p)
+			if visited[to] {
+				continue
+			}
+			visited[to] = true
+			walk = append(walk, p)
+			if search(to, depth+1) {
+				return true
+			}
+			walk = walk[:len(walk)-1]
+			visited[to] = false
+		}
+		return false
+	}
+	if !search(start, 1) {
+		return nil, ErrNoHamiltonianCycle
+	}
+	return walk, nil
+}

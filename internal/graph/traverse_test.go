@@ -1,0 +1,217 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDFSWalkLengthAndCoverage(t *testing.T) {
+	for name, g := range allGenerated(t) {
+		for start := 0; start < g.N(); start++ {
+			w := DFSWalk(g, start)
+			if len(w) != 2*(g.N()-1) {
+				t.Errorf("%s start %d: DFS walk length %d, want %d", name, start, len(w), 2*(g.N()-1))
+			}
+			if !w.CoversAllNodes(g, start) {
+				t.Errorf("%s start %d: DFS walk does not cover all nodes", name, start)
+			}
+			end, err := w.End(g, start)
+			if err != nil {
+				t.Errorf("%s start %d: DFS walk invalid: %v", name, start, err)
+			} else if end != start {
+				t.Errorf("%s start %d: DFS walk ends at %d, want closed walk", name, start, end)
+			}
+		}
+	}
+}
+
+func TestDFSWalkEachTreeEdgeTwice(t *testing.T) {
+	g := Grid(3, 3)
+	w := DFSWalk(g, 0)
+	nodes, err := w.Apply(g, 0)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	// Count directed traversals per undirected edge; each used edge must
+	// be traversed exactly twice (once in each direction).
+	counts := make(map[[2]int]int)
+	for i := 0; i+1 < len(nodes); i++ {
+		u, v := nodes[i], nodes[i+1]
+		if u > v {
+			u, v = v, u
+		}
+		counts[[2]int{u, v}]++
+	}
+	if len(counts) != g.N()-1 {
+		t.Errorf("DFS walk uses %d distinct edges, want %d (a spanning tree)", len(counts), g.N()-1)
+	}
+	for e, c := range counts {
+		if c != 2 {
+			t.Errorf("edge %v traversed %d times, want 2", e, c)
+		}
+	}
+}
+
+func TestWalkApplyErrors(t *testing.T) {
+	g := Path(3)
+	if _, err := (Walk{5}).Apply(g, 0); err == nil {
+		t.Error("Apply with invalid port: want error")
+	}
+	if _, err := (Walk{-1}).Apply(g, 0); err == nil {
+		t.Error("Apply with negative port: want error")
+	}
+	// A valid prefix followed by an invalid port reports the error but
+	// returns the nodes walked so far.
+	nodes, err := (Walk{0, 0, 0}).Apply(g, 0) // 0->1->2, then degree(2)=1 has port 0 -> back to 1
+	if err != nil {
+		t.Fatalf("unexpected error: %v (nodes %v)", err, nodes)
+	}
+	// Path node 2 has degree 1, so port 1 aborts mid-walk with a partial
+	// node list.
+	nodes, err = (Walk{0, 0, 1}).Apply(g, 0)
+	if err == nil {
+		t.Error("Apply with mid-walk invalid port: want error")
+	}
+	if len(nodes) != 3 {
+		t.Errorf("partial Apply returned %d nodes, want 3", len(nodes))
+	}
+}
+
+func TestEulerianCircuit(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+	}{
+		{"ring-6", OrientedRing(6)},
+		{"torus-3x3", Torus(3, 3)},
+		{"complete-5", Complete(5)},
+		{"hypercube-4", Hypercube(4)},
+		{"chords-8", CycleWithChords(8)}, // 3-regular: NOT Eulerian
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			for start := 0; start < tt.g.N(); start++ {
+				w, err := EulerianCircuit(tt.g, start)
+				if !tt.g.IsEulerian() {
+					if err == nil {
+						t.Fatalf("start %d: expected ErrNoEulerianCircuit", start)
+					}
+					return
+				}
+				if err != nil {
+					t.Fatalf("start %d: %v", start, err)
+				}
+				if len(w) != tt.g.M() {
+					t.Fatalf("start %d: circuit length %d, want %d", start, len(w), tt.g.M())
+				}
+				nodes, err := w.Apply(tt.g, start)
+				if err != nil {
+					t.Fatalf("start %d: apply: %v", start, err)
+				}
+				if nodes[len(nodes)-1] != start {
+					t.Fatalf("start %d: circuit not closed", start)
+				}
+				// Every undirected edge appears exactly once.
+				seen := make(map[[2]int]int)
+				for i := 0; i+1 < len(nodes); i++ {
+					u, v := nodes[i], nodes[i+1]
+					if u > v {
+						u, v = v, u
+					}
+					seen[[2]int{u, v}]++
+				}
+				if len(seen) != tt.g.M() {
+					t.Fatalf("start %d: circuit covers %d edges, want %d", start, len(seen), tt.g.M())
+				}
+				for e, c := range seen {
+					if c != 1 {
+						t.Fatalf("start %d: edge %v used %d times", start, e, c)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestHamiltonianCycle(t *testing.T) {
+	tests := []struct {
+		name    string
+		g       *Graph
+		wantErr bool
+	}{
+		{"ring-7", OrientedRing(7), false},
+		{"complete-6", Complete(6), false},
+		{"torus-3x4", Torus(3, 4), false},
+		{"hypercube-3", Hypercube(3), false},
+		{"chords-10", CycleWithChords(10), false},
+		{"star-5", Star(5), true},
+		{"path-4", Path(4), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			w, err := HamiltonianCycle(tt.g, 0)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatal("expected ErrNoHamiltonianCycle")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("HamiltonianCycle: %v", err)
+			}
+			if len(w) != tt.g.N() {
+				t.Fatalf("cycle length %d, want %d", len(w), tt.g.N())
+			}
+			nodes, err := w.Apply(tt.g, 0)
+			if err != nil {
+				t.Fatalf("apply: %v", err)
+			}
+			if nodes[len(nodes)-1] != 0 {
+				t.Fatal("cycle not closed")
+			}
+			distinct := make(map[int]bool)
+			for _, v := range nodes[:len(nodes)-1] {
+				if distinct[v] {
+					t.Fatalf("node %d visited twice", v)
+				}
+				distinct[v] = true
+			}
+		})
+	}
+}
+
+// Property: a DFS walk from any start of any random tree covers all nodes
+// and returns to the start.
+func TestDFSWalkProperty(t *testing.T) {
+	property := func(seed int64, size, startRaw uint8) bool {
+		n := int(size%25) + 2
+		g := RandomTree(n, rand.New(rand.NewSource(seed)))
+		start := int(startRaw) % n
+		w := DFSWalk(g, start)
+		end, err := w.End(g, start)
+		return err == nil && end == start && w.CoversAllNodes(g, start) && len(w) == 2*(n-1)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Eulerian circuits on tori of arbitrary shape are valid.
+func TestEulerianCircuitProperty(t *testing.T) {
+	property := func(r, c, startRaw uint8) bool {
+		rows := int(r%4) + 3
+		cols := int(c%4) + 3
+		g := Torus(rows, cols)
+		start := int(startRaw) % g.N()
+		w, err := EulerianCircuit(g, start)
+		if err != nil {
+			return false
+		}
+		end, err := w.End(g, start)
+		return err == nil && end == start && len(w) == g.M() && w.CoversAllNodes(g, start)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,44 @@
+package label_test
+
+import (
+	"fmt"
+
+	"rendezvous/internal/label"
+)
+
+// The prefix-free transformation M(ℓ) of Algorithm Fast: double every
+// bit of the binary representation and append 01.
+func ExampleTransform() {
+	fmt.Println(label.Transform(5)) // 101 -> 11 00 11 + 01
+	fmt.Println(label.Transform(2)) // 10  -> 11 00    + 01
+	// Output:
+	// [1 1 0 0 1 1 0 1]
+	// [1 1 0 0 0 1]
+}
+
+// FastWithRelabeling assigns each label the lexicographically ℓ-th
+// smallest fixed-weight subset of {1..t}.
+func ExampleRelabel() {
+	for l := 1; l <= 4; l++ {
+		s, err := label.Relabel(l, 6, 2) // L=6 labels, weight 2: t=4
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(l, s)
+	}
+	// Output:
+	// 1 [0 0 1 1]
+	// 2 [0 1 0 1]
+	// 3 [0 1 1 0]
+	// 4 [1 0 0 1]
+}
+
+// SmallestT finds the relabeling length t: the smallest t with
+// C(t, w) >= L.
+func ExampleSmallestT() {
+	fmt.Println(label.SmallestT(100, 2)) // C(15,2) = 105 >= 100
+	fmt.Println(label.SmallestT(100, 3)) // C(9,3) = 84 < 100 <= C(10,3) = 120
+	// Output:
+	// 15
+	// 10
+}

@@ -1,0 +1,341 @@
+package label
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBits(t *testing.T) {
+	tests := []struct {
+		l    int
+		want []byte
+	}{
+		{1, []byte{1}},
+		{2, []byte{1, 0}},
+		{3, []byte{1, 1}},
+		{5, []byte{1, 0, 1}},
+		{8, []byte{1, 0, 0, 0}},
+		{13, []byte{1, 1, 0, 1}},
+	}
+	for _, tt := range tests {
+		if got := Bits(tt.l); !bytes.Equal(got, tt.want) {
+			t.Errorf("Bits(%d) = %v, want %v", tt.l, got, tt.want)
+		}
+	}
+}
+
+func TestBitsPanicsOnNonPositive(t *testing.T) {
+	for _, l := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Bits(%d): expected panic", l)
+				}
+			}()
+			Bits(l)
+		}()
+	}
+}
+
+func TestTransform(t *testing.T) {
+	tests := []struct {
+		l    int
+		want []byte
+	}{
+		{1, []byte{1, 1, 0, 1}},
+		{2, []byte{1, 1, 0, 0, 0, 1}},
+		{3, []byte{1, 1, 1, 1, 0, 1}},
+		{5, []byte{1, 1, 0, 0, 1, 1, 0, 1}},
+	}
+	for _, tt := range tests {
+		if got := Transform(tt.l); !bytes.Equal(got, tt.want) {
+			t.Errorf("Transform(%d) = %v, want %v", tt.l, got, tt.want)
+		}
+		if got := TransformLen(tt.l); got != len(tt.want) {
+			t.Errorf("TransformLen(%d) = %d, want %d", tt.l, got, len(tt.want))
+		}
+	}
+}
+
+// The property Algorithm Fast depends on: for distinct labels, neither
+// transformed label is a prefix of the other. Checked exhaustively for
+// all pairs up to 512 and by quick.Check beyond.
+func TestTransformPrefixFreeExhaustive(t *testing.T) {
+	const limit = 512
+	transformed := make([][]byte, limit+1)
+	for l := 1; l <= limit; l++ {
+		transformed[l] = Transform(l)
+	}
+	for x := 1; x <= limit; x++ {
+		for y := 1; y <= limit; y++ {
+			if x == y {
+				continue
+			}
+			if IsPrefix(transformed[x], transformed[y]) {
+				t.Fatalf("M(%d) is a prefix of M(%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestTransformPrefixFreeProperty(t *testing.T) {
+	property := func(a, b uint32) bool {
+		x := int(a%1_000_000) + 1
+		y := int(b%1_000_000) + 1
+		if x == y {
+			return true
+		}
+		return !IsPrefix(Transform(x), Transform(y)) && !bytes.Equal(Transform(x), Transform(y))
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransformLengthFormula(t *testing.T) {
+	// m = 2z+2 where z = 1+⌊log₂ ℓ⌋.
+	for l := 1; l <= 1000; l++ {
+		z := 1
+		for p := 2; p <= l; p *= 2 {
+			z++
+		}
+		if got, want := len(Transform(l)), 2*z+2; got != want {
+			t.Fatalf("len(Transform(%d)) = %d, want %d", l, got, want)
+		}
+	}
+}
+
+func TestWeight(t *testing.T) {
+	tests := []struct {
+		s    []byte
+		want int
+	}{
+		{nil, 0},
+		{[]byte{0, 0, 0}, 0},
+		{[]byte{1, 1, 1}, 3},
+		{[]byte{1, 0, 1, 0}, 2},
+	}
+	for _, tt := range tests {
+		if got := Weight(tt.s); got != tt.want {
+			t.Errorf("Weight(%v) = %d, want %d", tt.s, got, tt.want)
+		}
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	tests := []struct {
+		n, k int
+		want int64
+	}{
+		{0, 0, 1},
+		{5, 0, 1},
+		{5, 5, 1},
+		{5, 2, 10},
+		{10, 3, 120},
+		{52, 5, 2598960},
+		{5, 6, 0},
+		{5, -1, 0},
+		{64, 32, 1832624140942590534},
+	}
+	for _, tt := range tests {
+		if got := Binomial(tt.n, tt.k); got != tt.want {
+			t.Errorf("Binomial(%d,%d) = %d, want %d", tt.n, tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestBinomialSaturates(t *testing.T) {
+	if got := Binomial(1000, 500); got != math.MaxInt64 {
+		t.Errorf("Binomial(1000,500) = %d, want saturation at MaxInt64", got)
+	}
+	// Saturation must be monotone-safe: still >= any honest value.
+	if Binomial(1000, 500) < Binomial(60, 30) {
+		t.Error("saturated binomial smaller than exact smaller case")
+	}
+}
+
+func TestBinomialPascal(t *testing.T) {
+	for n := 1; n <= 40; n++ {
+		for k := 1; k < n; k++ {
+			if got, want := Binomial(n, k), Binomial(n-1, k-1)+Binomial(n-1, k); got != want {
+				t.Fatalf("Pascal fails at C(%d,%d): %d != %d", n, k, got, want)
+			}
+		}
+	}
+}
+
+func TestSmallestT(t *testing.T) {
+	tests := []struct {
+		L, w, want int
+	}{
+		{1, 1, 1},
+		{5, 1, 5},   // C(t,1)=t
+		{10, 2, 5},  // C(5,2)=10
+		{11, 2, 6},  // C(5,2)=10 < 11 <= C(6,2)=15
+		{100, 3, 9}, // C(8,3)=56 < 100 <= C(9,3)=84? no: C(9,3)=84 < 100, C(10,3)=120
+	}
+	tests[4].want = 10
+	for _, tt := range tests {
+		if got := SmallestT(tt.L, tt.w); got != tt.want {
+			t.Errorf("SmallestT(%d,%d) = %d, want %d", tt.L, tt.w, got, tt.want)
+		}
+	}
+}
+
+func TestSmallestTBound(t *testing.T) {
+	// Corollary 2.1 uses t <= c·L^{1/c}; check for a few constant weights.
+	for _, c := range []int{1, 2, 3, 4} {
+		for _, L := range []int{2, 10, 100, 1000, 10000} {
+			got := SmallestT(L, c)
+			bound := int(math.Ceil(float64(c)*math.Pow(float64(L), 1/float64(c)))) + c
+			if got > bound {
+				t.Errorf("SmallestT(%d,%d) = %d exceeds c·L^{1/c}+c = %d", L, c, got, bound)
+			}
+			if Binomial(got, c) < int64(L) {
+				t.Errorf("SmallestT(%d,%d) = %d: C(t,c) = %d < L", L, c, got, Binomial(got, c))
+			}
+			if got > c && Binomial(got-1, c) >= int64(L) {
+				t.Errorf("SmallestT(%d,%d) = %d not minimal", L, c, got)
+			}
+		}
+	}
+}
+
+func TestUnrankSubsetSmall(t *testing.T) {
+	// All 2-subsets of {1..4} in lexicographic order of characteristic
+	// strings: 0011, 0101, 0110, 1001, 1010, 1100.
+	want := [][]byte{
+		{0, 0, 1, 1},
+		{0, 1, 0, 1},
+		{0, 1, 1, 0},
+		{1, 0, 0, 1},
+		{1, 0, 1, 0},
+		{1, 1, 0, 0},
+	}
+	for k := 1; k <= 6; k++ {
+		got, err := UnrankSubset(k, 4, 2)
+		if err != nil {
+			t.Fatalf("UnrankSubset(%d,4,2): %v", k, err)
+		}
+		if !bytes.Equal(got, want[k-1]) {
+			t.Errorf("UnrankSubset(%d,4,2) = %v, want %v", k, got, want[k-1])
+		}
+	}
+}
+
+func TestUnrankSubsetErrors(t *testing.T) {
+	if _, err := UnrankSubset(0, 4, 2); err == nil {
+		t.Error("rank 0: want error")
+	}
+	if _, err := UnrankSubset(7, 4, 2); err == nil {
+		t.Error("rank beyond C(4,2): want error")
+	}
+}
+
+func TestRankUnrankRoundTrip(t *testing.T) {
+	for _, tw := range [][2]int{{4, 2}, {6, 3}, {8, 1}, {8, 8}, {10, 4}} {
+		tt, w := tw[0], tw[1]
+		total := int(Binomial(tt, w))
+		var prev []byte
+		for k := 1; k <= total; k++ {
+			s, err := UnrankSubset(k, tt, w)
+			if err != nil {
+				t.Fatalf("UnrankSubset(%d,%d,%d): %v", k, tt, w, err)
+			}
+			if Weight(s) != w {
+				t.Fatalf("UnrankSubset(%d,%d,%d) weight = %d, want %d", k, tt, w, Weight(s), w)
+			}
+			if prev != nil && bytes.Compare(prev, s) >= 0 {
+				t.Fatalf("(%d,%d): rank %d not lexicographically after rank %d: %v !< %v", tt, w, k, k-1, prev, s)
+			}
+			back, err := RankSubset(s)
+			if err != nil {
+				t.Fatalf("RankSubset(%v): %v", s, err)
+			}
+			if back != k {
+				t.Fatalf("RankSubset(UnrankSubset(%d,%d,%d)) = %d", k, tt, w, back)
+			}
+			prev = s
+		}
+	}
+}
+
+func TestRankSubsetEmpty(t *testing.T) {
+	if _, err := RankSubset([]byte{0, 0, 0}); err == nil {
+		t.Error("RankSubset of empty subset: want error")
+	}
+}
+
+func TestRelabelDistinctAndFixedWeight(t *testing.T) {
+	for _, w := range []int{1, 2, 3} {
+		for _, L := range []int{2, 7, 20, 64} {
+			seen := make(map[string]bool, L)
+			tlen := SmallestT(L, w)
+			for l := 1; l <= L; l++ {
+				s, err := Relabel(l, L, w)
+				if err != nil {
+					t.Fatalf("Relabel(%d,%d,%d): %v", l, L, w, err)
+				}
+				if len(s) != tlen {
+					t.Fatalf("Relabel(%d,%d,%d) length = %d, want t = %d", l, L, w, len(s), tlen)
+				}
+				if Weight(s) != w {
+					t.Fatalf("Relabel(%d,%d,%d) weight = %d, want %d", l, L, w, Weight(s), w)
+				}
+				key := string(s)
+				if seen[key] {
+					t.Fatalf("Relabel(%d,%d,%d) collides with an earlier label", l, L, w)
+				}
+				seen[key] = true
+			}
+		}
+	}
+}
+
+func TestRelabelErrors(t *testing.T) {
+	if _, err := Relabel(0, 10, 2); err == nil {
+		t.Error("label 0: want error")
+	}
+	if _, err := Relabel(11, 10, 2); err == nil {
+		t.Error("label > L: want error")
+	}
+}
+
+// Property: rank/unrank are mutually inverse for arbitrary parameters.
+func TestRankUnrankProperty(t *testing.T) {
+	property := func(tRaw, wRaw, kRaw uint16) bool {
+		tt := int(tRaw%12) + 1
+		w := int(wRaw)%tt + 1
+		total := Binomial(tt, w)
+		k := int(int64(kRaw)%total) + 1
+		s, err := UnrankSubset(k, tt, w)
+		if err != nil {
+			return false
+		}
+		back, err := RankSubset(s)
+		return err == nil && back == k && Weight(s) == w
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsPrefix(t *testing.T) {
+	tests := []struct {
+		p, s []byte
+		want bool
+	}{
+		{nil, []byte{1}, true},
+		{[]byte{1}, []byte{1, 0}, true},
+		{[]byte{1, 0}, []byte{1}, false},
+		{[]byte{1, 1}, []byte{1, 0}, false},
+		{[]byte{0, 1}, []byte{0, 1}, true},
+	}
+	for _, tt := range tests {
+		if got := IsPrefix(tt.p, tt.s); got != tt.want {
+			t.Errorf("IsPrefix(%v,%v) = %v, want %v", tt.p, tt.s, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package lowerbound_test
+
+import (
+	"fmt"
+
+	"rendezvous/internal/lowerbound"
+)
+
+// Algorithm 3 (DefineProgress) zeroes oscillation and keeps sector
+// crossings in (a, b) pairs.
+func ExampleDefineProgress() {
+	agg := []int{1, -1, 1, 1, 0, -1, -1, -1, 1, 1}
+	fmt.Println(lowerbound.DefineProgress(agg))
+	// Output: [0 0 1 1 0 -1 -1 0 0 0]
+}
+
+// Every tournament has a Hamiltonian path (Rédei); the insertion
+// construction returns one.
+func ExampleHamiltonianPathInTournament() {
+	// Cyclic triangle: 1 beats 2, 2 beats 3, 3 beats 1.
+	beats := map[[2]int]bool{{1, 2}: true, {2, 3}: true, {3, 1}: true}
+	dom := func(a, b int) bool { return beats[[2]int{a, b}] }
+	path := lowerbound.HamiltonianPathInTournament([]int{1, 2, 3}, dom)
+	fmt.Println(path, lowerbound.VerifyHamiltonianPath(path, []int{1, 2, 3}, dom))
+	// Output: [3 1 2] true
+}

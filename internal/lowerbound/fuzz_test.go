@@ -1,0 +1,68 @@
+package lowerbound
+
+import "testing"
+
+// FuzzDefineProgress fuzzes the structural invariants of Algorithm 3
+// (Facts 3.12–3.14) on arbitrary aggregate vectors.
+func FuzzDefineProgress(f *testing.F) {
+	f.Add([]byte{1, 2, 0, 1, 1})
+	f.Add([]byte{2, 2, 2})
+	f.Add([]byte{0, 1, 2, 0, 1, 2, 0})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 512 {
+			raw = raw[:512]
+		}
+		agg := make([]int, len(raw))
+		for i, b := range raw {
+			agg[i] = int(b%3) - 1
+		}
+		prog := DefineProgress(agg)
+		if len(prog) != len(agg) {
+			t.Fatalf("length changed: %d -> %d", len(agg), len(prog))
+		}
+
+		var nz []int
+		for i, p := range prog {
+			if p != 0 {
+				nz = append(nz, i)
+			}
+			if p < -1 || p > 1 {
+				t.Fatalf("entry %d out of range: %d", i, p)
+			}
+		}
+		if len(nz)%2 != 0 {
+			t.Fatalf("odd number of non-zero entries: %v", prog)
+		}
+		for i := 0; i+1 < len(nz); i += 2 {
+			a, b := nz[i], nz[i+1]
+			if prog[a] != prog[b] {
+				t.Fatalf("pair (%d,%d) unequal: %v", a, b, prog)
+			}
+			if agg[a] != prog[a] || agg[b] != prog[b] {
+				t.Fatalf("pair (%d,%d) does not preserve Agg: %v vs %v", a, b, agg, prog)
+			}
+		}
+
+		// Fact 3.14 on maximal zero-runs.
+		i := 0
+		for i < len(prog) {
+			if prog[i] != 0 {
+				i++
+				continue
+			}
+			j := i
+			sum := 0
+			for j < len(prog) && prog[j] == 0 {
+				sum += agg[j]
+				if sum > 1 || sum < -1 {
+					t.Fatalf("zero-run at %d..%d has prefix surplus %d: agg %v prog %v", i, j, sum, agg, prog)
+				}
+				j++
+			}
+			if j != len(prog) && sum != 0 {
+				t.Fatalf("interior zero-run at %d..%d has surplus %d", i, j-1, sum)
+			}
+			i = j
+		}
+	})
+}

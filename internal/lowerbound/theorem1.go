@@ -1,0 +1,214 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"rendezvous/internal/core"
+)
+
+// Theorem1Report is the outcome of running the Theorem 3.1 construction
+// against a concrete algorithm: the trimmed behaviour vectors, the
+// eagerness tournament over clockwise-heavy agents, the Hamiltonian
+// path, and the certified time lower bound
+// (⌊L/2⌋-1)·(F-3ϕ)/2 ∈ Ω(EL) when ϕ ∈ o(E).
+type Theorem1Report struct {
+	N, E, L int
+	// Phi is the measured cost overhead ϕ: worst observed combined cost
+	// minus E over all simultaneous-start executions. Theorem 3.1
+	// applies when ϕ ∈ o(E).
+	Phi int
+	// F is ⌈E/2⌉, the initial distance used by the tournament
+	// executions.
+	F int
+	// Trim holds m_x per label.
+	Trim map[int]int
+	// Heavy lists the clockwise-heavy agents (after mirroring, if the
+	// counterclockwise-heavy agents were the majority).
+	Heavy []int
+	// Mirrored records whether all vectors were reflected to make the
+	// clockwise-heavy agents the majority (the proof's WLOG step).
+	Mirrored bool
+	// Path is the Hamiltonian path through the eagerness tournament.
+	Path []int
+	// ExecLengths[i] = |α_i|, the meeting round of the i-th consecutive
+	// pair on the path; Fact 3.7 asserts it is strictly increasing and
+	// Fact 3.8 that it grows by at least (F-3ϕ)/2 per step.
+	ExecLengths []int
+	// CertifiedTime is the time lower bound the construction certifies:
+	// (len(Path)-1)·(F-3ϕ)/2, clamped at 0.
+	CertifiedTime int
+	// WorstObservedTime is the maximum meeting round seen while
+	// measuring ϕ, for comparison with CertifiedTime.
+	WorstObservedTime int
+	// Violations lists any numbered Facts that failed on this algorithm
+	// (empty for algorithms within the theorem's hypotheses).
+	Violations []string
+}
+
+// RunTheorem1 executes the Theorem 3.1 pipeline for the given algorithm
+// on the oriented ring of size n with labels {1..L} and simultaneous
+// start.
+func RunTheorem1(n, L int, algo core.Algorithm) (*Theorem1Report, error) {
+	if L < 4 {
+		return nil, fmt.Errorf("lowerbound: RunTheorem1: need L >= 4, got %d", L)
+	}
+	ring, err := NewRing(n, L, algo)
+	if err != nil {
+		return nil, err
+	}
+	e := ring.E()
+	rep := &Theorem1Report{N: n, E: e, L: L, F: (e + 1) / 2, Trim: map[int]int{}}
+
+	// Measure ϕ = worst combined cost − E, and the worst meeting round,
+	// over all label pairs and relative offsets (simultaneous start).
+	labels := ring.Labels()
+	worstCost, worstTime := 0, 0
+	for i, x := range labels {
+		for _, y := range labels[i+1:] {
+			for off := 1; off < n; off++ {
+				t := ring.MeetingRound(x, 0, y, off)
+				if t < 0 {
+					return nil, fmt.Errorf("lowerbound: labels (%d,%d) offset %d never meet", x, y, off)
+				}
+				cost := ring.Vector(x).SoloCost(t) + ring.Vector(y).SoloCost(t)
+				if cost > worstCost {
+					worstCost = cost
+				}
+				if t > worstTime {
+					worstTime = t
+				}
+			}
+		}
+	}
+	rep.Phi = worstCost - e
+	rep.WorstObservedTime = worstTime
+	if rep.Phi < 0 {
+		// Cost below E would contradict the exploration benchmark of
+		// Section 1; report it but continue with ϕ = 0.
+		rep.Violations = append(rep.Violations, fmt.Sprintf("worst cost %d below E = %d", worstCost, e))
+		rep.Phi = 0
+	}
+
+	rep.Trim, err = ring.Trim()
+	if err != nil {
+		return nil, err
+	}
+
+	// Partition into clockwise-heavy and counterclockwise-heavy agents;
+	// mirror all vectors if the latter are the majority (the proof's
+	// WLOG). Mirroring a vector negates it, which reflects the ring.
+	var heavy []int
+	for _, x := range labels {
+		back, forward := ring.Vector(x).Extents()
+		if back <= forward {
+			heavy = append(heavy, x)
+		}
+	}
+	if len(heavy)*2 < len(labels) {
+		rep.Mirrored = true
+		for _, x := range labels {
+			v := ring.Vector(x)
+			for i := range v {
+				v[i] = -v[i]
+			}
+		}
+		heavy = heavy[:0]
+		for _, x := range labels {
+			back, forward := ring.Vector(x).Extents()
+			if back <= forward {
+				heavy = append(heavy, x)
+			}
+		}
+	}
+	if len(heavy) > L/2 {
+		heavy = heavy[:L/2] // the construction uses ⌊L/2⌋ vertices
+	}
+	rep.Heavy = heavy
+
+	// Fact 3.3: back(x) ≤ ϕ for every clockwise-heavy agent.
+	for _, x := range heavy {
+		if back, _ := ring.Vector(x).Extents(); back > rep.Phi {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("Fact 3.3: back(%d) = %d > ϕ = %d", x, back, rep.Phi))
+		}
+	}
+
+	// Eagerness tournament over the heavy agents (Fact 3.5): in
+	// α(A, 0, B, F) with A < B, exactly one agent's displacement leads
+	// by at least F.
+	f := rep.F
+	eager := func(a, b int) (int, error) {
+		lo, hi := min(a, b), max(a, b)
+		t := ring.MeetingRound(lo, 0, hi, f)
+		if t < 0 {
+			return 0, fmt.Errorf("lowerbound: tournament execution (%d,%d) never meets", lo, hi)
+		}
+		dispLo := ring.Displacement(lo, t)
+		dispHi := ring.Displacement(hi, t)
+		loEager := dispLo >= dispHi+f
+		hiEager := dispHi >= dispLo+f
+		if loEager == hiEager {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("Fact 3.5: execution (%d,0,%d,%d): eager not unique (disp %d vs %d)", lo, hi, f, dispLo, dispHi))
+			// Fall back to the larger displacement to keep the relation total.
+			if dispLo >= dispHi {
+				return lo, nil
+			}
+			return hi, nil
+		}
+		if loEager {
+			return lo, nil
+		}
+		return hi, nil
+	}
+
+	dominatesCache := make(map[[2]int]bool, len(heavy)*len(heavy))
+	var eagerErr error
+	dominates := func(a, b int) bool {
+		if got, ok := dominatesCache[[2]int{a, b}]; ok {
+			return got
+		}
+		w, err := eager(a, b)
+		if err != nil && eagerErr == nil {
+			eagerErr = err
+		}
+		dominatesCache[[2]int{a, b}] = w == a
+		dominatesCache[[2]int{b, a}] = w == b
+		return w == a
+	}
+	path := HamiltonianPathInTournament(heavy, dominates)
+	if eagerErr != nil {
+		return nil, eagerErr
+	}
+	if !VerifyHamiltonianPath(path, heavy, dominates) {
+		return nil, fmt.Errorf("lowerbound: tournament path verification failed")
+	}
+	rep.Path = path
+
+	// Execution chain α_i and Facts 3.7/3.8.
+	rep.ExecLengths = make([]int, 0, len(path)-1)
+	for i := 0; i+1 < len(path); i++ {
+		lo, hi := min(path[i], path[i+1]), max(path[i], path[i+1])
+		t := ring.MeetingRound(lo, 0, hi, f)
+		if t < 0 {
+			return nil, fmt.Errorf("lowerbound: chain execution (%d,%d) never meets", lo, hi)
+		}
+		rep.ExecLengths = append(rep.ExecLengths, t)
+	}
+	for i := 1; i < len(rep.ExecLengths); i++ {
+		if rep.ExecLengths[i] <= rep.ExecLengths[i-1] {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("Fact 3.7: |α_%d| = %d not greater than |α_%d| = %d", i+1, rep.ExecLengths[i], i, rep.ExecLengths[i-1]))
+		}
+	}
+	for i, t := range rep.ExecLengths {
+		// Fact 3.8: |α_i| ≥ i(F-3ϕ)/2, with i 1-based.
+		if 2*t < (i+1)*(f-3*rep.Phi) {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("Fact 3.8: 2|α_%d| = %d < %d·(F-3ϕ) = %d", i+1, 2*t, i+1, (i+1)*(f-3*rep.Phi)))
+		}
+	}
+
+	certified := (len(path) - 1) * (f - 3*rep.Phi) / 2
+	if certified < 0 {
+		certified = 0
+	}
+	rep.CertifiedTime = certified
+	return rep, nil
+}

@@ -1,0 +1,249 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"rendezvous/internal/core"
+)
+
+// DefineProgress implements Algorithm 3 of the paper: it converts an
+// aggregate behaviour vector into a progress vector, zeroing the
+// oscillation that never lets the agent leave a three-sector window and
+// preserving exactly the pairs of "significant" entries that witness a
+// two-sector crossing. The input and output use entries in {-1,0,1};
+// the output has the same length.
+func DefineProgress(agg []int) []int {
+	m := len(agg)
+	prog := make([]int, m)
+	s := 0 // 0-based start of the unprocessed suffix
+	for s < m {
+		// Find the smallest b >= s with |surplus(agg[s..b])| = 2. Since
+		// entries are ±1/0, the first time the absolute surplus reaches
+		// 2 it equals 2 exactly.
+		b := -1
+		sum := 0
+		for i := s; i < m; i++ {
+			sum += agg[i]
+			if sum >= 2 || sum <= -2 {
+				b = i
+				break
+			}
+		}
+		if b < 0 {
+			return prog // Case 1: no remaining prefix reaches surplus ±2
+		}
+		// a = smallest index in {s..b} such that every surplus
+		// surplus(agg[s..i]) for i in {a..b} has absolute value >= 1:
+		// equivalently, one past the last zero-surplus prefix before b.
+		a := s
+		sum = 0
+		for i := s; i < b; i++ {
+			sum += agg[i]
+			if sum == 0 {
+				a = i + 1
+			}
+		}
+		prog[a] = agg[b]
+		prog[b] = agg[b]
+		s = b + 1
+	}
+	return prog
+}
+
+// Surplus returns the sum of the entries of v[from..to] (0-based,
+// inclusive), the paper's surplus of a vector slice.
+func Surplus(v []int, from, to int) int {
+	sum := 0
+	for i := from; i <= to; i++ {
+		sum += v[i]
+	}
+	return sum
+}
+
+// Theorem2Report is the outcome of running the Theorem 3.2 construction
+// against a concrete algorithm: sector/block aggregate vectors of the
+// largest same-trim-block group of agents, their progress vectors, and
+// the certified cost lower bound k·E/6 for the heaviest progress
+// vector. Theorem 3.2 predicts k ∈ Ω(log L) for any algorithm with time
+// O(E·log L), hence cost Ω(E·log L).
+type Theorem2Report struct {
+	N, E, L int
+	// BlockLen is n/6, the common length of a block (in rounds) and a
+	// sector (in nodes).
+	BlockLen int
+	// M is the number of blocks covered by the chosen group's trimmed
+	// horizon.
+	M int
+	// Group lists the agents whose m_x falls in the same block — the
+	// pigeonhole class {x_1..x_ℓ} the proof works with.
+	Group []int
+	// Agg and Prog map each group member to its aggregate behaviour
+	// vector and progress vector (both of length M).
+	Agg, Prog map[int][]int
+	// NonZero maps each group member to the number of non-zero entries
+	// of its progress vector (always even: entries come in (a,b) pairs).
+	NonZero map[int]int
+	// MaxNonZeroLabel attains the maximum of NonZero; k = NonZero/2 of
+	// that label drives the certified cost bound.
+	MaxNonZeroLabel int
+	// CertifiedCost is k·⌊E/6⌋ for the heaviest progress vector, the
+	// cost Fact 3.17 certifies that agent incurs in its solo execution.
+	CertifiedCost int
+	// ObservedSoloCost is that agent's actual (trimmed) solo cost, for
+	// comparison.
+	ObservedSoloCost int
+	// DistinctProgress reports whether all group members have pairwise
+	// distinct progress vectors, as Fact 3.15 requires of any correct
+	// algorithm.
+	DistinctProgress bool
+	// Violations lists any numbered Facts that failed.
+	Violations []string
+}
+
+// RunTheorem2 executes the Theorem 3.2 pipeline for the given algorithm
+// on the oriented ring of size n (divisible by 6) with labels {1..L}
+// and simultaneous start.
+func RunTheorem2(n, L int, algo core.Algorithm) (*Theorem2Report, error) {
+	if n%6 != 0 {
+		return nil, fmt.Errorf("lowerbound: RunTheorem2: n = %d not divisible by 6", n)
+	}
+	if L < 2 {
+		return nil, fmt.Errorf("lowerbound: RunTheorem2: need L >= 2, got %d", L)
+	}
+	ring, err := NewRing(n, L, algo)
+	if err != nil {
+		return nil, err
+	}
+	trim, err := ring.Trim()
+	if err != nil {
+		return nil, err
+	}
+	blockLen := n / 6
+	rep := &Theorem2Report{
+		N: n, E: ring.E(), L: L,
+		BlockLen: blockLen,
+		Agg:      map[int][]int{},
+		Prog:     map[int][]int{},
+		NonZero:  map[int]int{},
+	}
+
+	// Pigeonhole: group agents by the block containing m_x and keep the
+	// largest group.
+	groups := make(map[int][]int)
+	for _, x := range ring.Labels() {
+		bx := (trim[x] + blockLen - 1) / blockLen // 1-based block index of round m_x
+		if bx == 0 {
+			bx = 1
+		}
+		groups[bx] = append(groups[bx], x)
+	}
+	bestBlock := 0
+	for bx, members := range groups {
+		if len(members) > len(groups[bestBlock]) || (len(members) == len(groups[bestBlock]) && bx > bestBlock) {
+			bestBlock = bx
+		}
+	}
+	rep.M = bestBlock
+	rep.Group = groups[bestBlock]
+
+	// Aggregate behaviour vectors over blocks 1..M for each group
+	// member, from the solo execution started at node 0, with the
+	// Fact 3.9 range check.
+	for _, x := range rep.Group {
+		agg, err := aggregate(ring.Vector(x), n, rep.M)
+		if err != nil {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("Fact 3.9: label %d: %v", x, err))
+			continue
+		}
+		rep.Agg[x] = agg
+		prog := DefineProgress(agg)
+		rep.Prog[x] = prog
+		nz := 0
+		for _, p := range prog {
+			if p != 0 {
+				nz++
+			}
+		}
+		rep.NonZero[x] = nz
+		if nz%2 != 0 {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("label %d: odd number of non-zero progress entries %d", x, nz))
+		}
+		if nz > rep.NonZero[rep.MaxNonZeroLabel] || rep.MaxNonZeroLabel == 0 {
+			rep.MaxNonZeroLabel = x
+		}
+	}
+
+	// Fact 3.15's consequence: a correct algorithm's group members must
+	// have pairwise distinct progress vectors.
+	rep.DistinctProgress = true
+	seen := make(map[string]int, len(rep.Group))
+	for _, x := range rep.Group {
+		key := fmt.Sprint(rep.Prog[x])
+		if other, dup := seen[key]; dup {
+			rep.DistinctProgress = false
+			rep.Violations = append(rep.Violations, fmt.Sprintf("Fact 3.15: labels %d and %d share a progress vector", other, x))
+		}
+		seen[key] = x
+	}
+
+	// Fact 3.17: the heaviest progress vector certifies solo cost
+	// k·⌊E/6⌋ for its agent.
+	if rep.MaxNonZeroLabel != 0 {
+		k := rep.NonZero[rep.MaxNonZeroLabel] / 2
+		rep.CertifiedCost = k * (rep.E / 6)
+		v := ring.Vector(rep.MaxNonZeroLabel)
+		rep.ObservedSoloCost = v.SoloCost(len(v))
+		if rep.ObservedSoloCost < rep.CertifiedCost {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("Fact 3.17: label %d solo cost %d below certified %d", rep.MaxNonZeroLabel, rep.ObservedSoloCost, rep.CertifiedCost))
+		}
+	}
+	return rep, nil
+}
+
+// aggregate computes Agg_{x,0}: the per-block sector displacement of the
+// solo execution with behaviour vector v on the ring of size n, over
+// blocks 1..m. It verifies Fact 3.9 (the agent never leaves the three
+// adjacent sectors within a block) and that every entry is in
+// {-1, 0, 1}.
+func aggregate(v Vector, n, m int) ([]int, error) {
+	blockLen := n / 6
+	agg := make([]int, m)
+	pos := 0 // displacement-based position; node = pos mod n
+	for i := 0; i < m; i++ {
+		startSector := sectorOf(pos, n)
+		cur := pos
+		for r := 0; r < blockLen; r++ {
+			round := i*blockLen + r
+			if round < len(v) {
+				cur += v[round]
+			}
+			// Fact 3.9: within the block the agent stays in sectors
+			// j-1, j, j+1.
+			d := sectorDelta(startSector, sectorOf(cur, n))
+			if d < -1 || d > 1 {
+				return nil, fmt.Errorf("block %d round %d: agent in sector %+d relative to block start", i+1, round+1, d)
+			}
+		}
+		delta := sectorDelta(startSector, sectorOf(cur, n))
+		agg[i] = delta
+		pos = cur
+	}
+	return agg, nil
+}
+
+// sectorOf maps a (possibly negative) displacement position to its
+// sector index in {0..5}.
+func sectorOf(pos, n int) int {
+	node := ((pos % n) + n) % n
+	return node / (n / 6)
+}
+
+// sectorDelta returns the signed sector difference from a to b in
+// {-2..3}, choosing the representative closest to zero.
+func sectorDelta(a, b int) int {
+	d := ((b-a)%6 + 6) % 6
+	if d > 3 {
+		d -= 6
+	}
+	return d
+}

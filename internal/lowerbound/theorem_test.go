@@ -1,0 +1,394 @@
+package lowerbound
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rendezvous/internal/core"
+)
+
+func TestHamiltonianPathInTournament(t *testing.T) {
+	tests := []struct {
+		name     string
+		vertices []int
+		edges    map[[2]int]bool // (a,b): a dominates b
+	}{
+		{
+			name:     "transitive",
+			vertices: []int{3, 1, 4, 2},
+			edges:    map[[2]int]bool{{1, 2}: true, {1, 3}: true, {1, 4}: true, {2, 3}: true, {2, 4}: true, {3, 4}: true},
+		},
+		{
+			name:     "cyclic triangle",
+			vertices: []int{1, 2, 3},
+			edges:    map[[2]int]bool{{1, 2}: true, {2, 3}: true, {3, 1}: true},
+		},
+		{
+			name:     "single",
+			vertices: []int{7},
+			edges:    map[[2]int]bool{},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			dom := func(a, b int) bool { return tt.edges[[2]int{a, b}] }
+			path := HamiltonianPathInTournament(tt.vertices, dom)
+			if !VerifyHamiltonianPath(path, tt.vertices, dom) {
+				t.Errorf("invalid Hamiltonian path %v", path)
+			}
+		})
+	}
+}
+
+// Property: random tournaments always yield a valid Hamiltonian path
+// (Rédei's theorem, constructively).
+func TestHamiltonianPathRandomTournaments(t *testing.T) {
+	property := func(seed int64, sizeRaw uint8) bool {
+		size := int(sizeRaw%20) + 1
+		rng := rand.New(rand.NewSource(seed))
+		beats := make(map[[2]int]bool)
+		vertices := make([]int, size)
+		for i := range vertices {
+			vertices[i] = i + 1
+		}
+		for i := 1; i <= size; i++ {
+			for j := i + 1; j <= size; j++ {
+				if rng.Intn(2) == 0 {
+					beats[[2]int{i, j}] = true
+				} else {
+					beats[[2]int{j, i}] = true
+				}
+			}
+		}
+		dom := func(a, b int) bool { return beats[[2]int{a, b}] }
+		path := HamiltonianPathInTournament(vertices, dom)
+		return VerifyHamiltonianPath(path, vertices, dom)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefineProgressExamples(t *testing.T) {
+	tests := []struct {
+		name string
+		agg  []int
+		want []int
+	}{
+		{"empty", []int{}, []int{}},
+		{"all idle", []int{0, 0, 0}, []int{0, 0, 0}},
+		{"oscillation only", []int{1, -1, 1, -1, 1}, []int{0, 0, 0, 0, 0}},
+		{"simple crossing", []int{1, 1}, []int{1, 1}},
+		{"crossing after reset", []int{1, -1, 1, 1}, []int{0, 0, 1, 1}},
+		{"negative crossing", []int{-1, -1, 0}, []int{-1, -1, 0}},
+		{"two crossings", []int{-1, -1, 1, 1, 1, 1}, []int{-1, -1, 1, 1, 1, 1}},
+		{"significant pair spread", []int{1, 0, -1, 1, 0, 1}, []int{0, 0, 0, 1, 0, 1}},
+		{"tail below threshold", []int{1, 1, 1}, []int{1, 1, 0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := DefineProgress(tt.agg)
+			if len(got) != len(tt.want) {
+				t.Fatalf("length %d, want %d", len(got), len(tt.want))
+			}
+			for i := range tt.want {
+				if got[i] != tt.want[i] {
+					t.Fatalf("DefineProgress(%v) = %v, want %v", tt.agg, got, tt.want)
+				}
+			}
+		})
+	}
+}
+
+// Property (Facts 3.12/3.13 shape): non-zero entries of a progress
+// vector come in ordered pairs (a1<b1<a2<b2<...), paired entries are
+// equal and non-zero, and between a_i and b_i everything is zero.
+// Property (Fact 3.14): maximal zero-runs of the progress vector have
+// every prefix surplus of the aggregate bounded by 1 in absolute value,
+// and interior runs have surplus exactly 0.
+func TestDefineProgressInvariants(t *testing.T) {
+	property := func(seed int64, lenRaw uint8) bool {
+		m := int(lenRaw % 40)
+		rng := rand.New(rand.NewSource(seed))
+		agg := make([]int, m)
+		for i := range agg {
+			agg[i] = rng.Intn(3) - 1
+		}
+		prog := DefineProgress(agg)
+		if len(prog) != m {
+			return false
+		}
+
+		// Collect non-zero positions.
+		var nz []int
+		for i, p := range prog {
+			if p != 0 {
+				nz = append(nz, i)
+			}
+		}
+		if len(nz)%2 != 0 {
+			return false
+		}
+		for i := 0; i+1 < len(nz); i += 2 {
+			a, b := nz[i], nz[i+1]
+			// Fact 3.13: paired entries equal, non-zero, and match Agg[b].
+			if prog[a] != prog[b] || prog[a] == 0 || prog[b] != agg[b] || prog[a] != agg[a] {
+				return false
+			}
+			// Between a and b the progress vector is zero by
+			// construction (collected as consecutive non-zeros).
+		}
+
+		// Fact 3.14 on maximal zero-runs.
+		i := 0
+		for i < m {
+			if prog[i] != 0 {
+				i++
+				continue
+			}
+			j := i
+			for j < m && prog[j] == 0 {
+				j++
+			}
+			// Zero-run [i, j-1].
+			sum := 0
+			for k := i; k < j; k++ {
+				sum += agg[k]
+				if sum > 1 || sum < -1 {
+					return false
+				}
+			}
+			if j != m && sum != 0 {
+				return false
+			}
+			i = j
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSurplus(t *testing.T) {
+	v := []int{1, -1, 0, 1, 1}
+	if got := Surplus(v, 0, 4); got != 2 {
+		t.Errorf("Surplus(all) = %d, want 2", got)
+	}
+	if got := Surplus(v, 1, 2); got != -1 {
+		t.Errorf("Surplus(1,2) = %d, want -1", got)
+	}
+}
+
+func TestTheorem1OnCheapSimultaneous(t *testing.T) {
+	// CheapSimultaneous is the paper's canonical cost-(E+o(E)) algorithm
+	// (ϕ = 0 on the oriented ring with the optimal sweep). The pipeline
+	// must certify an Ω(EL) time bound with no Fact violations.
+	const n, L = 12, 8
+	rep, err := RunTheorem1(n, L, core.CheapSimultaneous{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	if rep.Phi != 0 {
+		t.Errorf("ϕ = %d, want 0 (cost exactly E)", rep.Phi)
+	}
+	if len(rep.Path) != L/2 {
+		t.Errorf("path length %d, want ⌊L/2⌋ = %d", len(rep.Path), L/2)
+	}
+	wantCertified := (L/2 - 1) * rep.F / 2
+	if rep.CertifiedTime != wantCertified {
+		t.Errorf("certified time %d, want (⌊L/2⌋-1)·F/2 = %d", rep.CertifiedTime, wantCertified)
+	}
+	if rep.WorstObservedTime < rep.CertifiedTime {
+		t.Errorf("observed worst time %d below certified bound %d", rep.WorstObservedTime, rep.CertifiedTime)
+	}
+	for i := 1; i < len(rep.ExecLengths); i++ {
+		if rep.ExecLengths[i] <= rep.ExecLengths[i-1] {
+			t.Errorf("execution chain not increasing: %v", rep.ExecLengths)
+		}
+	}
+}
+
+func TestTheorem1CertifiedBoundScalesLinearlyInL(t *testing.T) {
+	// The heart of Theorem 3.1: the certified bound is Ω(EL). Doubling L
+	// must double the certified bound (at fixed n), and doubling n must
+	// scale it too.
+	const n = 12
+	rep8, err := RunTheorem1(n, 8, core.CheapSimultaneous{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep16, err := RunTheorem1(n, 16, core.CheapSimultaneous{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep32, err := RunTheorem1(n, 32, core.CheapSimultaneous{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := float64(rep16.CertifiedTime) / float64(rep8.CertifiedTime)
+	r2 := float64(rep32.CertifiedTime) / float64(rep16.CertifiedTime)
+	for _, r := range []float64{r1, r2} {
+		if r < 1.6 || r > 2.5 {
+			t.Errorf("certified bound growth per doubling of L = %.2f, want ~2 (values %d, %d, %d)",
+				r, rep8.CertifiedTime, rep16.CertifiedTime, rep32.CertifiedTime)
+		}
+	}
+}
+
+func TestTheorem1OnFastIsVacuous(t *testing.T) {
+	// Fast has cost Θ(E log L), far above E+o(E): the pipeline still
+	// runs, but ϕ is large and the certified bound collapses to 0 —
+	// demonstrating that the Ω(EL) bound does not apply to Fast (indeed
+	// Fast's time is O(E log L)).
+	const n, L = 12, 8
+	rep, err := RunTheorem1(n, L, core.Fast{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Phi <= 0 {
+		t.Errorf("ϕ = %d, want > 0 for Fast", rep.Phi)
+	}
+	if rep.CertifiedTime != 0 {
+		t.Errorf("certified time %d, want 0 (hypothesis violated)", rep.CertifiedTime)
+	}
+}
+
+func TestTheorem1Validation(t *testing.T) {
+	if _, err := RunTheorem1(12, 3, core.CheapSimultaneous{}); err == nil {
+		t.Error("L=3: want error")
+	}
+	if _, err := RunTheorem1(12, 4, core.ExploreForever{}); err == nil {
+		t.Error("non-rendezvous algorithm: want error")
+	}
+}
+
+func TestTheorem2OnFast(t *testing.T) {
+	// Fast has time O(E log L); Theorem 3.2's machinery must find a
+	// progress vector with many non-zero entries, certifying cost
+	// k·E/6 — and the measured solo cost must dominate it.
+	const n, L = 24, 16
+	rep, err := RunTheorem2(n, L, core.Fast{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	if !rep.DistinctProgress {
+		t.Error("progress vectors of a correct algorithm must be distinct")
+	}
+	if len(rep.Group) < 2 {
+		t.Fatalf("pigeonhole group too small: %v", rep.Group)
+	}
+	if rep.CertifiedCost <= 0 {
+		t.Error("certified cost must be positive for Fast")
+	}
+	if rep.ObservedSoloCost < rep.CertifiedCost {
+		t.Errorf("observed solo cost %d below certified %d", rep.ObservedSoloCost, rep.CertifiedCost)
+	}
+}
+
+func TestTheorem2CertifiedCostGrowsWithL(t *testing.T) {
+	// The Ω(E log L) trend: the max progress weight (and hence the
+	// certified cost) must not shrink as L doubles, and must grow over
+	// a 16x range of L.
+	const n = 24
+	var prev int
+	var first, last int
+	for i, L := range []int{4, 8, 16, 32, 64} {
+		rep, err := RunTheorem2(n, L, core.Fast{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := rep.NonZero[rep.MaxNonZeroLabel]
+		if i == 0 {
+			first = k
+		}
+		last = k
+		if k < prev {
+			t.Errorf("L=%d: max non-zero count %d dropped below %d", L, k, prev)
+		}
+		prev = k
+	}
+	if last <= first {
+		t.Errorf("max progress weight did not grow over L sweep: first %d, last %d", first, last)
+	}
+}
+
+func TestTheorem2OnCheapSimultaneous(t *testing.T) {
+	// Cheap's progress vectors are sparse (a single sweep crosses each
+	// sector boundary once); the pipeline must run cleanly and certify
+	// only a constant-factor cost — consistent with Cheap beating the
+	// Ω(E log L) cost bound by not being in the O(E log L) time class.
+	const n, L = 24, 8
+	rep, err := RunTheorem2(n, L, core.CheapSimultaneous{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	if rep.ObservedSoloCost < rep.CertifiedCost {
+		t.Errorf("observed solo cost %d below certified %d", rep.ObservedSoloCost, rep.CertifiedCost)
+	}
+}
+
+func TestTheorem2Validation(t *testing.T) {
+	if _, err := RunTheorem2(13, 4, core.Fast{}); err == nil {
+		t.Error("n not divisible by 6: want error")
+	}
+	if _, err := RunTheorem2(12, 1, core.Fast{}); err == nil {
+		t.Error("L=1: want error")
+	}
+	if _, err := RunTheorem2(12, 2, core.ExploreForever{}); err == nil {
+		t.Error("non-rendezvous algorithm: want error")
+	}
+}
+
+func TestAggregateMatchesManualComputation(t *testing.T) {
+	// n = 12, sectors of 2 nodes, blocks of 2 rounds. A vector that walks
+	// clockwise 4 rounds then idles: blocks (1..2) cross one sector each.
+	v := Vector{1, 1, 1, 1, 0, 0, 0, 0}
+	agg, err := aggregate(v, 12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 1, 0, 0}
+	for i := range want {
+		if agg[i] != want[i] {
+			t.Fatalf("aggregate = %v, want %v", agg, want)
+		}
+	}
+	// Counterclockwise: from node 0, one step back lands in sector 5.
+	v = Vector{-1, -1, 0, 0}
+	agg, err = aggregate(v, 12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg[0] != -1 || agg[1] != 0 {
+		t.Fatalf("aggregate = %v, want [-1 0]", agg)
+	}
+}
+
+func TestSectorHelpers(t *testing.T) {
+	if got := sectorOf(13, 12); got != 0 {
+		t.Errorf("sectorOf(13,12) = %d, want 0", got)
+	}
+	if got := sectorOf(-1, 12); got != 5 {
+		t.Errorf("sectorOf(-1,12) = %d, want 5", got)
+	}
+	if got := sectorDelta(5, 0); got != 1 {
+		t.Errorf("sectorDelta(5,0) = %d, want 1 (wraparound)", got)
+	}
+	if got := sectorDelta(0, 5); got != -1 {
+		t.Errorf("sectorDelta(0,5) = %d, want -1", got)
+	}
+	if got := sectorDelta(1, 4); got != 3 {
+		t.Errorf("sectorDelta(1,4) = %d, want 3", got)
+	}
+}

@@ -1,0 +1,69 @@
+package lowerbound
+
+// HamiltonianPathInTournament returns a Hamiltonian path of the
+// tournament on the given vertices, where dominates(a, b) reports
+// whether the edge between a and b points from a to b. Every tournament
+// has such a path (Rédei's theorem); the classic insertion argument is
+// constructive and quadratic: each vertex is inserted into the current
+// path either at an end or between the first consecutive pair (p_i,
+// p_i+1) with p_i → v → p_i+1, which must exist when neither end
+// accepts v.
+//
+// dominates must be a total tournament relation on the vertices:
+// exactly one of dominates(a,b) / dominates(b,a) for every distinct
+// pair. The returned path p satisfies dominates(p[i], p[i+1]) for all i.
+func HamiltonianPathInTournament(vertices []int, dominates func(a, b int) bool) []int {
+	path := make([]int, 0, len(vertices))
+	for _, v := range vertices {
+		switch {
+		case len(path) == 0:
+			path = append(path, v)
+		case dominates(v, path[0]):
+			path = append([]int{v}, path...)
+		case dominates(path[len(path)-1], v):
+			path = append(path, v)
+		default:
+			// path[0] → v and v → path[end]: somewhere the direction
+			// flips, and at the first flip p_i → v → p_{i+1}.
+			inserted := false
+			for i := 0; i+1 < len(path); i++ {
+				if dominates(path[i], v) && dominates(v, path[i+1]) {
+					path = append(path[:i+1], append([]int{v}, path[i+1:]...)...)
+					inserted = true
+					break
+				}
+			}
+			if !inserted {
+				// Unreachable for a genuine tournament relation.
+				panic("lowerbound: dominates is not a tournament relation")
+			}
+		}
+	}
+	return path
+}
+
+// VerifyHamiltonianPath reports whether path is a permutation of
+// vertices with every consecutive pair correctly oriented.
+func VerifyHamiltonianPath(path, vertices []int, dominates func(a, b int) bool) bool {
+	if len(path) != len(vertices) {
+		return false
+	}
+	seen := make(map[int]bool, len(path))
+	for _, v := range path {
+		if seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	for _, v := range vertices {
+		if !seen[v] {
+			return false
+		}
+	}
+	for i := 0; i+1 < len(path); i++ {
+		if !dominates(path[i], path[i+1]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,232 @@
+// Package lowerbound implements the machinery of Section 3 of Miller &
+// Pelc: behaviour vectors of rendezvous algorithms on oriented rings,
+// the Trim procedure, displacement and eagerness analysis with the
+// tournament construction of Theorem 3.1, and the sector/block aggregate
+// and progress vectors (Algorithm 3, DefineProgress) of Theorem 3.2.
+//
+// Lower bounds quantify over all algorithms and cannot be "run";
+// what can be run is the paper's constructive machinery applied to
+// concrete algorithms. This package does exactly that: it derives
+// behaviour vectors from real algorithms of package core, executes the
+// proofs' constructions on them, checks every numbered Fact on the way,
+// and reports the bounds the constructions certify. The test suite
+// verifies the Facts hold for Cheap and Fast exactly as the proofs
+// predict.
+package lowerbound
+
+import (
+	"fmt"
+
+	"rendezvous/internal/core"
+	"rendezvous/internal/explore"
+	"rendezvous/internal/graph"
+	"rendezvous/internal/sim"
+)
+
+// Vector is a behaviour vector on the oriented ring: entry t-1 records
+// the agent's action in round t of its solo execution — +1 clockwise,
+// 0 idle, -1 counterclockwise. An agent's behaviour vector is
+// independent of its starting node, since nodes are anonymous and the
+// oriented ring looks identical everywhere.
+type Vector []int
+
+// Ring is the Section 3 arena: an oriented ring of known size n with
+// E = n-1 and simultaneous start. It caches the graph and the per-label
+// behaviour vectors of one algorithm.
+type Ring struct {
+	n       int
+	e       int
+	vectors map[int]Vector
+}
+
+// NewRing derives the behaviour vectors of algo for every label in
+// {1..L} on the oriented ring of size n, using the optimal clockwise
+// sweep (E = n-1) as the EXPLORE procedure — exactly the lower-bound
+// setting of Section 3.
+func NewRing(n, L int, algo core.Algorithm) (*Ring, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("lowerbound: ring size %d too small (need >= 4)", n)
+	}
+	g := graph.OrientedRing(n)
+	ex := explore.OrientedRingSweep{}
+	params := core.Params{L: L}
+	vectors := make(map[int]Vector, L)
+	for l := 1; l <= L; l++ {
+		traj, err := sim.CompileTrajectory(g, ex, 0, algo.Schedule(l, params))
+		if err != nil {
+			return nil, fmt.Errorf("lowerbound: label %d: %w", l, err)
+		}
+		vectors[l] = vectorFromTrajectory(traj, n)
+	}
+	return &Ring{n: n, e: n - 1, vectors: vectors}, nil
+}
+
+// vectorFromTrajectory converts per-round positions into ±1/0 moves.
+func vectorFromTrajectory(traj sim.Trajectory, n int) Vector {
+	v := make(Vector, traj.Len())
+	for k := 1; k <= traj.Len(); k++ {
+		switch (traj.Pos[k] - traj.Pos[k-1] + n) % n {
+		case 0:
+			v[k-1] = 0
+		case 1:
+			v[k-1] = 1
+		case n - 1:
+			v[k-1] = -1
+		default:
+			panic(fmt.Sprintf("lowerbound: non-adjacent ring step at round %d", k))
+		}
+	}
+	return v
+}
+
+// N returns the ring size.
+func (r *Ring) N() int { return r.n }
+
+// E returns the exploration time n-1.
+func (r *Ring) E() int { return r.e }
+
+// Labels returns the labels with derived vectors, in ascending order.
+func (r *Ring) Labels() []int {
+	labels := make([]int, 0, len(r.vectors))
+	for l := 1; len(labels) < len(r.vectors); l++ {
+		if _, ok := r.vectors[l]; ok {
+			labels = append(labels, l)
+		}
+	}
+	return labels
+}
+
+// Vector returns label x's behaviour vector (the trimmed one after Trim
+// has been called on a TrimmedRing).
+func (r *Ring) Vector(x int) Vector { return r.vectors[x] }
+
+// MeetingRound returns the first round t >= 1 at whose end agents x
+// (starting at node px) and y (starting at py), both woken in round 1,
+// occupy the same node — the paper's |α(x,px,y,py)|. It returns -1 if
+// they never meet (no further meetings are possible once both vectors
+// are exhausted). Starting nodes must be distinct modulo n.
+func (r *Ring) MeetingRound(x, px, y, py int) int {
+	vx, vy := r.vectors[x], r.vectors[y]
+	horizon := max(len(vx), len(vy))
+	// diff = (pos_x - pos_y) mod n; they meet when it reaches 0.
+	diff := ((px-py)%r.n + r.n) % r.n
+	if diff == 0 {
+		return 0
+	}
+	for t := 1; t <= horizon; t++ {
+		dx, dy := 0, 0
+		if t <= len(vx) {
+			dx = vx[t-1]
+		}
+		if t <= len(vy) {
+			dy = vy[t-1]
+		}
+		diff = ((diff+dx-dy)%r.n + r.n) % r.n
+		if diff == 0 {
+			return t
+		}
+	}
+	return -1
+}
+
+// Displacement returns disp(x, α) for an execution of the given length:
+// the prefix sum of x's behaviour vector over rounds 1..rounds.
+func (r *Ring) Displacement(x, rounds int) int {
+	return r.vectors[x].PrefixSum(rounds)
+}
+
+// PrefixSum returns the sum of the first `rounds` entries (saturating at
+// the vector's length).
+func (v Vector) PrefixSum(rounds int) int {
+	if rounds > len(v) {
+		rounds = len(v)
+	}
+	sum := 0
+	for t := 0; t < rounds; t++ {
+		sum += v[t]
+	}
+	return sum
+}
+
+// Weight returns the number of non-zero entries, i.e. the cost of the
+// full solo execution.
+func (v Vector) Weight() int {
+	w := 0
+	for _, e := range v {
+		if e != 0 {
+			w++
+		}
+	}
+	return w
+}
+
+// Extents returns (back, forward): the maximum extent of the agent's
+// exploration on its counterclockwise and clockwise sides over the whole
+// solo execution — |seg_{-1}| and |seg_1| in the paper's notation. They
+// are the most negative and most positive prefix sums.
+func (v Vector) Extents() (back, forward int) {
+	sum := 0
+	for _, e := range v {
+		sum += e
+		if sum > forward {
+			forward = sum
+		}
+		if -sum > back {
+			back = -sum
+		}
+	}
+	return back, forward
+}
+
+// SoloCost returns the number of edge traversals in the solo execution
+// truncated to the given number of rounds.
+func (v Vector) SoloCost(rounds int) int {
+	if rounds > len(v) {
+		rounds = len(v)
+	}
+	cost := 0
+	for t := 0; t < rounds; t++ {
+		if v[t] != 0 {
+			cost++
+		}
+	}
+	return cost
+}
+
+// Trim applies the paper's Trim(A) procedure: for each label x it
+// computes m_x, the maximum of |α(x,px,y,py)| over all other labels y
+// and all distinct starting positions, and zeroes V_x beyond round m_x.
+// Trimming changes no execution: the zeroed rounds occur after x has met
+// every possible partner. It fails if some execution never meets (the
+// algorithm is not a rendezvous algorithm on this ring).
+//
+// Meeting rounds depend on starting positions only through the relative
+// offset (py-px) mod n, so the search space is labels × labels × n
+// rather than labels² × n².
+func (r *Ring) Trim() (map[int]int, error) {
+	labels := r.Labels()
+	m := make(map[int]int, len(labels))
+	for _, x := range labels {
+		mx := 0
+		for _, y := range labels {
+			if x == y {
+				continue
+			}
+			for off := 1; off < r.n; off++ {
+				t := r.MeetingRound(x, 0, y, off)
+				if t < 0 {
+					return nil, fmt.Errorf("lowerbound: labels (%d,%d) offset %d never meet; cannot trim a non-rendezvous algorithm", x, y, off)
+				}
+				if t > mx {
+					mx = t
+				}
+			}
+		}
+		m[x] = mx
+		v := r.vectors[x]
+		for t := mx; t < len(v); t++ {
+			v[t] = 0
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,211 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"rendezvous/internal/core"
+)
+
+func TestVectorsOfCheapSimultaneous(t *testing.T) {
+	const n, L = 12, 5
+	ring, err := NewRing(n, L, core.CheapSimultaneous{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := n - 1
+	if ring.E() != e || ring.N() != n {
+		t.Fatalf("ring (n,E) = (%d,%d)", ring.N(), ring.E())
+	}
+	for l := 1; l <= L; l++ {
+		v := ring.Vector(l)
+		if len(v) != l*e {
+			t.Fatalf("label %d: vector length %d, want %d", l, len(v), l*e)
+		}
+		for i := 0; i < (l-1)*e; i++ {
+			if v[i] != 0 {
+				t.Fatalf("label %d: expected idle round %d", l, i+1)
+			}
+		}
+		for i := (l - 1) * e; i < l*e; i++ {
+			if v[i] != 1 {
+				t.Fatalf("label %d: expected clockwise move in round %d", l, i+1)
+			}
+		}
+	}
+}
+
+func TestVectorsOfFastMatchTransformedLabel(t *testing.T) {
+	const n, L = 8, 4
+	ring, err := NewRing(n, L, core.Fast{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := n - 1
+	params := core.Params{L: L}
+	for l := 1; l <= L; l++ {
+		sched := core.Fast{}.Schedule(l, params)
+		v := ring.Vector(l)
+		if len(v) != len(sched)*e {
+			t.Fatalf("label %d: vector length %d, want %d", l, len(v), len(sched)*e)
+		}
+		// The clockwise sweep never moves counterclockwise, and the
+		// weight must be E per exploration segment.
+		if got, want := v.Weight(), sched.Explorations()*e; got != want {
+			t.Fatalf("label %d: weight %d, want %d", l, got, want)
+		}
+		back, forward := v.Extents()
+		if back != 0 {
+			t.Fatalf("label %d: back = %d, want 0 for the clockwise sweep", l, back)
+		}
+		if forward != sched.Explorations()*e {
+			t.Fatalf("label %d: forward = %d", l, forward)
+		}
+	}
+}
+
+func TestMeetingRound(t *testing.T) {
+	const n, L = 10, 4
+	ring, err := NewRing(n, L, core.CheapSimultaneous{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Label 1 explores immediately (rounds 1..9, clockwise); label 3
+	// waits 2E rounds first. From offset d, label 1 reaches label 3
+	// after d rounds.
+	for d := 1; d < n; d++ {
+		if got := ring.MeetingRound(1, 0, 3, d); got != d {
+			t.Errorf("offset %d: meeting round %d, want %d", d, got, d)
+		}
+	}
+	// Offset 0 means already together.
+	if got := ring.MeetingRound(1, 4, 3, 4); got != 0 {
+		t.Errorf("same start: meeting round %d, want 0", got)
+	}
+	// Translation invariance: only the relative offset matters.
+	if a, b := ring.MeetingRound(1, 2, 3, 7), ring.MeetingRound(1, 0, 3, 5); a != b {
+		t.Errorf("translation variance: %d vs %d", a, b)
+	}
+}
+
+func TestMeetingRoundNeverMeets(t *testing.T) {
+	const n, L = 6, 2
+	// ExploreForever: both agents sweep clockwise in lockstep forever
+	// and never meet from distinct starts.
+	ring, err := NewRing(n, L, core.ExploreForever{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ring.MeetingRound(1, 0, 2, 3); got != -1 {
+		t.Errorf("lockstep agents met at round %d", got)
+	}
+	if _, err := ring.Trim(); err == nil {
+		t.Error("Trim of a non-rendezvous algorithm: want error")
+	}
+}
+
+func TestTrimZeroesOnlyAfterLastMeeting(t *testing.T) {
+	const n, L = 12, 5
+	ring, err := NewRing(n, L, core.CheapSimultaneous{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ring.Trim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := n - 1
+	for l := 1; l <= L; l++ {
+		if m[l] < 1 {
+			t.Fatalf("label %d: m = %d", l, m[l])
+		}
+		v := ring.Vector(l)
+		for i := m[l]; i < len(v); i++ {
+			if v[i] != 0 {
+				t.Fatalf("label %d: non-zero entry at round %d > m = %d", l, i+1, m[l])
+			}
+		}
+	}
+	// Label 1 explores in rounds 1..E and every partner waits at least
+	// until round E, so m_1 = E (the farthest node is reached at the
+	// last step).
+	if m[1] != e {
+		t.Errorf("m_1 = %d, want E = %d", m[1], e)
+	}
+	// For the largest label, the worst partner is the second largest:
+	// label L meets it no later than that partner's exploration end.
+	if m[L] > (L-1)*e+e {
+		t.Errorf("m_%d = %d, too large", L, m[L])
+	}
+}
+
+func TestTrimPreservesMeetingRounds(t *testing.T) {
+	// Trim must not change any meeting: recompute all meeting rounds
+	// after trimming and compare.
+	const n, L = 12, 4
+	ring, err := NewRing(n, L, core.Fast{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct{ x, y, off int }
+	before := make(map[key]int)
+	for x := 1; x <= L; x++ {
+		for y := 1; y <= L; y++ {
+			if x == y {
+				continue
+			}
+			for off := 1; off < n; off++ {
+				before[key{x, y, off}] = ring.MeetingRound(x, 0, y, off)
+			}
+		}
+	}
+	if _, err := ring.Trim(); err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range before {
+		if got := ring.MeetingRound(k.x, 0, k.y, k.off); got != want {
+			t.Errorf("trim changed execution (%d,%d,+%d): %d -> %d", k.x, k.y, k.off, want, got)
+		}
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	v := Vector{1, 1, -1, 0, -1, -1, 0, 1}
+	if got := v.PrefixSum(3); got != 1 {
+		t.Errorf("PrefixSum(3) = %d, want 1", got)
+	}
+	if got := v.PrefixSum(100); got != 0 {
+		t.Errorf("PrefixSum(all) = %d, want 0", got)
+	}
+	if got := v.Weight(); got != 6 {
+		t.Errorf("Weight = %d, want 6", got)
+	}
+	back, forward := v.Extents()
+	if forward != 2 || back != 1 {
+		t.Errorf("Extents = (back %d, forward %d), want (1, 2)", back, forward)
+	}
+	if got := v.SoloCost(4); got != 3 {
+		t.Errorf("SoloCost(4) = %d, want 3", got)
+	}
+}
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(3, 4, core.Fast{}); err == nil {
+		t.Error("n=3: want error")
+	}
+}
+
+func TestLabelsOrdered(t *testing.T) {
+	ring, err := NewRing(10, 6, core.Fast{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := ring.Labels()
+	if len(labels) != 6 {
+		t.Fatalf("Labels = %v", labels)
+	}
+	for i, l := range labels {
+		if l != i+1 {
+			t.Fatalf("Labels = %v, want 1..6 ascending", labels)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"fmt"
+
+	"rendezvous/internal/explore"
+	"rendezvous/internal/graph"
+)
+
+// Witness records the configuration achieving an extreme value in an
+// adversary search.
+type Witness struct {
+	LabelA, LabelB int
+	StartA, StartB int
+	DelayB         int // agent B's wake round minus 1
+	Value          int
+}
+
+// WorstCase aggregates the adversary's best achievements over a searched
+// configuration space: the maximum rendezvous time and cost, with the
+// configurations that realise them.
+type WorstCase struct {
+	Time Witness
+	Cost Witness
+	// Runs is the number of executions examined.
+	Runs int
+	// AllMet reports whether every execution achieved rendezvous; a
+	// correct algorithm must make this true.
+	AllMet bool
+}
+
+// SearchSpace describes the adversary's choices. Empty slices select the
+// exhaustive default noted per field.
+type SearchSpace struct {
+	// LabelPairs lists ordered (labelA, labelB) pairs; both agents run
+	// the deterministic algorithm with their own label. Defaults to all
+	// ordered pairs of distinct labels in {1..L}.
+	LabelPairs [][2]int
+	// L is the label-space size used when LabelPairs is nil.
+	L int
+	// StartPairs lists ordered (startA, startB) pairs. Defaults to all
+	// ordered pairs of distinct nodes.
+	StartPairs [][2]int
+	// Delays lists wake delays for agent B (0 = simultaneous start).
+	// Defaults to {0}.
+	Delays []int
+}
+
+// Trajectories precompiles and caches solo trajectories per (label,
+// start) so adversary searches do not recompile schedules. The cache is
+// not safe for concurrent use.
+type Trajectories struct {
+	g           *graph.Graph
+	ex          explore.Explorer
+	scheduleFor func(label int) Schedule
+	cache       map[[2]int]Trajectory
+}
+
+// NewTrajectories returns an empty cache over the given graph, explorer
+// and per-label schedule function.
+func NewTrajectories(g *graph.Graph, ex explore.Explorer, scheduleFor func(label int) Schedule) *Trajectories {
+	return &Trajectories{
+		g:           g,
+		ex:          ex,
+		scheduleFor: scheduleFor,
+		cache:       make(map[[2]int]Trajectory),
+	}
+}
+
+// Get returns the solo trajectory of the given label from the given
+// start, compiling it on first use.
+func (tc *Trajectories) Get(label, start int) (Trajectory, error) {
+	key := [2]int{label, start}
+	if tr, ok := tc.cache[key]; ok {
+		return tr, nil
+	}
+	tr, err := CompileTrajectory(tc.g, tc.ex, start, tc.scheduleFor(label))
+	if err != nil {
+		return Trajectory{}, fmt.Errorf("sim: label %d start %d: %w", label, start, err)
+	}
+	tc.cache[key] = tr
+	return tr, nil
+}
+
+// Meet scans two solo trajectories for the first meeting round under
+// the given wake rounds (the earlier agent must wake in round 1). It is
+// the core of Run, exposed so callers that compile trajectories
+// themselves (adversary searches, the unknown-E doubling wrapper) can
+// reuse the scan without a Scenario.
+func Meet(trajA, trajB Trajectory, wakeA, wakeB int, parachuted bool) Result {
+	horizon := max(wakeA+trajA.Len(), wakeB+trajB.Len())
+	for t := 1; t <= horizon; t++ {
+		kA := t - wakeA + 1
+		kB := t - wakeB + 1
+		if parachuted && (kA < 0 || kB < 0) {
+			continue
+		}
+		pA := trajA.At(kA)
+		pB := trajB.At(kB)
+		if pA == pB {
+			// Alternative accounting (Conclusion): rounds and traversals
+			// measured from the later agent's wake-up.
+			later := max(wakeA, wakeB)
+			fromLater := t - later + 1
+			if fromLater < 0 {
+				fromLater = 0
+			}
+			costLater := trajA.MovesAt(kA) - trajA.MovesAt(later-wakeA) +
+				trajB.MovesAt(kB) - trajB.MovesAt(later-wakeB)
+			return Result{
+				Met:               true,
+				Round:             t,
+				Node:              pA,
+				CostA:             trajA.MovesAt(kA),
+				CostB:             trajB.MovesAt(kB),
+				TimeFromLaterWake: fromLater,
+				CostFromLaterWake: costLater,
+			}
+		}
+	}
+	return Result{
+		Met:   false,
+		Node:  -1,
+		CostA: trajA.MovesAt(trajA.Len()),
+		CostB: trajB.MovesAt(trajB.Len()),
+	}
+}
+
+// Search runs the adversary over the given space and returns the worst
+// time and cost found. Every execution must achieve rendezvous for
+// AllMet to hold; executions that never meet are still counted (with
+// their full schedule costs) so the caller can detect the violation.
+func Search(tc *Trajectories, space SearchSpace) (WorstCase, error) {
+	labelPairs := space.LabelPairs
+	if labelPairs == nil {
+		if space.L < 2 {
+			return WorstCase{}, fmt.Errorf("sim: Search: need L >= 2 (got %d) when LabelPairs is nil", space.L)
+		}
+		for a := 1; a <= space.L; a++ {
+			for b := 1; b <= space.L; b++ {
+				if a != b {
+					labelPairs = append(labelPairs, [2]int{a, b})
+				}
+			}
+		}
+	}
+	startPairs := space.StartPairs
+	if startPairs == nil {
+		n := tc.g.N()
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v {
+					startPairs = append(startPairs, [2]int{u, v})
+				}
+			}
+		}
+	}
+	delays := space.Delays
+	if delays == nil {
+		delays = []int{0}
+	}
+
+	wc := WorstCase{AllMet: true}
+	for _, lp := range labelPairs {
+		for _, sp := range startPairs {
+			trajA, err := tc.Get(lp[0], sp[0])
+			if err != nil {
+				return WorstCase{}, err
+			}
+			trajB, err := tc.Get(lp[1], sp[1])
+			if err != nil {
+				return WorstCase{}, err
+			}
+			for _, d := range delays {
+				res := Meet(trajA, trajB, 1, 1+d, false)
+				wc.Runs++
+				if !res.Met {
+					wc.AllMet = false
+				}
+				if res.Met && res.Time() > wc.Time.Value {
+					wc.Time = Witness{LabelA: lp[0], LabelB: lp[1], StartA: sp[0], StartB: sp[1], DelayB: d, Value: res.Time()}
+				}
+				if res.Cost() > wc.Cost.Value {
+					wc.Cost = Witness{LabelA: lp[0], LabelB: lp[1], StartA: sp[0], StartB: sp[1], DelayB: d, Value: res.Cost()}
+				}
+			}
+		}
+	}
+	return wc, nil
+}

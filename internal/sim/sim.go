@@ -1,0 +1,291 @@
+// Package sim implements the synchronous mobile-agent execution model of
+// Miller & Pelc: two agents placed at distinct nodes of a port-labeled
+// graph move in synchronous rounds, each woken by the adversary at its
+// own round, and rendezvous occurs when both occupy the same node in the
+// same round. Agents crossing the same edge in opposite directions do
+// not notice each other.
+//
+// Because agents cannot communicate or leave marks before meeting, each
+// agent's movement equals its solo trajectory up to the meeting round.
+// The simulator therefore compiles each agent's schedule into a full
+// solo trajectory and scans for the first coincidence, which is both
+// faithful to the model and fast.
+//
+// The two efficiency measures of the paper are reported per execution:
+//
+//	time — rounds from the wake-up of the earlier agent until meeting;
+//	cost — total edge traversals by both agents until meeting.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"rendezvous/internal/explore"
+	"rendezvous/internal/graph"
+)
+
+// Segment is one E-round phase of an agent's schedule. All algorithms in
+// the paper are built from exactly two phase kinds: execute EXPLORE once
+// (E rounds), or wait E rounds.
+type Segment uint8
+
+const (
+	// SegmentWait keeps the agent idle at its current node for E rounds.
+	SegmentWait Segment = iota + 1
+	// SegmentExplore executes the EXPLORE procedure from the agent's
+	// current node, taking exactly E rounds.
+	SegmentExplore
+)
+
+// String implements fmt.Stringer.
+func (s Segment) String() string {
+	switch s {
+	case SegmentWait:
+		return "wait"
+	case SegmentExplore:
+		return "explore"
+	default:
+		return fmt.Sprintf("segment(%d)", uint8(s))
+	}
+}
+
+// Schedule is the sequence of E-round segments an agent executes from
+// its wake-up round. After the schedule is exhausted the agent remains
+// idle at its final node.
+type Schedule []Segment
+
+// Explorations returns the number of SegmentExplore entries, an upper
+// bound on the agent's cost in units of E.
+func (s Schedule) Explorations() int {
+	count := 0
+	for _, seg := range s {
+		if seg == SegmentExplore {
+			count++
+		}
+	}
+	return count
+}
+
+// Rounds returns the total duration of the schedule for a given E.
+func (s Schedule) Rounds(e int) int { return len(s) * e }
+
+// FromBits builds a schedule from a 0/1 sequence, mapping 1 to
+// SegmentExplore and 0 to SegmentWait — the encoding Algorithm Fast uses
+// for its transformed labels.
+func FromBits(bits []byte) Schedule {
+	sched := make(Schedule, len(bits))
+	for i, b := range bits {
+		if b != 0 {
+			sched[i] = SegmentExplore
+		} else {
+			sched[i] = SegmentWait
+		}
+	}
+	return sched
+}
+
+// Trajectory is the solo execution of a schedule: node positions and
+// cumulative move counts per round since wake-up.
+type Trajectory struct {
+	// Pos[k] is the agent's node after k rounds since wake-up;
+	// Pos[0] is the starting node.
+	Pos []int
+	// Moves[k] is the number of edge traversals performed during the
+	// first k rounds; Moves[0] = 0.
+	Moves []int
+}
+
+// Len returns the number of rounds covered by the trajectory.
+func (t Trajectory) Len() int { return len(t.Pos) - 1 }
+
+// At returns the agent's position after k rounds since wake-up; past the
+// end of the schedule the agent stays at its final node.
+func (t Trajectory) At(k int) int {
+	if k < 0 {
+		return t.Pos[0]
+	}
+	if k >= len(t.Pos) {
+		return t.Pos[len(t.Pos)-1]
+	}
+	return t.Pos[k]
+}
+
+// MovesAt returns the cumulative number of edge traversals in the first
+// k rounds since wake-up.
+func (t Trajectory) MovesAt(k int) int {
+	if k < 0 {
+		return 0
+	}
+	if k >= len(t.Moves) {
+		return t.Moves[len(t.Moves)-1]
+	}
+	return t.Moves[k]
+}
+
+// Concat appends next, which must begin at the node where t ends, and
+// returns the combined trajectory. It is used by the unknown-E doubling
+// wrapper to stitch iterations that use different explorers.
+func (t Trajectory) Concat(next Trajectory) Trajectory {
+	if t.Len() < 0 || len(t.Pos) == 0 {
+		return next
+	}
+	if len(next.Pos) == 0 {
+		return t
+	}
+	if next.Pos[0] != t.Pos[len(t.Pos)-1] {
+		panic(fmt.Sprintf("sim: Concat: next trajectory starts at %d, want %d", next.Pos[0], t.Pos[len(t.Pos)-1]))
+	}
+	pos := make([]int, 0, len(t.Pos)+len(next.Pos)-1)
+	moves := make([]int, 0, len(t.Moves)+len(next.Moves)-1)
+	pos = append(pos, t.Pos...)
+	moves = append(moves, t.Moves...)
+	offset := t.Moves[len(t.Moves)-1]
+	for i := 1; i < len(next.Pos); i++ {
+		pos = append(pos, next.Pos[i])
+		moves = append(moves, next.Moves[i]+offset)
+	}
+	return Trajectory{Pos: pos, Moves: moves}
+}
+
+// CompileTrajectory executes a schedule from the given start node,
+// expanding each segment into E rounds: waits repeat the current node,
+// explorations follow ex.Plan from the current node. The returned
+// trajectory has exactly len(sched)·E rounds.
+func CompileTrajectory(g *graph.Graph, ex explore.Explorer, start int, sched Schedule) (Trajectory, error) {
+	e := ex.Duration(g)
+	pos := make([]int, 1, len(sched)*e+1)
+	moves := make([]int, 1, len(sched)*e+1)
+	pos[0] = start
+
+	cur := start
+	for i, seg := range sched {
+		switch seg {
+		case SegmentWait:
+			for r := 0; r < e; r++ {
+				pos = append(pos, cur)
+				moves = append(moves, moves[len(moves)-1])
+			}
+		case SegmentExplore:
+			plan, err := ex.Plan(g, cur)
+			if err != nil {
+				return Trajectory{}, fmt.Errorf("sim: segment %d: %w", i, err)
+			}
+			if len(plan) != e {
+				return Trajectory{}, fmt.Errorf("sim: segment %d: plan has %d steps, want E = %d", i, len(plan), e)
+			}
+			for _, step := range plan {
+				if step == explore.Wait {
+					pos = append(pos, cur)
+					moves = append(moves, moves[len(moves)-1])
+					continue
+				}
+				if step < 0 || step >= g.Degree(cur) {
+					return Trajectory{}, fmt.Errorf("sim: segment %d: port %d unavailable at node of degree %d", i, step, g.Degree(cur))
+				}
+				cur, _ = g.Neighbor(cur, step)
+				pos = append(pos, cur)
+				moves = append(moves, moves[len(moves)-1]+1)
+			}
+		default:
+			return Trajectory{}, fmt.Errorf("sim: segment %d: unknown segment kind %d", i, seg)
+		}
+	}
+	return Trajectory{Pos: pos, Moves: moves}, nil
+}
+
+// AgentSpec describes one agent in a scenario.
+type AgentSpec struct {
+	// Label is the agent's distinct label from {1..L}. It is carried for
+	// reporting; the schedule already encodes its effect.
+	Label int
+	// Start is the agent's starting node.
+	Start int
+	// Wake is the 1-based absolute round in which the adversary wakes the
+	// agent; the earlier agent must have Wake = 1.
+	Wake int
+	// Schedule is the agent's compiled algorithm.
+	Schedule Schedule
+}
+
+// Scenario is a complete two-agent execution setup.
+type Scenario struct {
+	Graph    *graph.Graph
+	Explorer explore.Explorer
+	A, B     AgentSpec
+	// Parachuted selects the alternative model of the paper's Conclusion:
+	// an agent is absent from the graph before its wake-up round and
+	// cannot be met there. In the default model agents rest at their
+	// starting nodes from round 0 and a sleeping agent can be found.
+	Parachuted bool
+}
+
+// Result reports the outcome of an execution.
+type Result struct {
+	// Met reports whether the agents met before both schedules ended.
+	Met bool
+	// Round is the first absolute round at whose end both agents occupy
+	// the same node (0 if they never meet). Since the earlier agent wakes
+	// in round 1, Round equals the paper's time measure.
+	Round int
+	// Node is the meeting node (-1 if they never meet).
+	Node int
+	// CostA and CostB are the edge traversals by each agent until the
+	// meeting (or until their schedules end, if they never meet).
+	CostA, CostB int
+	// TimeFromLaterWake counts rounds from the later agent's wake-up to
+	// the meeting — the accounting used by [26, 45] and discussed in the
+	// paper's Conclusion. Zero when the meeting precedes the later
+	// agent's wake-up (the earlier agent found it asleep).
+	TimeFromLaterWake int
+	// CostFromLaterWake counts both agents' edge traversals from the
+	// later agent's wake-up to the meeting, the Conclusion's alternative
+	// cost measure.
+	CostFromLaterWake int
+}
+
+// Time returns the paper's time measure: rounds from the start of the
+// earlier agent until meeting.
+func (r Result) Time() int { return r.Round }
+
+// Cost returns the paper's cost measure: total edge traversals by both
+// agents before rendezvous.
+func (r Result) Cost() int { return r.CostA + r.CostB }
+
+// Validation errors returned by Run.
+var (
+	ErrSameStart     = errors.New("sim: agents must start at distinct nodes")
+	ErrSameLabel     = errors.New("sim: agents must have distinct labels")
+	ErrBadWake       = errors.New("sim: earlier agent must wake in round 1")
+	ErrStartOutRange = errors.New("sim: start node out of range")
+)
+
+// Run executes the scenario to completion: it simulates rounds until the
+// agents meet or both schedules are exhausted (after which neither agent
+// will ever move, so failing to meet by then means never meeting).
+func Run(sc Scenario) (Result, error) {
+	n := sc.Graph.N()
+	if sc.A.Start == sc.B.Start {
+		return Result{}, ErrSameStart
+	}
+	if sc.A.Label == sc.B.Label {
+		return Result{}, ErrSameLabel
+	}
+	if sc.A.Start < 0 || sc.A.Start >= n || sc.B.Start < 0 || sc.B.Start >= n {
+		return Result{}, ErrStartOutRange
+	}
+	if min(sc.A.Wake, sc.B.Wake) != 1 {
+		return Result{}, ErrBadWake
+	}
+
+	trajA, err := CompileTrajectory(sc.Graph, sc.Explorer, sc.A.Start, sc.A.Schedule)
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: agent A: %w", err)
+	}
+	trajB, err := CompileTrajectory(sc.Graph, sc.Explorer, sc.B.Start, sc.B.Schedule)
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: agent B: %w", err)
+	}
+
+	return Meet(trajA, trajB, sc.A.Wake, sc.B.Wake, sc.Parachuted), nil
+}

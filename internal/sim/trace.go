@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+)
+
+// Trace renders a two-agent execution round by round: each agent's
+// position, whether it moved, and the meeting. Long executions are
+// elided in the middle but always show the first rounds, the rounds
+// around each agent's wake-up, and the window before the meeting (or
+// the end). It is a debugging and teaching aid used by cmd/rdvsim
+// -trace.
+func Trace(w io.Writer, sc Scenario, maxRows int) error {
+	trajA, err := CompileTrajectory(sc.Graph, sc.Explorer, sc.A.Start, sc.A.Schedule)
+	if err != nil {
+		return fmt.Errorf("sim: trace: agent A: %w", err)
+	}
+	trajB, err := CompileTrajectory(sc.Graph, sc.Explorer, sc.B.Start, sc.B.Schedule)
+	if err != nil {
+		return fmt.Errorf("sim: trace: agent B: %w", err)
+	}
+	res := Meet(trajA, trajB, sc.A.Wake, sc.B.Wake, sc.Parachuted)
+
+	horizon := max(sc.A.Wake+trajA.Len(), sc.B.Wake+trajB.Len())
+	if res.Met {
+		horizon = res.Round
+	}
+
+	interesting := markInteresting(horizon, maxRows, res.Round, sc.A.Wake, sc.B.Wake)
+
+	if _, err := fmt.Fprintf(w, "%7s  %-16s %-16s\n", "round", "agent A", "agent B"); err != nil {
+		return err
+	}
+	elided := false
+	for t := 1; t <= horizon; t++ {
+		if !interesting[t] {
+			if !elided {
+				if _, err := fmt.Fprintf(w, "%7s\n", "..."); err != nil {
+					return err
+				}
+				elided = true
+			}
+			continue
+		}
+		elided = false
+		line := fmt.Sprintf("%7d  %-16s %-16s", t,
+			describe(trajA, sc.A.Wake, t, sc.Parachuted),
+			describe(trajB, sc.B.Wake, t, sc.Parachuted))
+		if res.Met && t == res.Round {
+			line += "  ** RENDEZVOUS **"
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	if res.Met {
+		_, err = fmt.Fprintf(w, "met at node %d in round %d; time %d, cost %d (A %d, B %d)\n",
+			res.Node, res.Round, res.Time(), res.Cost(), res.CostA, res.CostB)
+	} else {
+		_, err = fmt.Fprintf(w, "no meeting; schedules exhausted at round %d\n", horizon)
+	}
+	return err
+}
+
+// markInteresting selects the rounds to print: a prefix, a window
+// around each wake-up, and a suffix ending at the final round.
+func markInteresting(horizon, maxRows, meeting, wakeA, wakeB int) []bool {
+	marks := make([]bool, horizon+1)
+	if horizon <= maxRows {
+		for t := 1; t <= horizon; t++ {
+			marks[t] = true
+		}
+		return marks
+	}
+	window := maxRows / 4
+	if window < 2 {
+		window = 2
+	}
+	mark := func(from, to int) {
+		for t := max(1, from); t <= min(horizon, to); t++ {
+			marks[t] = true
+		}
+	}
+	mark(1, window)
+	mark(wakeA-1, wakeA+1)
+	mark(wakeB-1, wakeB+1)
+	mark(horizon-window+1, horizon)
+	if meeting > 0 {
+		mark(meeting-2, meeting)
+	}
+	return marks
+}
+
+// describe renders one agent's state at the end of round t.
+func describe(traj Trajectory, wake, t int, parachuted bool) string {
+	k := t - wake + 1
+	if k < 1 {
+		if parachuted {
+			return "(absent)"
+		}
+		return fmt.Sprintf("@%-4d asleep", traj.Pos[0])
+	}
+	if k > traj.Len() {
+		return fmt.Sprintf("@%-4d done", traj.At(k))
+	}
+	if traj.MovesAt(k) > traj.MovesAt(k-1) {
+		return fmt.Sprintf("%d→%-4d", traj.At(k-1), traj.At(k))
+	}
+	return fmt.Sprintf("@%-4d idle", traj.At(k))
+}

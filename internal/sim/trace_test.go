@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rendezvous/internal/explore"
+	"rendezvous/internal/graph"
+)
+
+func TestTraceShortExecution(t *testing.T) {
+	g := graph.OrientedRing(8)
+	sc := Scenario{
+		Graph:    g,
+		Explorer: explore.OrientedRingSweep{},
+		A:        AgentSpec{Label: 1, Start: 0, Wake: 1, Schedule: Schedule{SegmentExplore}},
+		B:        AgentSpec{Label: 2, Start: 5, Wake: 1, Schedule: Schedule{SegmentWait}},
+	}
+	var buf bytes.Buffer
+	if err := Trace(&buf, sc, 100); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"round", "** RENDEZVOUS **", "met at node 5 in round 5", "idle", "0→1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+	// No elision for a short execution.
+	if strings.Contains(out, "...") {
+		t.Error("short trace should not elide rounds")
+	}
+}
+
+func TestTraceElidesLongExecution(t *testing.T) {
+	g := graph.OrientedRing(10)
+	// Label-5-style schedule: long waits before the action.
+	sched := Schedule{SegmentWait, SegmentWait, SegmentWait, SegmentWait, SegmentWait, SegmentWait, SegmentExplore}
+	sc := Scenario{
+		Graph:    g,
+		Explorer: explore.OrientedRingSweep{},
+		A:        AgentSpec{Label: 1, Start: 0, Wake: 1, Schedule: sched},
+		B:        AgentSpec{Label: 2, Start: 7, Wake: 9, Schedule: Schedule{SegmentWait}},
+	}
+	var buf bytes.Buffer
+	if err := Trace(&buf, sc, 12); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "...") {
+		t.Errorf("long trace must elide rounds:\n%s", out)
+	}
+	if !strings.Contains(out, "** RENDEZVOUS **") {
+		t.Errorf("meeting row must survive elision:\n%s", out)
+	}
+	if !strings.Contains(out, "asleep") {
+		t.Errorf("sleeping agent must be rendered:\n%s", out)
+	}
+}
+
+func TestTraceNoMeeting(t *testing.T) {
+	g := graph.OrientedRing(6)
+	sc := Scenario{
+		Graph:    g,
+		Explorer: explore.OrientedRingSweep{},
+		A:        AgentSpec{Label: 1, Start: 0, Wake: 1, Schedule: Schedule{SegmentExplore}},
+		B:        AgentSpec{Label: 2, Start: 3, Wake: 1, Schedule: Schedule{SegmentExplore}},
+	}
+	var buf bytes.Buffer
+	if err := Trace(&buf, sc, 50); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no meeting") {
+		t.Errorf("non-meeting trace must say so:\n%s", buf.String())
+	}
+}
+
+func TestTraceParachutedAbsent(t *testing.T) {
+	g := graph.OrientedRing(6)
+	sc := Scenario{
+		Graph:      g,
+		Explorer:   explore.OrientedRingSweep{},
+		A:          AgentSpec{Label: 1, Start: 0, Wake: 1, Schedule: Schedule{SegmentExplore}},
+		B:          AgentSpec{Label: 2, Start: 3, Wake: 4, Schedule: Schedule{SegmentWait}},
+		Parachuted: true,
+	}
+	var buf bytes.Buffer
+	if err := Trace(&buf, sc, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(absent)") {
+		t.Errorf("parachuted agent must render as absent before wake:\n%s", buf.String())
+	}
+}
+
+func TestTraceBadScenario(t *testing.T) {
+	g := graph.Path(4)
+	sc := Scenario{
+		Graph:    g,
+		Explorer: explore.OrientedRingSweep{}, // invalid for a path
+		A:        AgentSpec{Label: 1, Start: 0, Wake: 1, Schedule: Schedule{SegmentExplore}},
+		B:        AgentSpec{Label: 2, Start: 3, Wake: 1, Schedule: Schedule{SegmentWait}},
+	}
+	var buf bytes.Buffer
+	if err := Trace(&buf, sc, 10); err == nil {
+		t.Error("invalid explorer: want error")
+	}
+}

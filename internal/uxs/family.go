@@ -1,0 +1,98 @@
+package uxs
+
+import (
+	"fmt"
+
+	"rendezvous/internal/explore"
+	"rendezvous/internal/graph"
+)
+
+// CostFunc is the polynomial R bounding the exploration time of the
+// class of graphs with at most m nodes: EXPLORE_i takes R(2^i) rounds.
+type CostFunc func(m int) int
+
+// DFSCost is the cost function R(m) = 2m-2 matching the DFS-based
+// simulated family below. Reingold's genuine log-space UXS has a much
+// larger polynomial R; the doubling/telescoping analysis is identical
+// for any polynomial R (see DESIGN.md on this substitution).
+func DFSCost(m int) int { return 2*m - 2 }
+
+// Family is the hierarchy EXPLORE_1, EXPLORE_2, ... of the paper's
+// Conclusion: EXPLORE_i explores every graph of size at most 2^i in
+// E_i = R(2^i) rounds. Agents that do not know the graph's size run
+// their algorithm once per level; rendezvous is guaranteed at the first
+// level i with 2^i >= n, and the geometric growth of E_i telescopes, so
+// time and cost complexities are preserved up to constant factors.
+type Family struct {
+	// Cost is the duration function; nil means DFSCost.
+	Cost CostFunc
+}
+
+// Level returns EXPLORE_i as an explore.Explorer with the fixed duration
+// E_i = R(2^i).
+//
+// Simulation of the UXS black box: on graphs with n <= 2^i the plan is
+// the DFS walk (length 2n-2 <= R(2^i)) padded to E_i — a correct
+// exploration, as a genuine UXS would provide. On larger graphs a real
+// UXS still walks R(2^i) steps without any coverage guarantee; the
+// simulation mirrors that with a rotor walk (exit port = entry+1 mod
+// degree) truncated to E_i steps. Either way the duration is exactly
+// E_i, which is all the doubling analysis uses.
+func (f Family) Level(i int) explore.Explorer {
+	cost := f.Cost
+	if cost == nil {
+		cost = DFSCost
+	}
+	if i < 1 || i > 62 {
+		panic(fmt.Sprintf("uxs: Family.Level(%d): need 1 <= i <= 62", i))
+	}
+	return levelExplorer{level: i, bound: 1 << i, duration: cost(1 << i)}
+}
+
+// LevelFor returns the first level i whose size bound 2^i covers n.
+func (f Family) LevelFor(n int) int {
+	i := 1
+	for 1<<i < n {
+		i++
+	}
+	return i
+}
+
+type levelExplorer struct {
+	level    int
+	bound    int // 2^i
+	duration int // R(2^i)
+}
+
+var _ explore.Explorer = levelExplorer{}
+
+func (l levelExplorer) Name() string { return fmt.Sprintf("explore_%d", l.level) }
+
+func (l levelExplorer) Duration(*graph.Graph) int { return l.duration }
+
+func (l levelExplorer) Plan(g *graph.Graph, start int) (explore.Plan, error) {
+	if g.N() <= l.bound {
+		w := graph.DFSWalk(g, start)
+		if len(w) > l.duration {
+			return nil, fmt.Errorf("uxs: level %d: DFS walk %d exceeds duration %d", l.level, len(w), l.duration)
+		}
+		plan := make(explore.Plan, 0, l.duration)
+		plan = append(plan, explore.Plan(w)...)
+		for len(plan) < l.duration {
+			plan = append(plan, explore.Wait)
+		}
+		return plan, nil
+	}
+	// Graph larger than the level's bound: a fixed-length walk with no
+	// coverage guarantee, as a too-short genuine UXS would produce.
+	plan := make(explore.Plan, 0, l.duration)
+	cur := start
+	entry := 0
+	for len(plan) < l.duration {
+		d := g.Degree(cur)
+		port := (entry + 1) % d
+		plan = append(plan, port)
+		cur, entry = g.Neighbor(cur, port)
+	}
+	return plan, nil
+}

@@ -1,0 +1,218 @@
+// Package uxs implements universal exploration sequences (UXS) and the
+// exploration family used by the unknown-E doubling wrapper from the
+// paper's Conclusion.
+//
+// A UXS is a sequence of integers s_1..s_k guiding a walk through any
+// port-labeled graph of a bounded class: an agent that entered its
+// current node by port p exits by port (p + s_j) mod d, where d is the
+// node's degree (the first move exits by port s_1 mod d from the start).
+// Aleliunas et al. proved polynomial-length UXS exist for all graphs of
+// bounded size; Reingold gave a log-space construction. Reproducing
+// Reingold's zig-zag machinery is out of scope (see DESIGN.md); instead
+// this package provides
+//
+//   - Walk/IsUniversal: the walker semantics and a verifier;
+//   - Search: a randomized-greedy constructor of sequences verified
+//     universal for an explicit finite collection of graphs — a genuine
+//     UXS for that class, found by search rather than by construction;
+//   - SequenceExplorer: an explore.Explorer backed by a verified
+//     sequence;
+//   - Family: the EXPLORE_i hierarchy (E_i = R(2^i)) used to run the
+//     paper's algorithms when no bound on the graph size is known.
+package uxs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rendezvous/internal/explore"
+	"rendezvous/internal/graph"
+)
+
+// Walk applies the sequence to the graph from the given start node using
+// the UXS next-port rule and returns the visited node sequence
+// (length len(seq)+1). The agent is considered to have "entered" its
+// starting node via port 0.
+func Walk(seq []int, g *graph.Graph, start int) []int {
+	nodes := make([]int, 0, len(seq)+1)
+	nodes = append(nodes, start)
+	cur := start
+	entry := 0
+	for _, s := range seq {
+		d := g.Degree(cur)
+		port := ((entry+s)%d + d) % d
+		cur, entry = g.Neighbor(cur, port)
+		nodes = append(nodes, cur)
+	}
+	return nodes
+}
+
+// Ports translates the sequence into the explicit port walk it induces
+// on the given graph from the given start. The result has len(seq)
+// entries and can be fed to explore.Plan.
+func Ports(seq []int, g *graph.Graph, start int) []int {
+	ports := make([]int, 0, len(seq))
+	cur := start
+	entry := 0
+	for _, s := range seq {
+		d := g.Degree(cur)
+		port := ((entry+s)%d + d) % d
+		ports = append(ports, port)
+		cur, entry = g.Neighbor(cur, port)
+	}
+	return ports
+}
+
+// Covers reports whether the walk induced by seq from start visits all
+// nodes of g.
+func Covers(seq []int, g *graph.Graph, start int) bool {
+	seen := make([]bool, g.N())
+	count := 0
+	for _, v := range Walk(seq, g, start) {
+		if !seen[v] {
+			seen[v] = true
+			count++
+		}
+	}
+	return count == g.N()
+}
+
+// IsUniversal reports whether seq explores every graph in the collection
+// from every starting node.
+func IsUniversal(seq []int, collection []*graph.Graph) bool {
+	for _, g := range collection {
+		for start := 0; start < g.N(); start++ {
+			if !Covers(seq, g, start) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Search looks for a sequence universal for the given collection by
+// randomized greedy extension with restarts: symbols are appended one at
+// a time, each chosen to maximise the number of (graph, start) walks
+// that visit a new node, with ties broken randomly; if maxLen symbols do
+// not suffice the search restarts (up to restarts times). The returned
+// sequence is verified with IsUniversal before being returned, so a
+// non-nil result is a genuine UXS for the collection.
+func Search(collection []*graph.Graph, maxLen, restarts int, rng *rand.Rand) ([]int, error) {
+	if len(collection) == 0 {
+		return nil, fmt.Errorf("uxs: Search: empty collection")
+	}
+	maxSymbol := 0
+	for _, g := range collection {
+		if d := g.MaxDegree(); d > maxSymbol {
+			maxSymbol = d
+		}
+	}
+
+	type walker struct {
+		g      *graph.Graph
+		cur    int
+		entry  int
+		seen   []bool
+		unseen int
+	}
+	newWalkers := func() []*walker {
+		var ws []*walker
+		for _, g := range collection {
+			for start := 0; start < g.N(); start++ {
+				w := &walker{g: g, cur: start, entry: 0, seen: make([]bool, g.N()), unseen: g.N() - 1}
+				w.seen[start] = true
+				ws = append(ws, w)
+			}
+		}
+		return ws
+	}
+
+	for attempt := 0; attempt <= restarts; attempt++ {
+		walkers := newWalkers()
+		seq := make([]int, 0, maxLen)
+		remaining := 0
+		for _, w := range walkers {
+			if w.unseen > 0 {
+				remaining++
+			}
+		}
+		for len(seq) < maxLen && remaining > 0 {
+			// Score each candidate symbol by how many walkers would step
+			// onto a node they have not yet seen.
+			bestScore := -1
+			var best []int
+			for s := 0; s < maxSymbol; s++ {
+				score := 0
+				for _, w := range walkers {
+					if w.unseen == 0 {
+						continue
+					}
+					d := w.g.Degree(w.cur)
+					port := (w.entry + s) % d
+					to, _ := w.g.Neighbor(w.cur, port)
+					if !w.seen[to] {
+						score++
+					}
+				}
+				switch {
+				case score > bestScore:
+					bestScore = score
+					best = best[:0]
+					best = append(best, s)
+				case score == bestScore:
+					best = append(best, s)
+				}
+			}
+			symbol := best[rng.Intn(len(best))]
+			seq = append(seq, symbol)
+			for _, w := range walkers {
+				d := w.g.Degree(w.cur)
+				port := (w.entry + symbol) % d
+				to, entry := w.g.Neighbor(w.cur, port)
+				w.cur, w.entry = to, entry
+				if !w.seen[to] {
+					w.seen[to] = true
+					w.unseen--
+					if w.unseen == 0 {
+						remaining--
+					}
+				}
+			}
+		}
+		if remaining == 0 && IsUniversal(seq, collection) {
+			return seq, nil
+		}
+	}
+	return nil, fmt.Errorf("uxs: Search: no universal sequence of length <= %d found in %d attempts", maxLen, restarts+1)
+}
+
+// SequenceExplorer adapts a sequence (typically produced by Search) to
+// the explore.Explorer interface for graphs of its verified class. Its
+// duration is the sequence length, independent of the graph, as the
+// model requires for an EXPLORE usable without a map.
+type SequenceExplorer struct {
+	// Seq is the UXS driving the walk.
+	Seq []int
+	// Label names the explorer's class in reports, e.g. "uxs(rings<=8)".
+	Label string
+}
+
+var _ explore.Explorer = SequenceExplorer{}
+
+// Name implements explore.Explorer.
+func (s SequenceExplorer) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return "uxs"
+}
+
+// Duration implements explore.Explorer: the sequence length.
+func (s SequenceExplorer) Duration(*graph.Graph) int { return len(s.Seq) }
+
+// Plan implements explore.Explorer. It never fails: a UXS walk is
+// defined on every graph (whether it covers all nodes depends on the
+// sequence being universal for the graph's class, which Verify checks).
+func (s SequenceExplorer) Plan(g *graph.Graph, start int) (explore.Plan, error) {
+	return explore.Plan(Ports(s.Seq, g, start)), nil
+}

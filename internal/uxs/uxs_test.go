@@ -1,0 +1,206 @@
+package uxs
+
+import (
+	"math/rand"
+	"testing"
+
+	"rendezvous/internal/explore"
+	"rendezvous/internal/graph"
+)
+
+func ringCollection(sizes ...int) []*graph.Graph {
+	var gs []*graph.Graph
+	for _, n := range sizes {
+		gs = append(gs, graph.OrientedRing(n))
+	}
+	return gs
+}
+
+func TestWalkSemantics(t *testing.T) {
+	g := graph.OrientedRing(5)
+	// Entering the start "via port 0": first symbol s gives exit port
+	// (0+s) mod 2. s=0 -> port 0 (clockwise); arrival is via port 1, so
+	// the next symbol 1 gives port (1+1) mod 2 = 0 again.
+	nodes := Walk([]int{0, 1, 1, 1}, g, 0)
+	want := []int{0, 1, 2, 3, 4}
+	if len(nodes) != len(want) {
+		t.Fatalf("Walk returned %d nodes, want %d", len(nodes), len(want))
+	}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Fatalf("Walk = %v, want %v", nodes, want)
+		}
+	}
+}
+
+func TestWalkNegativeSymbols(t *testing.T) {
+	g := graph.OrientedRing(4)
+	// Negative symbols must be normalised mod degree, never panic.
+	nodes := Walk([]int{-1, -3, -2}, g, 0)
+	if len(nodes) != 4 {
+		t.Fatalf("Walk with negative symbols returned %d nodes", len(nodes))
+	}
+}
+
+func TestPortsMatchesWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := graph.RandomConnected(9, 0.3, rng)
+	seq := []int{0, 1, 2, 1, 0, 2, 1, 1, 0, 2}
+	ports := Ports(seq, g, 2)
+	nodes, err := explore.Plan(ports).Apply(g, 2)
+	if err != nil {
+		t.Fatalf("Ports produced an invalid plan: %v", err)
+	}
+	direct := Walk(seq, g, 2)
+	for i := range direct {
+		if nodes[i] != direct[i] {
+			t.Fatalf("Ports/Walk disagree at step %d: %v vs %v", i, nodes, direct)
+		}
+	}
+}
+
+func TestSearchFindsUniversalSequenceForRings(t *testing.T) {
+	collection := ringCollection(3, 4, 5, 6, 7, 8)
+	rng := rand.New(rand.NewSource(1))
+	seq, err := Search(collection, 64, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsUniversal(seq, collection) {
+		t.Fatal("Search returned a non-universal sequence")
+	}
+	// Universality must hold from every start of every member; check one
+	// member explicitly for clarity.
+	if !Covers(seq, collection[3], 4) {
+		t.Error("sequence does not cover ring-6 from node 4")
+	}
+}
+
+func TestSearchFindsUniversalSequenceForMixedClass(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	collection := []*graph.Graph{
+		graph.OrientedRing(5),
+		graph.Path(5),
+		graph.Star(5),
+		graph.CompleteBinaryTree(5),
+		graph.Complete(4),
+		graph.Ring(6, rng),
+	}
+	seq, err := Search(collection, 200, 30, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsUniversal(seq, collection) {
+		t.Fatal("Search returned a non-universal sequence")
+	}
+}
+
+func TestSearchEmptyCollection(t *testing.T) {
+	if _, err := Search(nil, 10, 1, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("empty collection: want error")
+	}
+}
+
+func TestSearchImpossibleBudget(t *testing.T) {
+	// Length 1 cannot explore a 5-ring.
+	if _, err := Search(ringCollection(5), 1, 3, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("budget 1: want error")
+	}
+}
+
+func TestSequenceExplorerContract(t *testing.T) {
+	collection := ringCollection(4, 5, 6)
+	rng := rand.New(rand.NewSource(3))
+	seq, err := Search(collection, 48, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := SequenceExplorer{Seq: seq, Label: "uxs(rings<=6)"}
+	if ex.Name() != "uxs(rings<=6)" {
+		t.Errorf("Name = %q", ex.Name())
+	}
+	if (SequenceExplorer{Seq: seq}).Name() != "uxs" {
+		t.Error("default Name must be uxs")
+	}
+	for _, g := range collection {
+		if err := explore.Verify(ex, g); err != nil {
+			t.Errorf("explorer contract: %v", err)
+		}
+	}
+}
+
+func TestFamilyLevels(t *testing.T) {
+	fam := Family{}
+	for i := 1; i <= 6; i++ {
+		ex := fam.Level(i)
+		wantE := 2*(1<<i) - 2
+		if got := ex.Duration(nil); got != wantE {
+			t.Errorf("level %d duration = %d, want R(2^%d) = %d", i, got, i, wantE)
+		}
+	}
+	if got := fam.LevelFor(9); got != 4 {
+		t.Errorf("LevelFor(9) = %d, want 4", got)
+	}
+	if got := fam.LevelFor(2); got != 1 {
+		t.Errorf("LevelFor(2) = %d, want 1", got)
+	}
+	if got := fam.LevelFor(16); got != 4 {
+		t.Errorf("LevelFor(16) = %d, want 4", got)
+	}
+}
+
+func TestFamilyLevelExploresWhenBigEnough(t *testing.T) {
+	fam := Family{}
+	rng := rand.New(rand.NewSource(4))
+	graphs := []*graph.Graph{
+		graph.OrientedRing(7),
+		graph.RandomTree(11, rng),
+		graph.Grid(3, 4),
+	}
+	for _, g := range graphs {
+		level := fam.LevelFor(g.N())
+		if err := explore.Verify(fam.Level(level), g); err != nil {
+			t.Errorf("level %d on %v: %v", level, g, err)
+		}
+		// Higher levels must also work (monotonicity).
+		if err := explore.Verify(fam.Level(level+1), g); err != nil {
+			t.Errorf("level %d on %v: %v", level+1, g, err)
+		}
+	}
+}
+
+func TestFamilyLevelTooSmallWalksWithoutCoverage(t *testing.T) {
+	fam := Family{}
+	g := graph.OrientedRing(40)
+	ex := fam.Level(2) // bound 4 << 40
+	p, err := ex.Plan(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != ex.Duration(g) {
+		t.Fatalf("plan length %d, want %d", len(p), ex.Duration(g))
+	}
+	// The walk must be executable even though it cannot cover the graph.
+	if _, err := p.Apply(g, 0); err != nil {
+		t.Fatalf("under-sized level produced an invalid walk: %v", err)
+	}
+	if explore.Verify(ex, g) == nil {
+		t.Error("level 2 cannot genuinely explore a 40-ring; Verify should fail")
+	}
+}
+
+func TestFamilyCustomCost(t *testing.T) {
+	fam := Family{Cost: func(m int) int { return m * m }}
+	if got := fam.Level(3).Duration(nil); got != 64 {
+		t.Errorf("custom cost level 3 duration = %d, want 64", got)
+	}
+}
+
+func TestFamilyLevelValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Level(0): expected panic")
+		}
+	}()
+	Family{}.Level(0)
+}

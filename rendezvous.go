@@ -1,0 +1,190 @@
+// Package rendezvous is a reproduction of Miller & Pelc, "Time Versus
+// Cost Tradeoffs for Deterministic Rendezvous in Networks" (PODC 2014):
+// deterministic rendezvous of two labeled mobile agents in anonymous
+// port-labeled networks, with the paper's algorithms (Cheap, Fast,
+// FastWithRelabeling), its execution model, and the constructive
+// machinery of its lower-bound proofs.
+//
+// This package is the public facade: it re-exports the library's stable
+// surface from the internal packages so applications depend on a single
+// import path.
+//
+//	g := rendezvous.OrientedRing(24)
+//	ex := rendezvous.RingSweepExplorer()
+//	algo := rendezvous.Fast{}
+//	params := rendezvous.Params{L: 64}
+//	res, err := rendezvous.Run(rendezvous.Scenario{
+//	    Graph:    g,
+//	    Explorer: ex,
+//	    A: rendezvous.AgentSpec{Label: 5, Start: 0, Wake: 1, Schedule: algo.Schedule(5, params)},
+//	    B: rendezvous.AgentSpec{Label: 9, Start: 12, Wake: 4, Schedule: algo.Schedule(9, params)},
+//	})
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every claim.
+package rendezvous
+
+import (
+	"io"
+	"math/rand"
+
+	"rendezvous/internal/core"
+	"rendezvous/internal/explore"
+	"rendezvous/internal/graph"
+	"rendezvous/internal/lowerbound"
+	"rendezvous/internal/ringsim"
+	"rendezvous/internal/sim"
+	"rendezvous/internal/uxs"
+)
+
+// Model types.
+type (
+	// Graph is an anonymous, undirected, connected, port-labeled graph.
+	Graph = graph.Graph
+	// Walk is a port sequence routing an agent through a Graph.
+	Walk = graph.Walk
+	// Explorer produces fixed-duration all-node exploration plans; its
+	// Duration is the benchmark parameter E.
+	Explorer = explore.Explorer
+	// Plan is a fixed-length sequence of port moves and waits.
+	Plan = explore.Plan
+	// Algorithm maps an agent label to its schedule of E-round segments.
+	Algorithm = core.Algorithm
+	// Params carries the label-space size L shared by both agents.
+	Params = core.Params
+	// Schedule is a sequence of E-round explore/wait segments.
+	Schedule = sim.Schedule
+	// AgentSpec describes one agent: label, start node, wake round and
+	// schedule.
+	AgentSpec = sim.AgentSpec
+	// Scenario is a complete two-agent execution setup.
+	Scenario = sim.Scenario
+	// Result reports whether/where/when the agents met and at what cost.
+	Result = sim.Result
+	// Trajectory is a compiled solo execution.
+	Trajectory = sim.Trajectory
+)
+
+// The paper's algorithms (Section 2) and the reference baselines.
+type (
+	// Cheap is Algorithm 1: cost <= 3E, time <= (2L+1)E (Prop 2.1).
+	Cheap = core.Cheap
+	// CheapSimultaneous is the simultaneous-start variant: worst-case
+	// cost exactly E, time <= LE. Incorrect under delays.
+	CheapSimultaneous = core.CheapSimultaneous
+	// Fast is Algorithm 2: time and cost O(E log L) (Prop 2.2).
+	Fast = core.Fast
+	// FastWithRelabeling trades between the two: cost O(wE), time
+	// O(L^{1/w}E) for constant w (Prop 2.3, Cor 2.1).
+	FastWithRelabeling = core.FastWithRelabeling
+	// WaitForMate is the oracle baseline realising time = cost = E.
+	WaitForMate = core.WaitForMate
+)
+
+// NewFastWithRelabeling returns FastWithRelabeling with constant weight
+// w(L) = c (Corollary 2.1).
+func NewFastWithRelabeling(c int) FastWithRelabeling { return core.NewFastWithRelabeling(c) }
+
+// Graph generators.
+func OrientedRing(n int) *Graph               { return graph.OrientedRing(n) }
+func Ring(n int, rng *rand.Rand) *Graph       { return graph.Ring(n, rng) }
+func Path(n int) *Graph                       { return graph.Path(n) }
+func Star(n int) *Graph                       { return graph.Star(n) }
+func Complete(n int) *Graph                   { return graph.Complete(n) }
+func Grid(rows, cols int) *Graph              { return graph.Grid(rows, cols) }
+func Torus(rows, cols int) *Graph             { return graph.Torus(rows, cols) }
+func Hypercube(d int) *Graph                  { return graph.Hypercube(d) }
+func RandomTree(n int, rng *rand.Rand) *Graph { return graph.RandomTree(n, rng) }
+func RandomConnected(n int, p float64, rng *rand.Rand) *Graph {
+	return graph.RandomConnected(n, p, rng)
+}
+
+// Explorers (the EXPLORE procedures of Section 1.2).
+func DFSExplorer() Explorer         { return explore.DFS{} }
+func UnmarkedDFSExplorer() Explorer { return explore.UnmarkedDFS{} }
+func RingSweepExplorer() Explorer   { return explore.OrientedRingSweep{} }
+func EulerianExplorer() Explorer    { return explore.Eulerian{} }
+func HamiltonianExplorer() Explorer { return explore.Hamiltonian{} }
+
+// BestExplorer returns the cheapest applicable explorer for g,
+// attempting the exponential Hamiltonian search only for graphs up to
+// hamiltonianBudget nodes.
+func BestExplorer(g *Graph, hamiltonianBudget int) Explorer {
+	return explore.Best(g, hamiltonianBudget)
+}
+
+// VerifyExplorer checks the Explorer contract (exact duration, full
+// coverage, every start) on a graph.
+func VerifyExplorer(ex Explorer, g *Graph) error { return explore.Verify(ex, g) }
+
+// Run executes a two-agent scenario to completion.
+func Run(sc Scenario) (Result, error) { return sim.Run(sc) }
+
+// CompileTrajectory expands a schedule into a solo trajectory.
+func CompileTrajectory(g *Graph, ex Explorer, start int, sched Schedule) (Trajectory, error) {
+	return sim.CompileTrajectory(g, ex, start, sched)
+}
+
+// Meet scans two solo trajectories for the first meeting round.
+func Meet(a, b Trajectory, wakeA, wakeB int, parachuted bool) Result {
+	return sim.Meet(a, b, wakeA, wakeB, parachuted)
+}
+
+// Unknown-size support (Conclusion): the EXPLORE_i doubling hierarchy.
+type (
+	// ExplorationFamily is the EXPLORE_i hierarchy with E_i = R(2^i).
+	ExplorationFamily = uxs.Family
+	// DoublingScenario runs an algorithm iterated over the hierarchy.
+	DoublingScenario = core.DoublingScenario
+)
+
+// RunDoubling executes the unknown-E wrapper for both agents.
+func RunDoubling(sc DoublingScenario) (Result, error) { return core.RunDoubling(sc) }
+
+// Segment-level exact ring execution (internal/ringsim): O(|schedule|)
+// per execution instead of O(|schedule|·E), bit-for-bit equal to Run
+// with the ring sweep. Use for large-L adversarial sweeps on oriented
+// rings.
+type (
+	// RingAgent is one agent in the segment-level ring model.
+	RingAgent = ringsim.Agent
+	// RingResult is the segment-level execution outcome.
+	RingResult = ringsim.Result
+)
+
+// RunOnRing executes two schedules on the oriented ring of size n with
+// the optimal sweep as EXPLORE (E = n-1), in O(|schedules|) time.
+func RunOnRing(n int, a, b RingAgent) (RingResult, error) { return ringsim.Run(n, a, b) }
+
+// Trace renders a two-agent execution as a round-by-round timeline.
+func Trace(w io.Writer, sc Scenario, maxRows int) error { return sim.Trace(w, sc, maxRows) }
+
+// Lower-bound machinery (Section 3).
+type (
+	// Theorem1Report carries the Ω(EL) time-bound construction's output.
+	Theorem1Report = lowerbound.Theorem1Report
+	// Theorem2Report carries the Ω(E log L) cost-bound construction's
+	// output.
+	Theorem2Report = lowerbound.Theorem2Report
+)
+
+// RunTheorem1 executes the Theorem 3.1 pipeline (Trim + eagerness
+// tournament) against an algorithm on the oriented ring.
+func RunTheorem1(n, L int, algo Algorithm) (*Theorem1Report, error) {
+	return lowerbound.RunTheorem1(n, L, algo)
+}
+
+// RunTheorem2 executes the Theorem 3.2 pipeline (sector/block progress
+// vectors) against an algorithm on the oriented ring.
+func RunTheorem2(n, L int, algo Algorithm) (*Theorem2Report, error) {
+	return lowerbound.RunTheorem2(n, L, algo)
+}
+
+// Claimed bounds of the propositions, as executable formulas.
+func CheapCostBound(e int) int               { return core.CheapCostBound(e) }
+func CheapTimeBound(e, smallerLabel int) int { return core.CheapTimeBound(e, smallerLabel) }
+func CheapWorstTimeBound(e, L int) int       { return core.CheapWorstTimeBound(e, L) }
+func FastTimeBound(e, L int) int             { return core.FastTimeBound(e, L) }
+func FastCostBound(e, L int) int             { return core.FastCostBound(e, L) }
+func RelabelingTimeBound(e, L, w int) int    { return core.RelabelingTimeBound(e, L, w) }
+func RelabelingCostSafe(e, w int) int        { return core.RelabelingCostSafe(e, w) }

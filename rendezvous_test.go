@@ -1,0 +1,167 @@
+package rendezvous_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rendezvous"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the README's
+// quickstart does, across algorithms and graph families.
+func TestFacadeEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	graphs := map[string]*rendezvous.Graph{
+		"ring":  rendezvous.OrientedRing(16),
+		"tree":  rendezvous.RandomTree(10, rng),
+		"torus": rendezvous.Torus(3, 4),
+		"cube":  rendezvous.Hypercube(3),
+	}
+	params := rendezvous.Params{L: 16}
+	algos := []rendezvous.Algorithm{
+		rendezvous.Cheap{},
+		rendezvous.Fast{},
+		rendezvous.NewFastWithRelabeling(2),
+	}
+	for name, g := range graphs {
+		ex := rendezvous.BestExplorer(g, 12)
+		if err := rendezvous.VerifyExplorer(ex, g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, algo := range algos {
+			res, err := rendezvous.Run(rendezvous.Scenario{
+				Graph:    g,
+				Explorer: ex,
+				A:        rendezvous.AgentSpec{Label: 4, Start: 0, Wake: 1, Schedule: algo.Schedule(4, params)},
+				B:        rendezvous.AgentSpec{Label: 11, Start: g.N() - 1, Wake: 3, Schedule: algo.Schedule(11, params)},
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, algo.Name(), err)
+			}
+			if !res.Met {
+				t.Errorf("%s/%s: agents never met", name, algo.Name())
+			}
+			if res.Cost() != res.CostA+res.CostB {
+				t.Errorf("%s/%s: cost accounting inconsistent", name, algo.Name())
+			}
+		}
+	}
+}
+
+func TestFacadeBounds(t *testing.T) {
+	if got, want := rendezvous.CheapCostBound(10), 30; got != want {
+		t.Errorf("CheapCostBound(10) = %d, want %d", got, want)
+	}
+	if got, want := rendezvous.CheapWorstTimeBound(10, 8), 170; got != want {
+		t.Errorf("CheapWorstTimeBound = %d, want %d", got, want)
+	}
+	if got, want := rendezvous.FastTimeBound(10, 16), (4*3+9)*10; got != want {
+		t.Errorf("FastTimeBound = %d, want %d", got, want)
+	}
+	if got := rendezvous.FastCostBound(10, 16); got != 2*rendezvous.FastTimeBound(10, 16) {
+		t.Errorf("FastCostBound = %d, want twice the time bound", got)
+	}
+	if got, want := rendezvous.RelabelingCostSafe(10, 2), 100; got != want {
+		t.Errorf("RelabelingCostSafe = %d, want %d", got, want)
+	}
+}
+
+func TestFacadeTheoremPipelines(t *testing.T) {
+	rep1, err := rendezvous.RunTheorem1(12, 8, rendezvous.CheapSimultaneous{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.CertifiedTime <= 0 {
+		t.Error("Theorem 1 pipeline certified nothing for CheapSimultaneous")
+	}
+	rep2, err := rendezvous.RunTheorem2(12, 8, rendezvous.Fast{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.CertifiedCost <= 0 {
+		t.Error("Theorem 2 pipeline certified nothing for Fast")
+	}
+}
+
+func TestFacadeDoubling(t *testing.T) {
+	res, err := rendezvous.RunDoubling(rendezvous.DoublingScenario{
+		Graph:  rendezvous.OrientedRing(9),
+		Family: rendezvous.ExplorationFamily{},
+		Algo:   rendezvous.Fast{},
+		Params: rendezvous.Params{L: 4},
+		A:      rendezvous.AgentSpec{Label: 1, Start: 0, Wake: 1},
+		B:      rendezvous.AgentSpec{Label: 3, Start: 4, Wake: 1},
+		Levels: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Met {
+		t.Error("doubling wrapper failed to meet via the facade")
+	}
+}
+
+// ExampleRun is the godoc quickstart: deterministic rendezvous of labels
+// 5 and 12 on an oriented ring.
+func ExampleRun() {
+	g := rendezvous.OrientedRing(24)
+	ex := rendezvous.RingSweepExplorer()
+	algo := rendezvous.Fast{}
+	params := rendezvous.Params{L: 64}
+
+	res, err := rendezvous.Run(rendezvous.Scenario{
+		Graph:    g,
+		Explorer: ex,
+		A:        rendezvous.AgentSpec{Label: 5, Start: 0, Wake: 1, Schedule: algo.Schedule(5, params)},
+		B:        rendezvous.AgentSpec{Label: 12, Start: 13, Wake: 11, Schedule: algo.Schedule(12, params)},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Met, res.Node, res.Time(), res.Cost())
+	// Output: true 19 136 241
+}
+
+// ExampleCheapSimultaneous shows the cost-optimal simultaneous-start
+// variant: only the smaller label ever moves, so the cost is at most E.
+func ExampleCheapSimultaneous() {
+	g := rendezvous.OrientedRing(12)
+	ex := rendezvous.RingSweepExplorer()
+	algo := rendezvous.CheapSimultaneous{}
+	params := rendezvous.Params{L: 8}
+
+	res, err := rendezvous.Run(rendezvous.Scenario{
+		Graph:    g,
+		Explorer: ex,
+		A:        rendezvous.AgentSpec{Label: 2, Start: 0, Wake: 1, Schedule: algo.Schedule(2, params)},
+		B:        rendezvous.AgentSpec{Label: 7, Start: 5, Wake: 1, Schedule: algo.Schedule(7, params)},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("met=%v cost=%d (<= E=%d) movers: A=%d B=%d\n", res.Met, res.Cost(), ex.Duration(g), res.CostA, res.CostB)
+	// Output: met=true cost=5 (<= E=11) movers: A=5 B=0
+}
+
+// ExampleNewFastWithRelabeling shows the separation algorithm: constant
+// cost in units of E with sublinear time in L.
+func ExampleNewFastWithRelabeling() {
+	algo := rendezvous.NewFastWithRelabeling(2)
+	params := rendezvous.Params{L: 100}
+	sched := algo.Schedule(42, params)
+	fmt.Println("segments:", len(sched), "explorations:", sched.Explorations())
+	// Output: segments: 31 explorations: 5
+}
+
+// ExampleRunTheorem1 runs the Ω(EL) lower-bound construction against
+// the cost-optimal algorithm.
+func ExampleRunTheorem1() {
+	rep, err := rendezvous.RunTheorem1(12, 8, rendezvous.CheapSimultaneous{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("phi=%d chain=%v certified=%d violations=%d\n",
+		rep.Phi, rep.Path, rep.CertifiedTime, len(rep.Violations))
+	// Output: phi=0 chain=[1 2 3 4] certified=9 violations=0
+}
