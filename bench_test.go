@@ -1,5 +1,5 @@
 // Package rendezvous_test hosts the testing.B benchmark harness: one
-// benchmark per experiment in DESIGN.md (E1..E11) plus micro-benchmarks
+// benchmark per experiment in DESIGN.md (E1..E14) plus micro-benchmarks
 // of the hot paths. The experiment benchmarks run reduced-size versions
 // of the sweeps that cmd/rdvbench performs at full size, so
 // `go test -bench=.` measures the cost of regenerating each table while
@@ -315,7 +315,7 @@ func BenchmarkRingsimVsSim(b *testing.B) {
 // harness itself.
 func BenchmarkFullHarnessE1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		table, err := bench.E1CheapSimultaneous()
+		table, err := bench.E1CheapSimultaneous(bench.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,5 +1,5 @@
 // Command rdvbench regenerates every experiment table of the
-// reproduction (E1..E11 from DESIGN.md), checking each measurement
+// reproduction (E1..E15 from DESIGN.md), checking each measurement
 // against the bound the paper claims.
 //
 // Usage:
@@ -8,11 +8,16 @@
 //	rdvbench -run E3,E7      # run a subset
 //	rdvbench -markdown       # emit GitHub-flavoured markdown (EXPERIMENTS.md body)
 //	rdvbench -list           # list experiment IDs and titles
+//	rdvbench -workers 8      # shard adversary sweeps across 8 goroutines
+//	rdvbench -timeout 10m    # abort (non-zero exit) if not done in time
 //
-// The process exits non-zero if any bound check fails.
+// Tables are identical for every -workers value; parallelism only
+// changes wall-clock time. The process exits non-zero if any bound
+// check fails or the timeout expires.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +35,8 @@ func run() int {
 		runList  = flag.String("run", "", "comma-separated experiment IDs (default: all)")
 		markdown = flag.Bool("markdown", false, "emit markdown instead of plain text")
 		list     = flag.Bool("list", false, "list experiments and exit")
+		workers  = flag.Int("workers", -1, "goroutines per adversary sweep (-1 = GOMAXPROCS, 1 = serial)")
+		timeout  = flag.Duration("timeout", 0, "overall deadline, e.g. 10m (0 = none)")
 	)
 	flag.Parse()
 
@@ -53,11 +60,23 @@ func run() int {
 		}
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opts := bench.Options{Workers: *workers, Context: ctx}
+
 	failures := 0
 	for _, exp := range experiments {
-		table, err := exp.Run()
+		table, err := exp.Run(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", exp.ID, err)
+			if ctx.Err() != nil {
+				fmt.Fprintln(os.Stderr, "timeout exceeded")
+				return 2
+			}
 			failures++
 			continue
 		}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"log"
 
+	"rendezvous/internal/adversary"
 	"rendezvous/internal/core"
 	"rendezvous/internal/explore"
 	"rendezvous/internal/graph"
@@ -74,8 +75,14 @@ func main() {
 		if a.name != "cheap-simultaneous" { // correct only for simultaneous start
 			delays = []int{0, 1, e}
 		}
-		tc := sim.NewTrajectories(g, ex, func(l int) sim.Schedule { return a.algo.Schedule(l, params) })
-		wc, err := sim.Search(tc, sim.SearchSpace{LabelPairs: pairs, StartPairs: offsets, Delays: delays})
+		// The engine shards the sweep across GOMAXPROCS goroutines and,
+		// on the oriented ring with the sweep explorer, dispatches every
+		// execution to the O(|schedule|) segment-level executor.
+		wc, err := adversary.Search(adversary.Spec{
+			Graph:       g,
+			Explorer:    ex,
+			ScheduleFor: func(l int) sim.Schedule { return a.algo.Schedule(l, params) },
+		}, sim.SearchSpace{LabelPairs: pairs, StartPairs: offsets, Delays: delays}, adversary.Options{Workers: -1})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,3 @@
+module rendezvous
+
+go 1.24

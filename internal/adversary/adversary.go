@@ -1,0 +1,170 @@
+// Package adversary is the unified adversary-search engine: one entry
+// point that enumerates a configuration space (label pairs × start
+// pairs × wake delays), executes every configuration, and reports the
+// worst rendezvous time and cost with their witnessing configurations.
+//
+// It layers two things on top of the serial scan in package sim:
+//
+//   - Parallelism. The label-pair space is split into contiguous
+//     shards, one worker goroutine per shard, each with a private
+//     trajectory (or schedule) cache so the hot path takes no locks.
+//     Per-shard results are folded in shard order with a strictly-
+//     greater comparison, so the output — witnesses, Runs, AllMet — is
+//     bit-for-bit identical to the serial scan for every worker count
+//     and every goroutine schedule.
+//
+//   - Fast-path dispatch. When the graph is the canonical oriented ring
+//     and the explorer is the clockwise sweep (the Section 3 setting),
+//     every execution is routed through the segment-level executor of
+//     internal/ringsim, which runs in O(|schedule|) instead of
+//     O(|schedule|·E). The two executors are bit-for-bit equivalent
+//     (ringsim's contract, checked by its tests and by this package's),
+//     so dispatch never changes results, only speed.
+//
+// Package sim cannot host this dispatch itself because ringsim depends
+// on sim's schedule types; adversary sits above both and is what
+// internal/bench, cmd/rdvbench and the public facade use.
+package adversary
+
+import (
+	"context"
+	"fmt"
+
+	"rendezvous/internal/explore"
+	"rendezvous/internal/graph"
+	"rendezvous/internal/ringsim"
+	"rendezvous/internal/sim"
+)
+
+// Options tunes how a search executes. The zero value runs serially
+// with automatic fast-path dispatch.
+type Options struct {
+	// Workers is the number of goroutines the label-pair space is
+	// sharded across. 0 and 1 run serially; a negative value selects
+	// GOMAXPROCS. Output is identical for every worker count.
+	Workers int
+	// Context cancels a long-running search between executions; the
+	// search then returns ctx.Err(). Nil means context.Background().
+	Context context.Context
+	// NoFastPath disables the ring fast path, forcing the generic
+	// trajectory executor. Used by equivalence tests; there is no other
+	// reason to set it.
+	NoFastPath bool
+}
+
+func (o Options) simOptions() sim.SearchOptions {
+	return sim.SearchOptions{Workers: o.Workers, Context: o.Context}
+}
+
+// Spec binds the model under attack: the graph, the EXPLORE procedure,
+// and the deterministic algorithm as a label → schedule function.
+type Spec struct {
+	Graph    *graph.Graph
+	Explorer explore.Explorer
+	// ScheduleFor maps a label to its schedule. With Workers > 1 it is
+	// called concurrently from every worker goroutine, so it must be
+	// safe for concurrent use — a pure function of the label (like every
+	// core.Algorithm.Schedule) qualifies; a closure that memoizes into a
+	// shared map does not. It must also be deterministic: workers
+	// compile schedules independently and rely on identical answers.
+	ScheduleFor func(label int) sim.Schedule
+}
+
+// FastPathEligible reports whether executions of the spec can be routed
+// through the segment-level ring executor: the graph must be the
+// canonical oriented ring (node v's port 0 leads to v+1 mod n) and the
+// explorer the clockwise sweep, which is exactly the model ringsim
+// implements.
+func (s Spec) FastPathEligible() bool {
+	if _, ok := s.Explorer.(explore.OrientedRingSweep); !ok {
+		return false
+	}
+	return graph.IsCanonicalOrientedRing(s.Graph)
+}
+
+// Search runs the adversary over the space and returns the worst time
+// and cost found, dispatching each execution to the fastest eligible
+// executor. Identical inputs yield identical outputs regardless of
+// Workers, scheduling, or which executor ran: witnesses are the first
+// configurations in canonical enumeration order (labelPairs ×
+// startPairs × delays) achieving the maxima.
+func Search(spec Spec, space sim.SearchSpace, opts Options) (sim.WorstCase, error) {
+	if spec.FastPathEligible() && !opts.NoFastPath {
+		return ringSearch(spec, space, opts)
+	}
+	tc := sim.NewTrajectories(spec.Graph, spec.Explorer, spec.ScheduleFor)
+	return sim.SearchWith(tc, space, opts.simOptions())
+}
+
+// ringSearch is the fast path: the same enumeration as sim.SearchWith,
+// with every execution handled by ringsim.Run in O(|schedule|) time.
+func ringSearch(spec Spec, space sim.SearchSpace, opts Options) (sim.WorstCase, error) {
+	n := spec.Graph.N()
+	labelPairs, startPairs, delays, err := space.Expand(n)
+	if err != nil {
+		return sim.WorstCase{}, err
+	}
+	// Degenerate spaces take the generic executor so that dispatch can
+	// never change what the caller observes: negative delays have no
+	// segment-level encoding (the generic path reports them through
+	// Meet's clamping semantics), and equal or out-of-range start pairs
+	// would be rejected by ringsim.Run while the generic path has its
+	// own behaviour for them.
+	fallback := false
+	for _, d := range delays {
+		if d < 0 {
+			fallback = true
+		}
+	}
+	for _, sp := range startPairs {
+		if sp[0] == sp[1] || sp[0] < 0 || sp[0] >= n || sp[1] < 0 || sp[1] >= n {
+			fallback = true
+		}
+	}
+	if fallback {
+		tc := sim.NewTrajectories(spec.Graph, spec.Explorer, spec.ScheduleFor)
+		return sim.SearchWith(tc, space, opts.simOptions())
+	}
+
+	return sim.Sharded(opts.simOptions(), labelPairs, func(ctx context.Context, shard [][2]int) (sim.WorstCase, error) {
+		return ringShard(ctx, n, spec.ScheduleFor, shard, startPairs, delays)
+	}, (*sim.WorstCase).Merge)
+}
+
+// ringShard sweeps one contiguous slice of label pairs through the
+// segment-level executor, with a private schedule cache.
+func ringShard(ctx context.Context, n int, scheduleFor func(label int) sim.Schedule, labelPairs, startPairs [][2]int, delays []int) (sim.WorstCase, error) {
+	scheds := make(map[int]sim.Schedule)
+	get := func(l int) sim.Schedule {
+		s, ok := scheds[l]
+		if !ok {
+			s = scheduleFor(l)
+			scheds[l] = s
+		}
+		return s
+	}
+	wc := sim.WorstCase{AllMet: true}
+	for _, lp := range labelPairs {
+		if err := ctx.Err(); err != nil {
+			return sim.WorstCase{}, err
+		}
+		sa, sb := get(lp[0]), get(lp[1])
+		for _, sp := range startPairs {
+			for _, d := range delays {
+				res, err := ringsim.Run(n,
+					ringsim.Agent{Schedule: sa, Start: sp[0], Wake: 1},
+					ringsim.Agent{Schedule: sb, Start: sp[1], Wake: 1 + d})
+				if err != nil {
+					return sim.WorstCase{}, fmt.Errorf("adversary: labels %v starts %v delay %d: %w", lp, sp, d, err)
+				}
+				wc.Observe(lp[0], lp[1], sp[0], sp[1], d, sim.Result{
+					Met:   res.Met,
+					Round: res.Round,
+					CostA: res.CostA,
+					CostB: res.CostB,
+				})
+			}
+		}
+	}
+	return wc, nil
+}

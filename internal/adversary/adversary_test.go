@@ -1,0 +1,226 @@
+package adversary
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rendezvous/internal/core"
+	"rendezvous/internal/explore"
+	"rendezvous/internal/graph"
+	"rendezvous/internal/sim"
+)
+
+// specFor binds an algorithm to a (graph, explorer) pair.
+func specFor(g *graph.Graph, ex explore.Explorer, algo core.Algorithm, L int) Spec {
+	params := core.Params{L: L}
+	return Spec{
+		Graph:       g,
+		Explorer:    ex,
+		ScheduleFor: func(l int) sim.Schedule { return algo.Schedule(l, params) },
+	}
+}
+
+// TestParallelEquivalence is the engine's core guarantee: for every
+// worker count, on every graph family, the search returns the identical
+// WorstCase — same witnesses, same Runs, same AllMet — as the serial
+// scan. Witness equality is what makes the parallel engine safe to
+// substitute everywhere: it is not merely the same maxima, but the same
+// configurations in the same canonical order.
+func TestParallelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cases := []struct {
+		name  string
+		g     *graph.Graph
+		ex    explore.Explorer
+		space sim.SearchSpace
+	}{
+		{"ring-sweep", graph.OrientedRing(12), explore.OrientedRingSweep{},
+			sim.SearchSpace{L: 6, Delays: []int{0, 3, 11}}},
+		{"ring-dfs", graph.OrientedRing(9), explore.DFS{},
+			sim.SearchSpace{L: 5, Delays: []int{0, 1}}},
+		{"grid", graph.Grid(3, 3), explore.DFS{},
+			sim.SearchSpace{L: 5, Delays: []int{0, 4}}},
+		{"tree", graph.RandomTree(8, rng), explore.DFS{},
+			sim.SearchSpace{L: 5, Delays: []int{0, 7}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := specFor(tc.g, tc.ex, core.Cheap{}, tc.space.L)
+			serial, err := Search(spec, tc.space, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !serial.AllMet || serial.Runs == 0 {
+				t.Fatalf("serial baseline implausible: %+v", serial)
+			}
+			for _, workers := range []int{2, 3, 8, -1} {
+				par, err := Search(spec, tc.space, Options{Workers: workers})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if par != serial {
+					t.Errorf("workers=%d: result diverged\nserial:   %+v\nparallel: %+v", workers, serial, par)
+				}
+			}
+		})
+	}
+}
+
+// TestFastPathMatchesGeneric checks the dispatch guarantee: on the
+// canonical oriented ring with the sweep explorer, the segment-level
+// fast path returns bit-for-bit the same WorstCase as the generic
+// trajectory executor, for several algorithms and worker counts.
+func TestFastPathMatchesGeneric(t *testing.T) {
+	const n, L = 14, 6
+	g := graph.OrientedRing(n)
+	space := sim.SearchSpace{L: L, Delays: []int{0, 1, n - 1, 2 * (n - 1)}}
+	for _, algo := range []core.Algorithm{core.Cheap{}, core.CheapSimultaneous{}, core.Fast{}, core.NewFastWithRelabeling(2)} {
+		spec := specFor(g, explore.OrientedRingSweep{}, algo, L)
+		if !spec.FastPathEligible() {
+			t.Fatalf("%s: spec unexpectedly ineligible for the fast path", algo.Name())
+		}
+		generic, err := Search(spec, space, Options{NoFastPath: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 4} {
+			fast, err := Search(spec, space, Options{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fast != generic {
+				t.Errorf("%s workers=%d: fast path diverged\ngeneric: %+v\nfast:    %+v", algo.Name(), workers, generic, fast)
+			}
+		}
+	}
+}
+
+// TestFastPathEligibility pins down exactly when dispatch fires.
+func TestFastPathEligibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ring := graph.OrientedRing(10)
+	if !(Spec{Graph: ring, Explorer: explore.OrientedRingSweep{}}).FastPathEligible() {
+		t.Error("canonical ring + sweep should be eligible")
+	}
+	if (Spec{Graph: ring, Explorer: explore.DFS{}}).FastPathEligible() {
+		t.Error("DFS explorer must not be eligible")
+	}
+	if (Spec{Graph: graph.Ring(10, rng), Explorer: explore.OrientedRingSweep{}}).FastPathEligible() {
+		t.Error("port-shuffled ring must not be eligible")
+	}
+	if (Spec{Graph: graph.Grid(3, 3), Explorer: explore.OrientedRingSweep{}}).FastPathEligible() {
+		t.Error("grid must not be eligible")
+	}
+}
+
+// TestNegativeDelayFallsBack: the segment-level executor has no
+// encoding for negative delays, so the engine must route them through
+// the generic executor rather than erroring.
+func TestNegativeDelayFallsBack(t *testing.T) {
+	const n, L = 10, 4
+	spec := specFor(graph.OrientedRing(n), explore.OrientedRingSweep{}, core.Cheap{}, L)
+	space := sim.SearchSpace{L: L, Delays: []int{-1, 0}}
+	got, err := Search(spec, space, Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Search(spec, space, Options{NoFastPath: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("negative-delay dispatch diverged: %+v vs %+v", got, want)
+	}
+}
+
+// TestDegenerateStartPairsFallBack: start pairs the segment-level
+// executor would reject (equal starts) must not make dispatch
+// observable — the engine routes them through the generic executor,
+// matching NoFastPath exactly.
+func TestDegenerateStartPairsFallBack(t *testing.T) {
+	const n, L = 10, 4
+	spec := specFor(graph.OrientedRing(n), explore.OrientedRingSweep{}, core.Cheap{}, L)
+	space := sim.SearchSpace{
+		L:          L,
+		StartPairs: [][2]int{{3, 3}, {0, 5}},
+		Delays:     []int{0, 2},
+	}
+	want, err := Search(spec, space, Options{NoFastPath: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 4} {
+		got, err := Search(spec, space, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got != want {
+			t.Errorf("workers=%d: equal-start dispatch diverged: %+v vs %+v", workers, got, want)
+		}
+	}
+}
+
+// TestCancellation: a cancelled context aborts the search with its
+// error, on both the generic and the fast path, serial and parallel.
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	spec := specFor(graph.OrientedRing(12), explore.OrientedRingSweep{}, core.Cheap{}, 6)
+	space := sim.SearchSpace{L: 6}
+	for _, opts := range []Options{
+		{Context: ctx},
+		{Context: ctx, Workers: 4},
+		{Context: ctx, NoFastPath: true},
+		{Context: ctx, Workers: 4, NoFastPath: true},
+	} {
+		if _, err := Search(spec, space, opts); err != context.Canceled {
+			t.Errorf("opts %+v: err = %v, want context.Canceled", opts, err)
+		}
+	}
+}
+
+// TestSearchSpaceErrors: the expansion errors (L too small) surface
+// identically through every path.
+func TestSearchSpaceErrors(t *testing.T) {
+	spec := specFor(graph.OrientedRing(8), explore.OrientedRingSweep{}, core.Cheap{}, 4)
+	for _, opts := range []Options{{}, {Workers: 4}, {NoFastPath: true}} {
+		if _, err := Search(spec, sim.SearchSpace{L: 1}, opts); err == nil {
+			t.Errorf("opts %+v: want error for L < 2", opts)
+		}
+	}
+}
+
+// TestParallelRace exercises the sharded engine with enough workers to
+// interleave heavily; run with -race this is the concurrency test for
+// the whole engine (per-worker caches, result slots, merge).
+func TestParallelRace(t *testing.T) {
+	spec := specFor(graph.OrientedRing(16), explore.OrientedRingSweep{}, core.Fast{}, 8)
+	space := sim.SearchSpace{L: 8, Delays: []int{0, 1, 15}}
+	want, err := Search(spec, space, Options{NoFastPath: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			for j := 0; j < 3; j++ {
+				got, err := Search(spec, space, Options{Workers: 6})
+				if err == nil && got != want {
+					err = fmt.Errorf("parallel result diverged: %+v vs %+v", got, want)
+				}
+				if err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package adversary
+
+import (
+	"testing"
+
+	"rendezvous/internal/core"
+	"rendezvous/internal/explore"
+	"rendezvous/internal/graph"
+	"rendezvous/internal/sim"
+)
+
+// The serial/parallel pair below is the acceptance benchmark for the
+// parallel engine: an L = 32 adversarial ring sweep (all 992 ordered
+// label pairs × all offsets × three delays) through the generic
+// executor, serial versus sharded across GOMAXPROCS workers. On a
+// multi-core machine the parallel variant approaches linear speedup;
+// on one core the two are equal up to goroutine overhead. Run with
+//
+//	go test ./internal/adversary -bench BenchmarkRingSweep -benchtime 2x
+//
+// The fast-path pair measures the same sweep through the segment-level
+// dispatch, whose gain is algorithmic (O(|schedule|) vs O(|schedule|·E))
+// and so shows up even on a single core.
+
+const benchN, benchL = 24, 32
+
+func benchSpec() Spec {
+	params := core.Params{L: benchL}
+	return Spec{
+		Graph:       graph.OrientedRing(benchN),
+		Explorer:    explore.OrientedRingSweep{},
+		ScheduleFor: func(l int) sim.Schedule { return core.Fast{}.Schedule(l, params) },
+	}
+}
+
+func benchSpace() sim.SearchSpace {
+	return sim.SearchSpace{L: benchL, Delays: []int{0, 1, benchN - 1}}
+}
+
+func runSweep(b *testing.B, opts Options) {
+	b.Helper()
+	spec, space := benchSpec(), benchSpace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wc, err := Search(spec, space, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !wc.AllMet {
+			b.Fatal("executions failed to meet")
+		}
+	}
+}
+
+func BenchmarkRingSweepSerial(b *testing.B) {
+	runSweep(b, Options{Workers: 1, NoFastPath: true})
+}
+
+func BenchmarkRingSweepParallel(b *testing.B) {
+	runSweep(b, Options{Workers: -1, NoFastPath: true})
+}
+
+func BenchmarkRingSweepFastPathSerial(b *testing.B) {
+	runSweep(b, Options{Workers: 1})
+}
+
+func BenchmarkRingSweepFastPathParallel(b *testing.B) {
+	runSweep(b, Options{Workers: -1})
+}

@@ -7,11 +7,48 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+
+	"rendezvous/internal/adversary"
+	"rendezvous/internal/sim"
 )
+
+// Options configures how the experiment sweeps execute. The zero value
+// runs serially with no deadline — the historical behaviour. Results are
+// identical for every Workers value; only wall-clock time changes.
+type Options struct {
+	// Workers shards every adversary search across this many goroutines
+	// (0 or 1 = serial, negative = GOMAXPROCS).
+	Workers int
+	// Context cancels in-flight sweeps; experiments return its error.
+	Context context.Context
+}
+
+// search lowers the experiment options onto the adversary engine.
+func (o Options) search() adversary.Options {
+	return adversary.Options{Workers: o.Workers, Context: o.Context}
+}
+
+// ringsimSearch lowers the experiment options onto the segment-level
+// ring engine, for experiments that address it directly (E14).
+func (o Options) ringsimSearch() sim.SearchOptions {
+	return sim.SearchOptions{Workers: o.Workers, Context: o.Context}
+}
+
+// err reports the context's cancellation, for experiments whose sweeps
+// do not funnel through the search engine (E6–E9, E12): they check it
+// between units so -timeout bounds every experiment, not only the
+// engine-backed ones.
+func (o Options) err() error {
+	if o.Context != nil {
+		return o.Context.Err()
+	}
+	return nil
+}
 
 // Check is a pass/fail comparison between a measured quantity and a
 // claimed bound.
@@ -159,7 +196,7 @@ func (t *Table) Markdown(w io.Writer) error {
 // table.
 type Experiment struct {
 	ID  string
-	Run func() (*Table, error)
+	Run func(Options) (*Table, error)
 }
 
 // Registry returns all experiments in DESIGN.md order.

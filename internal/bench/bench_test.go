@@ -16,7 +16,7 @@ func TestAllExperimentsPass(t *testing.T) {
 		exp := exp
 		t.Run(exp.ID, func(t *testing.T) {
 			t.Parallel()
-			table, err := exp.Run()
+			table, err := exp.Run(Options{Workers: 2})
 			if err != nil {
 				t.Fatalf("%s: %v", exp.ID, err)
 			}

@@ -14,7 +14,7 @@ import (
 // Algorithm Cheap (Section 1.3 / Section 2): cost exactly E in the
 // worst case and time at most ℓE ≤ (L-1)E, exhaustively over all label
 // pairs and all ring offsets.
-func E1CheapSimultaneous() (*Table, error) {
+func E1CheapSimultaneous(opts Options) (*Table, error) {
 	t := &Table{
 		ID:      "E1",
 		Title:   "Algorithm Cheap, simultaneous start, oriented rings",
@@ -31,7 +31,7 @@ func E1CheapSimultaneous() (*Table, error) {
 		{48, 8}, {48, 16}, {48, 32},
 	} {
 		e := cfg.n - 1
-		wc, err := ringWorst(cfg.n, cfg.L, core.CheapSimultaneous{}, allLabelPairs(cfg.L), []int{0})
+		wc, err := ringWorst(opts, cfg.n, cfg.L, core.CheapSimultaneous{}, allLabelPairs(cfg.L), []int{0})
 		if err != nil {
 			return nil, err
 		}
@@ -53,7 +53,7 @@ func E1CheapSimultaneous() (*Table, error) {
 // Algorithm Cheap meets at cost at most 3E and in time at most
 // (2ℓ+3)E ≤ (2L+1)E, for arbitrary wake-up delays, on several graph
 // families.
-func E2CheapArbitraryDelay() (*Table, error) {
+func E2CheapArbitraryDelay(opts Options) (*Table, error) {
 	t := &Table{
 		ID:      "E2",
 		Title:   "Algorithm Cheap, arbitrary delays (Proposition 2.1)",
@@ -77,7 +77,7 @@ func E2CheapArbitraryDelay() (*Table, error) {
 	} {
 		e := tc.ex.Duration(tc.g)
 		delays := delaysFor(e)
-		wc, err := graphWorst(tc.g, tc.ex, L, core.Cheap{}, allLabelPairs(L), delays)
+		wc, err := graphWorst(opts, tc.g, tc.ex, L, core.Cheap{}, allLabelPairs(L), delays)
 		if err != nil {
 			return nil, err
 		}
@@ -98,7 +98,7 @@ func E2CheapArbitraryDelay() (*Table, error) {
 // E3Fast reproduces Proposition 2.2: Algorithm Fast meets in time at
 // most (4·log(L-1)+9)E and cost at most twice that, with the
 // logarithmic growth in L visible in the measured worst cases.
-func E3Fast() (*Table, error) {
+func E3Fast(opts Options) (*Table, error) {
 	const n = 24
 	e := n - 1
 	t := &Table{
@@ -120,7 +120,7 @@ func E3Fast() (*Table, error) {
 		} else {
 			pairs = sampledLabelPairs(L, 120, int64(L))
 		}
-		wc, err := ringWorst(n, L, core.Fast{}, pairs, []int{0, 1, e})
+		wc, err := ringWorst(opts, n, L, core.Fast{}, pairs, []int{0, 1, e})
 		if err != nil {
 			return nil, err
 		}
@@ -148,7 +148,7 @@ func E3Fast() (*Table, error) {
 
 // E4FastWithRelabeling reproduces Proposition 2.3: cost O(w·E) and time
 // at most (4t+5)E where C(t, w) >= L, sweeping both w and L.
-func E4FastWithRelabeling() (*Table, error) {
+func E4FastWithRelabeling(opts Options) (*Table, error) {
 	const n = 24
 	e := n - 1
 	t := &Table{
@@ -174,7 +174,7 @@ func E4FastWithRelabeling() (*Table, error) {
 			} else {
 				pairs = sampledLabelPairs(L, 80, int64(31*L+w))
 			}
-			wc, err := ringWorst(n, L, algo, pairs, []int{0, 1, e})
+			wc, err := ringWorst(opts, n, L, algo, pairs, []int{0, 1, e})
 			if err != nil {
 				return nil, err
 			}
@@ -205,7 +205,7 @@ func E4FastWithRelabeling() (*Table, error) {
 // E5RelabelScaling reproduces Corollary 2.1: with constant weight
 // w(L) = c, FastWithRelabeling has cost O(E) and time O(L^{1/c}·E); the
 // measured scaling exponent of worst time against L approaches 1/c.
-func E5RelabelScaling() (*Table, error) {
+func E5RelabelScaling(opts Options) (*Table, error) {
 	const n = 12
 	e := n - 1
 	t := &Table{
@@ -229,7 +229,7 @@ func E5RelabelScaling() (*Table, error) {
 		maxCostPerE := 0.0
 		for _, L := range Ls {
 			pairs := sampledLabelPairs(L, 60, int64(17*L+c))
-			wc, err := ringWorst(n, L, algo, pairs, []int{0})
+			wc, err := ringWorst(opts, n, L, algo, pairs, []int{0})
 			if err != nil {
 				return nil, err
 			}

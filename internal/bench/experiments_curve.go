@@ -22,7 +22,7 @@ import (
 // curve; the measured frontier is convex-ish and strictly tradeoff-
 // shaped (time falls as cost rises), consistent with it being near-
 // optimal between the two proven-tight endpoints.
-func E14TradeoffCurveFine() (*Table, error) {
+func E14TradeoffCurveFine(opts Options) (*Table, error) {
 	const n, L = 24, 4096
 	e := n - 1
 	t := &Table{
@@ -50,7 +50,7 @@ func E14TradeoffCurveFine() (*Table, error) {
 			// ringsim, but limit the pair count to keep the table quick.
 			algo = core.NewFastWithRelabeling(1)
 		}
-		wc, err := ringsim.Search(n, func(l int) sim.Schedule { return algo.Schedule(l, core.Params{L: L}) }, pairs, delays)
+		wc, err := ringsim.SearchWith(n, func(l int) sim.Schedule { return algo.Schedule(l, core.Params{L: L}) }, pairs, delays, opts.ringsimSearch())
 		if err != nil {
 			return nil, err
 		}
@@ -64,7 +64,7 @@ func E14TradeoffCurveFine() (*Table, error) {
 	}
 
 	// Fast itself for reference (the far end of the curve).
-	fastWC, err := ringsim.Search(n, func(l int) sim.Schedule { return core.Fast{}.Schedule(l, core.Params{L: L}) }, pairs, delays)
+	fastWC, err := ringsim.SearchWith(n, func(l int) sim.Schedule { return core.Fast{}.Schedule(l, core.Params{L: L}) }, pairs, delays, opts.ringsimSearch())
 	if err != nil {
 		return nil, err
 	}

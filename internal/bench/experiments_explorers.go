@@ -17,7 +17,7 @@ import (
 // rotor-router's simulated cover time, the unmarked-map Θ(n²) DFS)
 // should change absolute time proportionally to E while the time/E
 // ratio stays within the same band.
-func E15ExplorerSensitivity() (*Table, error) {
+func E15ExplorerSensitivity(opts Options) (*Table, error) {
 	t := &Table{
 		ID:      "E15",
 		Title:   "Sensitivity to the exploration procedure (Section 1.2)",
@@ -52,7 +52,7 @@ func E15ExplorerSensitivity() (*Table, error) {
 		for _, ex := range c.exs {
 			e := ex.Duration(c.g)
 			delays := []int{0, 1, e}
-			wc, err := graphWorst(c.g, ex, L, core.Fast{}, allLabelPairs(L), delays)
+			wc, err := graphWorst(opts, c.g, ex, L, core.Fast{}, allLabelPairs(L), delays)
 			if err != nil {
 				return nil, err
 			}

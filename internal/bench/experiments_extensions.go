@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"rendezvous/internal/adversary"
 	"rendezvous/internal/core"
 	"rendezvous/internal/explore"
 	"rendezvous/internal/graph"
@@ -12,7 +13,7 @@ import (
 // the wake-up of the LATER agent: the complexities of Cheap and Fast are
 // unchanged under this accounting (their bounds hold with the same
 // constants), measured across a delay sweep.
-func E12AlternativeAccounting() (*Table, error) {
+func E12AlternativeAccounting(opts Options) (*Table, error) {
 	const n, L = 18, 6
 	e := n - 1
 	t := &Table{
@@ -32,6 +33,9 @@ func E12AlternativeAccounting() (*Table, error) {
 		{core.Fast{}, core.FastTimeBound(e, L)},
 	} {
 		for _, tau := range []int{0, e / 2, e, 2 * e, 5 * e} {
+			if err := opts.err(); err != nil {
+				return nil, err
+			}
 			tc := sim.NewTrajectories(g, explore.OrientedRingSweep{}, func(l int) sim.Schedule {
 				return entry.algo.Schedule(l, params)
 			})
@@ -84,7 +88,7 @@ func E12AlternativeAccounting() (*Table, error) {
 //     meeting. The doubling is what the PROOF of Proposition 2.2 needs
 //     (a full exploration inside the other agent's idle window, for any
 //     EXPLORE on any graph) and costs about 2x in both time and cost.
-func E13Ablations() (*Table, error) {
+func E13Ablations(opts Options) (*Table, error) {
 	const n, L = 24, 6
 	e := n - 1
 	t := &Table{
@@ -101,10 +105,11 @@ func E13Ablations() (*Table, error) {
 	params := core.Params{L: L}
 
 	search := func(algo core.Algorithm, delays []int) (sim.WorstCase, error) {
-		tc := sim.NewTrajectories(g, explore.OrientedRingSweep{}, func(l int) sim.Schedule {
-			return algo.Schedule(l, params)
-		})
-		return sim.Search(tc, sim.SearchSpace{L: L, StartPairs: ringOffsets(n), Delays: delays})
+		return adversary.Search(adversary.Spec{
+			Graph:       g,
+			Explorer:    explore.OrientedRingSweep{},
+			ScheduleFor: func(l int) sim.Schedule { return algo.Schedule(l, params) },
+		}, sim.SearchSpace{L: L, StartPairs: ringOffsets(n), Delays: delays}, opts.search())
 	}
 
 	allDelays := make([]int, 0, e+1)

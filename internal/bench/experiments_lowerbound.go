@@ -14,7 +14,7 @@ import (
 // dominates it. Fast, whose cost is far above E+o(E), escapes the
 // hypothesis and gets a vacuous bound — exactly the separation the
 // theorem draws.
-func E6TimeLowerBound() (*Table, error) {
+func E6TimeLowerBound(opts Options) (*Table, error) {
 	const n = 24
 	t := &Table{
 		ID:      "E6",
@@ -30,6 +30,9 @@ func E6TimeLowerBound() (*Table, error) {
 	cheapOK := true
 	var certs []int
 	for _, L := range []int{8, 16, 32, 48} {
+		if err := opts.err(); err != nil {
+			return nil, err
+		}
 		rep, err := lowerbound.RunTheorem1(n, L, core.CheapSimultaneous{})
 		if err != nil {
 			return nil, err
@@ -68,7 +71,7 @@ func E6TimeLowerBound() (*Table, error) {
 // vectors whose non-zero count grows with log L, certifying cost
 // k·E/6 ∈ Ω(E log L) — while CheapSimultaneous (not in the O(E log L)
 // time class) certifies only a constant.
-func E7CostLowerBound() (*Table, error) {
+func E7CostLowerBound(opts Options) (*Table, error) {
 	const n = 24
 	e := n - 1
 	t := &Table{
@@ -80,6 +83,9 @@ func E7CostLowerBound() (*Table, error) {
 	fastOK := true
 	var ks []int
 	for _, L := range []int{4, 8, 16, 32, 64} {
+		if err := opts.err(); err != nil {
+			return nil, err
+		}
 		rep, err := lowerbound.RunTheorem2(n, L, core.Fast{})
 		if err != nil {
 			return nil, err

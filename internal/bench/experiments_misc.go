@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"rendezvous/internal/adversary"
 	"rendezvous/internal/core"
 	"rendezvous/internal/explore"
 	"rendezvous/internal/graph"
@@ -16,7 +17,7 @@ import (
 // parameter E: the exploration time achieved by each scenario's
 // procedure across graph families, verified against the paper's quoted
 // formulas.
-func E8Exploration() (*Table, error) {
+func E8Exploration(opts Options) (*Table, error) {
 	t := &Table{
 		ID:      "E8",
 		Title:   "Exploration time E per scenario and graph family (Section 1.2)",
@@ -48,6 +49,9 @@ func E8Exploration() (*Table, error) {
 	}
 	allOK := true
 	for _, en := range entries {
+		if err := opts.err(); err != nil {
+			return nil, err
+		}
 		e := en.ex.Duration(en.g)
 		verified := explore.Verify(en.ex, en.g) == nil && e == en.want(en.g)
 		if !verified {
@@ -63,7 +67,7 @@ func E8Exploration() (*Table, error) {
 // any bound on the graph size, iterating each algorithm over the
 // EXPLORE_i family preserves rendezvous, and telescoping keeps the
 // overhead factor over the known-E run constant.
-func E9UnknownE() (*Table, error) {
+func E9UnknownE(opts Options) (*Table, error) {
 	t := &Table{
 		ID:      "E9",
 		Title:   "Unknown graph size: iterated EXPLORE_i doubling (Conclusion)",
@@ -90,6 +94,9 @@ func E9UnknownE() (*Table, error) {
 		level := fam.LevelFor(cfg.g.N())
 		ej := fam.Level(level).Duration(cfg.g)
 		for _, algo := range []core.Algorithm{core.Cheap{}, core.Fast{}} {
+			if err := opts.err(); err != nil {
+				return nil, err
+			}
 			worstDirect, worstDoubling := 0, 0
 			n := cfg.g.N()
 			for sa := 0; sa < n; sa++ {
@@ -143,7 +150,7 @@ func E9UnknownE() (*Table, error) {
 // the (cost, time) frontier of all algorithms at a fixed E and L. Cheap
 // anchors the cheap-but-slow end, Fast the fast-but-costly end, and the
 // FastWithRelabeling family interpolates.
-func E10TradeoffCurve() (*Table, error) {
+func E10TradeoffCurve(opts Options) (*Table, error) {
 	const n, L = 24, 64
 	e := n - 1
 	t := &Table{
@@ -162,13 +169,14 @@ func E10TradeoffCurve() (*Table, error) {
 	}
 	var points []point
 
-	oracleTC := sim.NewTrajectories(graph.OrientedRing(n), explore.OrientedRingSweep{}, func(l int) sim.Schedule {
-		return core.WaitForMate{}.Schedule(l, core.Params{L: L})
-	})
-	oracleWC, err := sim.Search(oracleTC, sim.SearchSpace{
+	oracleWC, err := adversary.Search(adversary.Spec{
+		Graph:       graph.OrientedRing(n),
+		Explorer:    explore.OrientedRingSweep{},
+		ScheduleFor: func(l int) sim.Schedule { return core.WaitForMate{}.Schedule(l, core.Params{L: L}) },
+	}, sim.SearchSpace{
 		LabelPairs: [][2]int{{1, 2}, {2, 1}},
 		StartPairs: ringOffsets(n),
-	})
+	}, opts.search())
 	if err != nil {
 		return nil, err
 	}
@@ -193,7 +201,7 @@ func E10TradeoffCurve() (*Table, error) {
 		if algo.Name() != "cheap-simultaneous" {
 			delays = []int{0, 1, e}
 		}
-		wc, err := ringWorst(n, L, algo, pairs, delays)
+		wc, err := ringWorst(opts, n, L, algo, pairs, delays)
 		if err != nil {
 			return nil, err
 		}
@@ -227,7 +235,7 @@ func E10TradeoffCurve() (*Table, error) {
 // FastWithRelabeling solves rendezvous at cost O(E) while beating the
 // Ω(EL) time that Theorem 3.1 imposes on every cost-(E+o(E)) algorithm:
 // cost Θ(E) is strictly weaker than cost E+o(E).
-func E11Separation() (*Table, error) {
+func E11Separation(opts Options) (*Table, error) {
 	const n = 12
 	e := n - 1
 	t := &Table{
@@ -246,16 +254,16 @@ func E11Separation() (*Table, error) {
 			// pair count to keep the sweep tractable.
 			cheapPairs = sampledLabelPairs(L, 24, int64(3*L))
 		}
-		cheapWC, err := ringWorst(n, L, core.CheapSimultaneous{}, cheapPairs, []int{0})
+		cheapWC, err := ringWorst(opts, n, L, core.CheapSimultaneous{}, cheapPairs, []int{0})
 		if err != nil {
 			return nil, err
 		}
 		fwr := core.NewFastWithRelabeling(2)
-		fwrWC, err := ringWorst(n, L, fwr, pairs, []int{0})
+		fwrWC, err := ringWorst(opts, n, L, fwr, pairs, []int{0})
 		if err != nil {
 			return nil, err
 		}
-		fastWC, err := ringWorst(n, L, core.Fast{}, pairs, []int{0})
+		fastWC, err := ringWorst(opts, n, L, core.Fast{}, pairs, []int{0})
 		if err != nil {
 			return nil, err
 		}

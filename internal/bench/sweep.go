@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"rendezvous/internal/adversary"
 	"rendezvous/internal/core"
 	"rendezvous/internal/explore"
 	"rendezvous/internal/graph"
@@ -74,18 +75,21 @@ func sampledLabelPairs(L, count int, seed int64) [][2]int {
 
 // ringWorst computes the adversary's worst time and cost for algo on the
 // oriented ring of size n, over the given label pairs, all relative
-// offsets, and the given delays.
-func ringWorst(n, L int, algo core.Algorithm, labelPairs [][2]int, delays []int) (sim.WorstCase, error) {
+// offsets, and the given delays. On the oriented ring with the sweep
+// explorer the engine dispatches every execution to the segment-level
+// fast path automatically.
+func ringWorst(opts Options, n, L int, algo core.Algorithm, labelPairs [][2]int, delays []int) (sim.WorstCase, error) {
 	g := graph.OrientedRing(n)
 	params := core.Params{L: L}
-	tc := sim.NewTrajectories(g, explore.OrientedRingSweep{}, func(l int) sim.Schedule {
-		return algo.Schedule(l, params)
-	})
-	wc, err := sim.Search(tc, sim.SearchSpace{
+	wc, err := adversary.Search(adversary.Spec{
+		Graph:       g,
+		Explorer:    explore.OrientedRingSweep{},
+		ScheduleFor: func(l int) sim.Schedule { return algo.Schedule(l, params) },
+	}, sim.SearchSpace{
 		LabelPairs: labelPairs,
 		StartPairs: ringOffsets(n),
 		Delays:     delays,
-	})
+	}, opts.search())
 	if err != nil {
 		return sim.WorstCase{}, fmt.Errorf("bench: %s on ring-%d: %w", algo.Name(), n, err)
 	}
@@ -98,15 +102,16 @@ func ringWorst(n, L int, algo core.Algorithm, labelPairs [][2]int, delays []int)
 // graphWorst computes the adversary's worst time and cost for algo on an
 // arbitrary graph with the given explorer, over the given label pairs,
 // all ordered start pairs, and the given delays.
-func graphWorst(g *graph.Graph, ex explore.Explorer, L int, algo core.Algorithm, labelPairs [][2]int, delays []int) (sim.WorstCase, error) {
+func graphWorst(opts Options, g *graph.Graph, ex explore.Explorer, L int, algo core.Algorithm, labelPairs [][2]int, delays []int) (sim.WorstCase, error) {
 	params := core.Params{L: L}
-	tc := sim.NewTrajectories(g, ex, func(l int) sim.Schedule {
-		return algo.Schedule(l, params)
-	})
-	wc, err := sim.Search(tc, sim.SearchSpace{
+	wc, err := adversary.Search(adversary.Spec{
+		Graph:       g,
+		Explorer:    ex,
+		ScheduleFor: func(l int) sim.Schedule { return algo.Schedule(l, params) },
+	}, sim.SearchSpace{
 		LabelPairs: labelPairs,
 		Delays:     delays,
-	})
+	}, opts.search())
 	if err != nil {
 		return sim.WorstCase{}, fmt.Errorf("bench: %s on %v: %w", algo.Name(), g, err)
 	}

@@ -21,6 +21,30 @@ func OrientedRing(n int) *Graph {
 	return b.MustBuild()
 }
 
+// IsCanonicalOrientedRing reports whether g is exactly the graph
+// OrientedRing(n) builds: node v's port 0 leads to (v+1) mod n entering
+// at port 1. This is stricter than being isomorphic to an oriented ring:
+// node indices must advance clockwise, which is what the segment-level
+// executor of internal/ringsim assumes when it tracks the inter-agent
+// gap arithmetically. The check is O(n) and is what the adversary-search
+// fast path dispatches on.
+func IsCanonicalOrientedRing(g *Graph) bool {
+	n := g.N()
+	if n < 3 {
+		return false
+	}
+	for v := 0; v < n; v++ {
+		if g.Degree(v) != 2 {
+			return false
+		}
+		to, entry := g.Neighbor(v, 0)
+		if to != (v+1)%n || entry != 1 {
+			return false
+		}
+	}
+	return true
+}
+
 // Ring returns an n-node ring whose port labels at each node are chosen
 // arbitrarily (randomly) rather than consistently oriented. Algorithms
 // must not rely on orientation, so tests exercise both variants. n must

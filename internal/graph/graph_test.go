@@ -382,3 +382,24 @@ func TestSelfLoopBuilder(t *testing.T) {
 		t.Errorf("self-loop Neighbor(0,%d) = (%d,%d), want (0,%d)", pu, to, entry, pv)
 	}
 }
+
+func TestIsCanonicalOrientedRing(t *testing.T) {
+	if !IsCanonicalOrientedRing(OrientedRing(3)) || !IsCanonicalOrientedRing(OrientedRing(24)) {
+		t.Error("OrientedRing must be canonical")
+	}
+	rng := rand.New(rand.NewSource(4))
+	shuffledOK := 0
+	for i := 0; i < 8; i++ {
+		if IsCanonicalOrientedRing(Ring(12, rng)) {
+			shuffledOK++
+		}
+	}
+	if shuffledOK == 8 {
+		t.Error("every shuffled ring classified canonical; predicate is vacuous")
+	}
+	for _, g := range []*Graph{Path(5), Grid(2, 3), Complete(4), Star(4)} {
+		if IsCanonicalOrientedRing(g) {
+			t.Errorf("%v misclassified as canonical oriented ring", g)
+		}
+	}
+}

@@ -20,6 +20,7 @@
 package ringsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -198,13 +199,25 @@ type WorstCase struct {
 	AllMet                   bool
 }
 
-// Search runs the adversary over label pairs × all non-zero offsets ×
-// delays, with schedules supplied per label. It mirrors sim.Search but
-// runs in O(segments) per execution.
-func Search(n int, scheduleFor func(label int) sim.Schedule, pairs [][2]int, delays []int) (WorstCase, error) {
-	if len(delays) == 0 {
-		delays = []int{0}
+// merge folds the next shard's results into wc; shards are folded in
+// canonical pair order with a strictly-greater comparison, so the
+// surviving witnesses match the serial sweep bit for bit.
+func (wc *WorstCase) merge(next WorstCase) {
+	if next.Time > wc.Time {
+		wc.Time = next.Time
+		wc.TimeWitness = next.TimeWitness
 	}
+	if next.Cost > wc.Cost {
+		wc.Cost = next.Cost
+		wc.CostWitness = next.CostWitness
+	}
+	wc.Runs += next.Runs
+	wc.AllMet = wc.AllMet && next.AllMet
+}
+
+// searchShard sweeps one contiguous slice of label pairs serially, with
+// its own private schedule cache. The context is checked once per pair.
+func searchShard(ctx context.Context, n int, scheduleFor func(label int) sim.Schedule, pairs [][2]int, delays []int) (WorstCase, error) {
 	scheds := make(map[int]sim.Schedule)
 	get := func(l int) sim.Schedule {
 		s, ok := scheds[l]
@@ -216,6 +229,9 @@ func Search(n int, scheduleFor func(label int) sim.Schedule, pairs [][2]int, del
 	}
 	wc := WorstCase{AllMet: true}
 	for _, p := range pairs {
+		if err := ctx.Err(); err != nil {
+			return WorstCase{}, err
+		}
 		sa, sb := get(p[0]), get(p[1])
 		for off := 1; off < n; off++ {
 			for _, d := range delays {
@@ -240,4 +256,27 @@ func Search(n int, scheduleFor func(label int) sim.Schedule, pairs [][2]int, del
 		}
 	}
 	return wc, nil
+}
+
+// Search runs the adversary over label pairs × all non-zero offsets ×
+// delays, with schedules supplied per label. It mirrors sim.Search but
+// runs in O(segments) per execution. It is SearchWith with zero options
+// (serial).
+func Search(n int, scheduleFor func(label int) sim.Schedule, pairs [][2]int, delays []int) (WorstCase, error) {
+	return SearchWith(n, scheduleFor, pairs, delays, sim.SearchOptions{})
+}
+
+// SearchWith is Search with execution options: opts.Workers shards the
+// label pairs across goroutines (each with a private schedule cache) and
+// opts.Context cancels between pairs. Output is bit-for-bit identical
+// for every worker count. With Workers > 1, scheduleFor is called
+// concurrently from every worker and must be a deterministic function
+// safe for concurrent use.
+func SearchWith(n int, scheduleFor func(label int) sim.Schedule, pairs [][2]int, delays []int, opts sim.SearchOptions) (WorstCase, error) {
+	if len(delays) == 0 {
+		delays = []int{0}
+	}
+	return sim.Sharded(opts, pairs, func(ctx context.Context, shard [][2]int) (WorstCase, error) {
+		return searchShard(ctx, n, scheduleFor, shard, delays)
+	}, (*WorstCase).merge)
 }

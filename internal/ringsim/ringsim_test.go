@@ -1,6 +1,7 @@
 package ringsim
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -205,5 +206,50 @@ func TestLargeLabelSpaceScales(t *testing.T) {
 	}
 	if wc.Cost > core.RelabelingCostSafe(e, 3) {
 		t.Errorf("worst cost %d exceeds (4w+2)E = %d", wc.Cost, core.RelabelingCostSafe(e, 3))
+	}
+}
+
+// TestSearchWithWorkerEquivalence: the sharded sweep returns the
+// identical WorstCase — including witnesses — for every worker count.
+func TestSearchWithWorkerEquivalence(t *testing.T) {
+	const n, L = 14, 8
+	params := core.Params{L: L}
+	scheduleFor := func(l int) sim.Schedule { return core.Fast{}.Schedule(l, params) }
+	var pairs [][2]int
+	for a := 1; a <= L; a++ {
+		for b := 1; b <= L; b++ {
+			if a != b {
+				pairs = append(pairs, [2]int{a, b})
+			}
+		}
+	}
+	delays := []int{0, 1, n - 1}
+	want, err := Search(n, scheduleFor, pairs, delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 7, 100, -1} {
+		got, err := SearchWith(n, scheduleFor, pairs, delays, sim.SearchOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got != want {
+			t.Errorf("workers=%d diverged:\nserial:   %+v\nparallel: %+v", workers, got, want)
+		}
+	}
+}
+
+// TestSearchWithCancellation: a cancelled context aborts the sweep.
+func TestSearchWithCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	params := core.Params{L: 4}
+	scheduleFor := func(l int) sim.Schedule { return core.Cheap{}.Schedule(l, params) }
+	pairs := [][2]int{{1, 2}, {2, 1}, {3, 4}}
+	for _, workers := range []int{1, 3} {
+		_, err := SearchWith(10, scheduleFor, pairs, nil, sim.SearchOptions{Workers: workers, Context: ctx})
+		if err != context.Canceled {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
 	}
 }

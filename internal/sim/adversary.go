@@ -1,7 +1,10 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"rendezvous/internal/explore"
 	"rendezvous/internal/graph"
@@ -29,6 +32,37 @@ type WorstCase struct {
 	AllMet bool
 }
 
+// Merge folds the next shard's results into wc. Shards are folded in
+// canonical enumeration order with a strictly-greater comparison, so the
+// surviving witness is the first configuration (in that order) achieving
+// the maximum — exactly the witness the serial scan would keep. This is
+// what makes parallel output bit-for-bit equal to serial output.
+func (wc *WorstCase) Merge(next WorstCase) {
+	if next.Time.Value > wc.Time.Value {
+		wc.Time = next.Time
+	}
+	if next.Cost.Value > wc.Cost.Value {
+		wc.Cost = next.Cost
+	}
+	wc.Runs += next.Runs
+	wc.AllMet = wc.AllMet && next.AllMet
+}
+
+// Observe records one execution outcome under the canonical
+// strictly-greater update rule shared by the serial and parallel paths.
+func (wc *WorstCase) Observe(labelA, labelB, startA, startB, delay int, res Result) {
+	wc.Runs++
+	if !res.Met {
+		wc.AllMet = false
+	}
+	if res.Met && res.Time() > wc.Time.Value {
+		wc.Time = Witness{LabelA: labelA, LabelB: labelB, StartA: startA, StartB: startB, DelayB: delay, Value: res.Time()}
+	}
+	if res.Cost() > wc.Cost.Value {
+		wc.Cost = Witness{LabelA: labelA, LabelB: labelB, StartA: startA, StartB: startB, DelayB: delay, Value: res.Cost()}
+	}
+}
+
 // SearchSpace describes the adversary's choices. Empty slices select the
 // exhaustive default noted per field.
 type SearchSpace struct {
@@ -46,9 +80,85 @@ type SearchSpace struct {
 	Delays []int
 }
 
+// Expand materialises the space's enumeration over a graph of n nodes,
+// applying the documented defaults. The returned slices define the
+// canonical configuration order (labelPairs × startPairs × delays) that
+// both the serial and the sharded parallel search follow.
+func (space SearchSpace) Expand(n int) (labelPairs, startPairs [][2]int, delays []int, err error) {
+	labelPairs = space.LabelPairs
+	if labelPairs == nil {
+		if space.L < 2 {
+			return nil, nil, nil, fmt.Errorf("sim: Search: need L >= 2 (got %d) when LabelPairs is nil", space.L)
+		}
+		labelPairs = make([][2]int, 0, space.L*(space.L-1))
+		for a := 1; a <= space.L; a++ {
+			for b := 1; b <= space.L; b++ {
+				if a != b {
+					labelPairs = append(labelPairs, [2]int{a, b})
+				}
+			}
+		}
+	}
+	startPairs = space.StartPairs
+	if startPairs == nil {
+		startPairs = make([][2]int, 0, n*(n-1))
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v {
+					startPairs = append(startPairs, [2]int{u, v})
+				}
+			}
+		}
+	}
+	delays = space.Delays
+	if delays == nil {
+		delays = []int{0}
+	}
+	return labelPairs, startPairs, delays, nil
+}
+
+// SearchOptions tunes how an adversary search executes. The zero value
+// reproduces the historical serial behaviour.
+type SearchOptions struct {
+	// Workers is the number of goroutines the label-pair space is
+	// sharded across. 0 and 1 run serially in the calling goroutine; a
+	// negative value selects GOMAXPROCS. Output is bit-for-bit identical
+	// for every worker count.
+	Workers int
+	// Context cancels a long-running search between executions. Nil
+	// means context.Background(). On cancellation the search returns
+	// ctx.Err().
+	Context context.Context
+}
+
+// ResolveWorkers resolves the Workers option to a concrete goroutine
+// count for the given number of shardable units (clamped to [1, units];
+// negative selects GOMAXPROCS).
+func (o SearchOptions) ResolveWorkers(units int) int {
+	w := o.Workers
+	if w < 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > units {
+		w = units
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (o SearchOptions) context() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
+}
+
 // Trajectories precompiles and caches solo trajectories per (label,
-// start) so adversary searches do not recompile schedules. The cache is
-// not safe for concurrent use.
+// start) so adversary searches do not recompile schedules. A single
+// cache is not safe for concurrent use; the parallel search gives each
+// worker its own Clone.
 type Trajectories struct {
 	g           *graph.Graph
 	ex          explore.Explorer
@@ -57,7 +167,11 @@ type Trajectories struct {
 }
 
 // NewTrajectories returns an empty cache over the given graph, explorer
-// and per-label schedule function.
+// and per-label schedule function. scheduleFor is shared by every Clone
+// of the cache, so under a parallel search (SearchWith with Workers > 1)
+// it is called concurrently from every worker: it must be a
+// deterministic function safe for concurrent use, not a memoizing
+// closure over shared state.
 func NewTrajectories(g *graph.Graph, ex explore.Explorer, scheduleFor func(label int) Schedule) *Trajectories {
 	return &Trajectories{
 		g:           g,
@@ -66,6 +180,23 @@ func NewTrajectories(g *graph.Graph, ex explore.Explorer, scheduleFor func(label
 		cache:       make(map[[2]int]Trajectory),
 	}
 }
+
+// Clone returns a fresh, empty cache over the same graph, explorer and
+// schedule function. Each worker of a parallel search owns a clone, so
+// no locking is needed on the hot path; trajectories are deterministic
+// functions of (label, start), so recompilation cannot diverge.
+func (tc *Trajectories) Clone() *Trajectories {
+	return NewTrajectories(tc.g, tc.ex, tc.scheduleFor)
+}
+
+// Graph returns the graph the cache compiles against.
+func (tc *Trajectories) Graph() *graph.Graph { return tc.g }
+
+// Explorer returns the EXPLORE procedure the cache compiles with.
+func (tc *Trajectories) Explorer() explore.Explorer { return tc.ex }
+
+// ScheduleFor returns the schedule of the given label.
+func (tc *Trajectories) ScheduleFor(label int) Schedule { return tc.scheduleFor(label) }
 
 // Get returns the solo trajectory of the given label from the given
 // start, compiling it on first use.
@@ -126,42 +257,64 @@ func Meet(trajA, trajB Trajectory, wakeA, wakeB int, parachuted bool) Result {
 	}
 }
 
-// Search runs the adversary over the given space and returns the worst
-// time and cost found. Every execution must achieve rendezvous for
-// AllMet to hold; executions that never meet are still counted (with
-// their full schedule costs) so the caller can detect the violation.
-func Search(tc *Trajectories, space SearchSpace) (WorstCase, error) {
-	labelPairs := space.LabelPairs
-	if labelPairs == nil {
-		if space.L < 2 {
-			return WorstCase{}, fmt.Errorf("sim: Search: need L >= 2 (got %d) when LabelPairs is nil", space.L)
-		}
-		for a := 1; a <= space.L; a++ {
-			for b := 1; b <= space.L; b++ {
-				if a != b {
-					labelPairs = append(labelPairs, [2]int{a, b})
-				}
-			}
-		}
-	}
-	startPairs := space.StartPairs
-	if startPairs == nil {
-		n := tc.g.N()
-		for u := 0; u < n; u++ {
-			for v := 0; v < n; v++ {
-				if u != v {
-					startPairs = append(startPairs, [2]int{u, v})
-				}
-			}
-		}
-	}
-	delays := space.Delays
-	if delays == nil {
-		delays = []int{0}
+// Sharded is the engine's shared fan-out scaffolding: it splits pairs
+// into contiguous shards — one per resolved worker — runs sweep on each
+// shard concurrently, and folds the per-shard results in shard order
+// with merge. With one resolved worker it calls sweep once on the whole
+// slice in the calling goroutine. Folding in shard order with a
+// strictly-greater merge is what makes parallel output bit-for-bit
+// equal to serial; every parallel search in the engine (sim, ringsim,
+// adversary) goes through this one implementation so the determinism
+// recipe cannot silently diverge between executors. sweep must be safe
+// to call from multiple goroutines on disjoint shards.
+func Sharded[R any](opts SearchOptions, pairs [][2]int, sweep func(ctx context.Context, shard [][2]int) (R, error), merge func(acc *R, next R)) (R, error) {
+	ctx := opts.context()
+	workers := opts.ResolveWorkers(len(pairs))
+	if workers <= 1 {
+		return sweep(ctx, pairs)
 	}
 
+	type shardResult struct {
+		res R
+		err error
+	}
+	results := make([]shardResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * len(pairs) / workers
+		hi := (w + 1) * len(pairs) / workers
+		wg.Add(1)
+		go func(w int, shard [][2]int) {
+			defer wg.Done()
+			res, err := sweep(ctx, shard)
+			results[w] = shardResult{res, err}
+		}(w, pairs[lo:hi])
+	}
+	wg.Wait()
+
+	for _, r := range results {
+		if r.err != nil {
+			var zero R
+			return zero, r.err
+		}
+	}
+	acc := results[0].res
+	for _, r := range results[1:] {
+		merge(&acc, r.res)
+	}
+	return acc, nil
+}
+
+// searchShard runs the serial kernel over one contiguous slice of label
+// pairs, using (and filling) the given cache. The context is checked
+// once per label pair, so cancellation latency is bounded by one
+// (startPairs × delays) sweep.
+func searchShard(ctx context.Context, tc *Trajectories, labelPairs, startPairs [][2]int, delays []int) (WorstCase, error) {
 	wc := WorstCase{AllMet: true}
 	for _, lp := range labelPairs {
+		if err := ctx.Err(); err != nil {
+			return WorstCase{}, err
+		}
 		for _, sp := range startPairs {
 			trajA, err := tc.Get(lp[0], sp[0])
 			if err != nil {
@@ -172,19 +325,40 @@ func Search(tc *Trajectories, space SearchSpace) (WorstCase, error) {
 				return WorstCase{}, err
 			}
 			for _, d := range delays {
-				res := Meet(trajA, trajB, 1, 1+d, false)
-				wc.Runs++
-				if !res.Met {
-					wc.AllMet = false
-				}
-				if res.Met && res.Time() > wc.Time.Value {
-					wc.Time = Witness{LabelA: lp[0], LabelB: lp[1], StartA: sp[0], StartB: sp[1], DelayB: d, Value: res.Time()}
-				}
-				if res.Cost() > wc.Cost.Value {
-					wc.Cost = Witness{LabelA: lp[0], LabelB: lp[1], StartA: sp[0], StartB: sp[1], DelayB: d, Value: res.Cost()}
-				}
+				wc.Observe(lp[0], lp[1], sp[0], sp[1], d, Meet(trajA, trajB, 1, 1+d, false))
 			}
 		}
 	}
 	return wc, nil
+}
+
+// Search runs the adversary over the given space and returns the worst
+// time and cost found. Every execution must achieve rendezvous for
+// AllMet to hold; executions that never meet are still counted (with
+// their full schedule costs) so the caller can detect the violation.
+//
+// Search is the serial entry point kept for existing callers; it is
+// SearchWith with zero options.
+func Search(tc *Trajectories, space SearchSpace) (WorstCase, error) {
+	return SearchWith(tc, space, SearchOptions{})
+}
+
+// SearchWith runs the adversary with explicit execution options. With
+// Workers > 1 the label-pair space is split into contiguous shards, one
+// goroutine per shard, each with its own cloned trajectory cache; the
+// per-shard results are folded in shard order, which makes the output —
+// witnesses, Runs, AllMet — bit-for-bit identical to the serial scan
+// regardless of scheduling.
+func SearchWith(tc *Trajectories, space SearchSpace, opts SearchOptions) (WorstCase, error) {
+	labelPairs, startPairs, delays, err := space.Expand(tc.g.N())
+	if err != nil {
+		return WorstCase{}, err
+	}
+	if opts.ResolveWorkers(len(labelPairs)) <= 1 {
+		// Serial: use (and warm) the caller's cache directly.
+		return searchShard(opts.context(), tc, labelPairs, startPairs, delays)
+	}
+	return Sharded(opts, labelPairs, func(ctx context.Context, shard [][2]int) (WorstCase, error) {
+		return searchShard(ctx, tc.Clone(), shard, startPairs, delays)
+	}, (*WorstCase).Merge)
 }

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"rendezvous/internal/explore"
+	"rendezvous/internal/graph"
+)
+
+// cheapLikeSchedule is a small standalone schedule family for tests
+// (explore, wait ℓ times, explore), avoiding a dependency on core.
+func cheapLikeSchedule(label int) Schedule {
+	sched := Schedule{SegmentExplore}
+	for i := 0; i < label; i++ {
+		sched = append(sched, SegmentWait)
+	}
+	return append(sched, SegmentExplore)
+}
+
+// TestSearchWithWorkerEquivalence: SearchWith returns the identical
+// WorstCase for every worker count, on a non-ring graph where the
+// generic trajectory executor is the only path.
+func TestSearchWithWorkerEquivalence(t *testing.T) {
+	g := graph.Grid(3, 4)
+	space := SearchSpace{L: 6, Delays: []int{0, 5, 22}}
+	tc := NewTrajectories(g, explore.DFS{}, cheapLikeSchedule)
+	want, err := Search(tc, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Runs == 0 {
+		t.Fatal("empty search")
+	}
+	for _, workers := range []int{2, 5, 30, -1} {
+		got, err := SearchWith(tc.Clone(), space, SearchOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got != want {
+			t.Errorf("workers=%d diverged:\nserial:   %+v\nparallel: %+v", workers, got, want)
+		}
+	}
+}
+
+// TestSearchWithSharedCache: the parallel path must not mutate the
+// caller's cache concurrently — it clones per worker — so a cache
+// already warmed by a serial run stays usable.
+func TestSearchWithSharedCache(t *testing.T) {
+	g := graph.OrientedRing(8)
+	tc := NewTrajectories(g, explore.OrientedRingSweep{}, cheapLikeSchedule)
+	space := SearchSpace{L: 4}
+	first, err := SearchWith(tc, space, SearchOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := SearchWith(tc, space, SearchOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Errorf("warmed-cache rerun diverged: %+v vs %+v", first, second)
+	}
+}
+
+// TestSearchCancellation: context cancellation surfaces from both the
+// serial and the sharded path.
+func TestSearchCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tc := NewTrajectories(graph.OrientedRing(8), explore.OrientedRingSweep{}, cheapLikeSchedule)
+	for _, workers := range []int{1, 4} {
+		_, err := SearchWith(tc.Clone(), SearchSpace{L: 4}, SearchOptions{Workers: workers, Context: ctx})
+		if err != context.Canceled {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+// TestExpandDefaults checks the canonical enumeration the engine and
+// its documentation promise.
+func TestExpandDefaults(t *testing.T) {
+	lp, sp, d, err := SearchSpace{L: 3}.Expand(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lp) != 6 || len(sp) != 6 || len(d) != 1 || d[0] != 0 {
+		t.Errorf("Expand: %v %v %v", lp, sp, d)
+	}
+	if lp[0] != [2]int{1, 2} || sp[0] != [2]int{0, 1} {
+		t.Errorf("Expand order changed: %v %v", lp[0], sp[0])
+	}
+	if _, _, _, err := (SearchSpace{L: 1}).Expand(3); err == nil {
+		t.Error("want error for L < 2")
+	}
+}
+
+// TestResolveWorkers pins the clamping rules.
+func TestResolveWorkers(t *testing.T) {
+	for _, tt := range []struct{ workers, units, min, max int }{
+		{0, 10, 1, 1},
+		{1, 10, 1, 1},
+		{4, 10, 4, 4},
+		{4, 2, 2, 2},    // clamped to units
+		{-1, 64, 1, 64}, // GOMAXPROCS-dependent but within [1, units]
+	} {
+		got := SearchOptions{Workers: tt.workers}.ResolveWorkers(tt.units)
+		if got < tt.min || got > tt.max {
+			t.Errorf("ResolveWorkers(%d units=%d) = %d, want in [%d, %d]", tt.workers, tt.units, got, tt.min, tt.max)
+		}
+	}
+}

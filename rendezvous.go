@@ -25,9 +25,11 @@
 package rendezvous
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
+	"rendezvous/internal/adversary"
 	"rendezvous/internal/core"
 	"rendezvous/internal/explore"
 	"rendezvous/internal/graph"
@@ -128,6 +130,56 @@ func CompileTrajectory(g *Graph, ex Explorer, start int, sched Schedule) (Trajec
 // Meet scans two solo trajectories for the first meeting round.
 func Meet(a, b Trajectory, wakeA, wakeB int, parachuted bool) Result {
 	return sim.Meet(a, b, wakeA, wakeB, parachuted)
+}
+
+// Adversary search: the engine behind every experiment table. It
+// enumerates a configuration space (label pairs × start pairs × wake
+// delays), executes every configuration, and reports the worst
+// rendezvous time and cost with their witnessing configurations.
+type (
+	// SearchSpace selects the adversary's choices; zero fields default
+	// to exhaustive enumeration (see sim.SearchSpace).
+	SearchSpace = sim.SearchSpace
+	// Witness is the configuration realising an extreme value.
+	Witness = sim.Witness
+	// WorstCase is the adversary's report: worst time and cost with
+	// witnesses, the number of executions, and whether all met.
+	WorstCase = sim.WorstCase
+	// SearchOptions tunes execution: worker count, cancellation context,
+	// and fast-path control. The zero value is serial.
+	SearchOptions = adversary.Options
+)
+
+// Search runs the adversary serially over the space for the algorithm
+// given as a label → schedule function. On the canonical oriented ring
+// with the sweep explorer, executions are automatically routed through
+// the O(|schedule|) segment-level engine. Results are deterministic.
+func Search(g *Graph, ex Explorer, scheduleFor func(label int) Schedule, space SearchSpace) (WorstCase, error) {
+	return adversary.Search(adversary.Spec{Graph: g, Explorer: ex, ScheduleFor: scheduleFor}, space, adversary.Options{})
+}
+
+// SearchParallel is Search sharded across the given number of worker
+// goroutines (≤ 0 selects GOMAXPROCS) under a cancellable context. Its
+// output — witnesses, Runs, AllMet — is bit-for-bit identical to Search
+// for every worker count. scheduleFor is called concurrently from every
+// worker: it must be a deterministic function safe for concurrent use
+// (any of the paper's Algorithm.Schedule methods qualifies), not a
+// memoizing closure over shared state.
+func SearchParallel(ctx context.Context, g *Graph, ex Explorer, scheduleFor func(label int) Schedule, space SearchSpace, workers int) (WorstCase, error) {
+	if workers <= 0 {
+		workers = -1
+	}
+	return adversary.Search(
+		adversary.Spec{Graph: g, Explorer: ex, ScheduleFor: scheduleFor},
+		space,
+		adversary.Options{Workers: workers, Context: ctx},
+	)
+}
+
+// SearchWith runs the adversary with explicit options, for callers that
+// need full control (e.g. disabling the ring fast path).
+func SearchWith(g *Graph, ex Explorer, scheduleFor func(label int) Schedule, space SearchSpace, opts SearchOptions) (WorstCase, error) {
+	return adversary.Search(adversary.Spec{Graph: g, Explorer: ex, ScheduleFor: scheduleFor}, space, opts)
 }
 
 // Unknown-size support (Conclusion): the EXPLORE_i doubling hierarchy.

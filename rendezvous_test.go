@@ -1,6 +1,7 @@
 package rendezvous_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -164,4 +165,54 @@ func ExampleRunTheorem1() {
 	fmt.Printf("phi=%d chain=%v certified=%d violations=%d\n",
 		rep.Phi, rep.Path, rep.CertifiedTime, len(rep.Violations))
 	// Output: phi=0 chain=[1 2 3 4] certified=9 violations=0
+}
+
+// TestFacadeSearch exercises the adversary-search surface: Search,
+// SearchParallel and SearchWith agree bit-for-bit on rings (fast path),
+// grids and random trees (generic path).
+func TestFacadeSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cases := []struct {
+		name string
+		g    *rendezvous.Graph
+	}{
+		{"ring", rendezvous.OrientedRing(10)},
+		{"grid", rendezvous.Grid(3, 3)},
+		{"tree", rendezvous.RandomTree(8, rng)},
+	}
+	params := rendezvous.Params{L: 5}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ex := rendezvous.BestExplorer(tc.g, 0)
+			scheduleFor := func(l int) rendezvous.Schedule {
+				return rendezvous.Cheap{}.Schedule(l, params)
+			}
+			space := rendezvous.SearchSpace{L: 5, Delays: []int{0, 2}}
+			serial, err := rendezvous.Search(tc.g, ex, scheduleFor, space)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !serial.AllMet || serial.Runs == 0 {
+				t.Fatalf("implausible serial result: %+v", serial)
+			}
+			if serial.Time.Value <= 0 || serial.Cost.Value <= 0 {
+				t.Fatalf("missing witnesses: %+v", serial)
+			}
+			parallel, err := rendezvous.SearchParallel(context.Background(), tc.g, ex, scheduleFor, space, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if parallel != serial {
+				t.Errorf("SearchParallel diverged:\nserial:   %+v\nparallel: %+v", serial, parallel)
+			}
+			generic, err := rendezvous.SearchWith(tc.g, ex, scheduleFor, space,
+				rendezvous.SearchOptions{Workers: 2, NoFastPath: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if generic != serial {
+				t.Errorf("SearchWith(NoFastPath) diverged:\nserial:  %+v\ngeneric: %+v", serial, generic)
+			}
+		})
+	}
 }
