@@ -10,16 +10,20 @@
 //	rdvbench -list           # list experiment IDs and titles
 //	rdvbench -workers 8      # shard adversary sweeps across 8 goroutines
 //	rdvbench -timeout 10m    # abort (non-zero exit) if not done in time
+//	rdvbench -tablemem 128   # meeting-table memory budget, MiB (0 = default 64)
 //
-// Tables are identical for every -workers value; parallelism only
-// changes wall-clock time. The process exits non-zero if any bound
-// check fails or the timeout expires.
+// Tables are identical for every -workers and -tablemem value;
+// parallelism and the meeting-table tier only change wall-clock time.
+// The process exits non-zero if any bound check fails or the timeout
+// expires.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -27,22 +31,32 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+// run is the testable entry point: it parses args with a private flag
+// set and writes to the given streams.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rdvbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		runList  = flag.String("run", "", "comma-separated experiment IDs (default: all)")
-		markdown = flag.Bool("markdown", false, "emit markdown instead of plain text")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		workers  = flag.Int("workers", -1, "goroutines per adversary sweep (-1 = GOMAXPROCS, 1 = serial)")
-		timeout  = flag.Duration("timeout", 0, "overall deadline, e.g. 10m (0 = none)")
+		runList  = fs.String("run", "", "comma-separated experiment IDs (default: all)")
+		markdown = fs.Bool("markdown", false, "emit markdown instead of plain text")
+		list     = fs.Bool("list", false, "list experiments and exit")
+		workers  = fs.Int("workers", -1, "goroutines per adversary sweep (-1 = GOMAXPROCS, 1 = serial)")
+		timeout  = fs.Duration("timeout", 0, "overall deadline, e.g. 10m (0 = none)")
+		tablemem = fs.Int64("tablemem", 0, "meeting-table memory budget in MiB (0 = engine default, negative disables the tier)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *list {
 		for _, exp := range bench.Registry() {
-			fmt.Println(exp.ID)
+			fmt.Fprintln(stdout, exp.ID)
 		}
 		return 0
 	}
@@ -53,7 +67,7 @@ func run() int {
 		for _, id := range strings.Split(*runList, ",") {
 			exp, err := bench.ByID(strings.TrimSpace(id))
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
+				fmt.Fprintln(stderr, err)
 				return 2
 			}
 			experiments = append(experiments, exp)
@@ -66,15 +80,19 @@ func run() int {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	opts := bench.Options{Workers: *workers, Context: ctx}
+	budget := *tablemem * (1 << 20)
+	if *tablemem < 0 {
+		budget = -1
+	}
+	opts := bench.Options{Workers: *workers, Context: ctx, TableBudget: budget}
 
 	failures := 0
 	for _, exp := range experiments {
 		table, err := exp.Run(opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", exp.ID, err)
+			fmt.Fprintf(stderr, "%s: %v\n", exp.ID, err)
 			if ctx.Err() != nil {
-				fmt.Fprintln(os.Stderr, "timeout exceeded")
+				fmt.Fprintln(stderr, "timeout exceeded")
 				return 2
 			}
 			failures++
@@ -82,18 +100,18 @@ func run() int {
 		}
 		var renderErr error
 		if *markdown {
-			renderErr = table.Markdown(os.Stdout)
+			renderErr = table.Markdown(stdout)
 		} else {
-			renderErr = table.Render(os.Stdout)
+			renderErr = table.Render(stdout)
 		}
 		if renderErr != nil {
-			fmt.Fprintf(os.Stderr, "%s: render: %v\n", exp.ID, renderErr)
+			fmt.Fprintf(stderr, "%s: render: %v\n", exp.ID, renderErr)
 			return 2
 		}
 		failures += len(table.Failed())
 	}
 	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "%d check(s) failed\n", failures)
+		fmt.Fprintf(stderr, "%d check(s) failed\n", failures)
 		return 1
 	}
 	return 0

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestList: -list prints every experiment ID, one per line, and exits 0.
+func TestList(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, id := range []string{"E1", "E8", "E15"} {
+		if !strings.Contains(out, id+"\n") {
+			t.Errorf("missing %s in listing:\n%s", id, out)
+		}
+	}
+}
+
+// TestRunSingleExperiment runs E8 (explorer-contract verification, the
+// cheapest experiment) end to end in both output formats.
+func TestRunSingleExperiment(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-run", "E8", "-workers", "2"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "== E8") || !strings.Contains(stdout.String(), "[PASS]") {
+		t.Errorf("unexpected plain output:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-run", "E8", "-markdown", "-tablemem", "16"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("markdown exit = %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "### E8") {
+		t.Errorf("unexpected markdown output:\n%s", stdout.String())
+	}
+}
+
+// TestBadFlags covers the error exits.
+func TestBadFlags(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-run", "E99"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown experiment: exit = %d, want 2", code)
+	}
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown flag: exit = %d, want 2", code)
+	}
+}
+
+// TestHelpExitsZero: -h prints usage and exits 0, matching the
+// behaviour of the global flag set it replaced.
+func TestHelpExitsZero(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-h"}, &stdout, &stderr); code != 0 {
+		t.Errorf("-h: exit = %d, want 0", code)
+	}
+	if !strings.Contains(stderr.String(), "-workers") {
+		t.Errorf("usage missing from -h output:\n%s", stderr.String())
+	}
+}

@@ -11,8 +11,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"rendezvous/internal/core"
@@ -20,30 +22,46 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	var (
-		theorem  = flag.Int("theorem", 1, "which pipeline: 1 (time bound) or 2 (cost bound)")
-		algoName = flag.String("algo", "cheap-sim", "cheap | cheap-sim | fast | fwr2")
-		n        = flag.Int("n", 24, "ring size (theorem 2 needs n divisible by 6)")
-		labels   = flag.Int("L", 16, "label space size")
-	)
-	flag.Parse()
-
-	var algo core.Algorithm
-	switch *algoName {
+// pickAlgorithm resolves the -algo flag value.
+func pickAlgorithm(name string) (core.Algorithm, error) {
+	switch name {
 	case "cheap":
-		algo = core.Cheap{}
+		return core.Cheap{}, nil
 	case "cheap-sim":
-		algo = core.CheapSimultaneous{}
+		return core.CheapSimultaneous{}, nil
 	case "fast":
-		algo = core.Fast{}
+		return core.Fast{}, nil
 	case "fwr2":
-		algo = core.NewFastWithRelabeling(2)
+		return core.NewFastWithRelabeling(2), nil
 	default:
-		fmt.Fprintf(os.Stderr, "rdvlb: unknown algorithm %q\n", *algoName)
+		return nil, fmt.Errorf("rdvlb: unknown algorithm %q", name)
+	}
+}
+
+// run is the testable entry point: it parses args with a private flag
+// set and writes to the given streams.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rdvlb", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		theorem  = fs.Int("theorem", 1, "which pipeline: 1 (time bound) or 2 (cost bound)")
+		algoName = fs.String("algo", "cheap-sim", "cheap | cheap-sim | fast | fwr2")
+		n        = fs.Int("n", 24, "ring size (theorem 2 needs n divisible by 6)")
+		labels   = fs.Int("L", 16, "label space size")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	algo, err := pickAlgorithm(*algoName)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 
@@ -51,58 +69,58 @@ func run() int {
 	case 1:
 		rep, err := lowerbound.RunTheorem1(*n, *labels, algo)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			return 2
 		}
-		fmt.Printf("Theorem 3.1 pipeline — %s on oriented ring n=%d, L=%d (E=%d)\n", algo.Name(), rep.N, rep.L, rep.E)
-		fmt.Printf("  measured ϕ (worst cost - E): %d\n", rep.Phi)
-		fmt.Printf("  F = ⌈E/2⌉:                   %d\n", rep.F)
-		fmt.Printf("  clockwise-heavy agents:      %d (mirrored: %v)\n", len(rep.Heavy), rep.Mirrored)
-		fmt.Printf("  Hamiltonian chain:           %v\n", rep.Path)
-		fmt.Printf("  execution lengths |α_i|:     %v\n", rep.ExecLengths)
-		fmt.Printf("  certified time bound:        %d rounds (= %.2f·E·L)\n", rep.CertifiedTime,
+		fmt.Fprintf(stdout, "Theorem 3.1 pipeline — %s on oriented ring n=%d, L=%d (E=%d)\n", algo.Name(), rep.N, rep.L, rep.E)
+		fmt.Fprintf(stdout, "  measured ϕ (worst cost - E): %d\n", rep.Phi)
+		fmt.Fprintf(stdout, "  F = ⌈E/2⌉:                   %d\n", rep.F)
+		fmt.Fprintf(stdout, "  clockwise-heavy agents:      %d (mirrored: %v)\n", len(rep.Heavy), rep.Mirrored)
+		fmt.Fprintf(stdout, "  Hamiltonian chain:           %v\n", rep.Path)
+		fmt.Fprintf(stdout, "  execution lengths |α_i|:     %v\n", rep.ExecLengths)
+		fmt.Fprintf(stdout, "  certified time bound:        %d rounds (= %.2f·E·L)\n", rep.CertifiedTime,
 			float64(rep.CertifiedTime)/float64(rep.E*rep.L))
-		fmt.Printf("  observed worst time:         %d rounds\n", rep.WorstObservedTime)
-		printViolations(rep.Violations)
+		fmt.Fprintf(stdout, "  observed worst time:         %d rounds\n", rep.WorstObservedTime)
+		printViolations(stdout, rep.Violations)
 		if len(rep.Violations) > 0 {
 			return 1
 		}
 	case 2:
 		rep, err := lowerbound.RunTheorem2(*n, *labels, algo)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			return 2
 		}
-		fmt.Printf("Theorem 3.2 pipeline — %s on oriented ring n=%d, L=%d (E=%d)\n", algo.Name(), rep.N, rep.L, rep.E)
-		fmt.Printf("  block/sector length n/6:     %d\n", rep.BlockLen)
-		fmt.Printf("  pigeonhole group:            %d agents, M = %d blocks\n", len(rep.Group), rep.M)
-		fmt.Printf("  distinct progress vectors:   %v\n", rep.DistinctProgress)
-		fmt.Printf("  heaviest progress vector:    label %d with %d non-zero entries (k = %d pairs)\n",
+		fmt.Fprintf(stdout, "Theorem 3.2 pipeline — %s on oriented ring n=%d, L=%d (E=%d)\n", algo.Name(), rep.N, rep.L, rep.E)
+		fmt.Fprintf(stdout, "  block/sector length n/6:     %d\n", rep.BlockLen)
+		fmt.Fprintf(stdout, "  pigeonhole group:            %d agents, M = %d blocks\n", len(rep.Group), rep.M)
+		fmt.Fprintf(stdout, "  distinct progress vectors:   %v\n", rep.DistinctProgress)
+		fmt.Fprintf(stdout, "  heaviest progress vector:    label %d with %d non-zero entries (k = %d pairs)\n",
 			rep.MaxNonZeroLabel, rep.NonZero[rep.MaxNonZeroLabel], rep.NonZero[rep.MaxNonZeroLabel]/2)
-		fmt.Printf("  certified solo cost k·E/6:   %d\n", rep.CertifiedCost)
-		fmt.Printf("  observed solo cost:          %d\n", rep.ObservedSoloCost)
+		fmt.Fprintf(stdout, "  certified solo cost k·E/6:   %d\n", rep.CertifiedCost)
+		fmt.Fprintf(stdout, "  observed solo cost:          %d\n", rep.ObservedSoloCost)
 		if agg, ok := rep.Agg[rep.MaxNonZeroLabel]; ok {
-			fmt.Printf("  Agg  (label %d): %v\n", rep.MaxNonZeroLabel, agg)
-			fmt.Printf("  Prog (label %d): %v\n", rep.MaxNonZeroLabel, rep.Prog[rep.MaxNonZeroLabel])
+			fmt.Fprintf(stdout, "  Agg  (label %d): %v\n", rep.MaxNonZeroLabel, agg)
+			fmt.Fprintf(stdout, "  Prog (label %d): %v\n", rep.MaxNonZeroLabel, rep.Prog[rep.MaxNonZeroLabel])
 		}
-		printViolations(rep.Violations)
+		printViolations(stdout, rep.Violations)
 		if len(rep.Violations) > 0 {
 			return 1
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "rdvlb: unknown theorem %d\n", *theorem)
+		fmt.Fprintf(stderr, "rdvlb: unknown theorem %d\n", *theorem)
 		return 2
 	}
 	return 0
 }
 
-func printViolations(violations []string) {
+func printViolations(w io.Writer, violations []string) {
 	if len(violations) == 0 {
-		fmt.Println("  fact checks:                 all passed")
+		fmt.Fprintln(w, "  fact checks:                 all passed")
 		return
 	}
-	fmt.Println("  fact violations:")
+	fmt.Fprintln(w, "  fact violations:")
 	for _, v := range violations {
-		fmt.Printf("    - %s\n", v)
+		fmt.Fprintf(w, "    - %s\n", v)
 	}
 }

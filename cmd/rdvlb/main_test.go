@@ -1,0 +1,82 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPickAlgorithm mirrors the rdvsim helper tests: every documented
+// name resolves, unknown names fail.
+func TestPickAlgorithm(t *testing.T) {
+	for _, name := range []string{"cheap", "cheap-sim", "fast", "fwr2"} {
+		algo, err := pickAlgorithm(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if algo.Name() == "" {
+			t.Errorf("%s: empty name", name)
+		}
+	}
+	if _, err := pickAlgorithm("bogus"); err == nil {
+		t.Error("bogus algorithm: want error")
+	}
+}
+
+// TestTheorem1Smoke runs the Theorem 3.1 pipeline end to end on a small
+// instance and checks the report and the fact checks reach the output.
+func TestTheorem1Smoke(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-theorem", "1", "-algo", "cheap-sim", "-n", "12", "-L", "4"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s\nstdout: %s", code, stderr.String(), stdout.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"Theorem 3.1 pipeline", "certified time bound", "fact checks"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+// TestTheorem2Smoke runs the Theorem 3.2 pipeline on the smallest
+// admissible ring (n divisible by 6).
+func TestTheorem2Smoke(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-theorem", "2", "-algo", "fast", "-n", "12", "-L", "8"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s\nstdout: %s", code, stderr.String(), stdout.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"Theorem 3.2 pipeline", "certified solo cost", "fact checks"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+// TestBadInputs covers the error exits.
+func TestBadInputs(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-algo", "bogus"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bogus algorithm: exit = %d, want 2", code)
+	}
+	if code := run([]string{"-theorem", "3"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown theorem: exit = %d, want 2", code)
+	}
+	if code := run([]string{"-not-a-flag"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown flag: exit = %d, want 2", code)
+	}
+}
+
+// TestHelpExitsZero: -h prints usage and exits 0, matching the
+// behaviour of the global flag set it replaced.
+func TestHelpExitsZero(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-h"}, &stdout, &stderr); code != 0 {
+		t.Errorf("-h: exit = %d, want 0", code)
+	}
+	if !strings.Contains(stderr.String(), "-theorem") {
+		t.Errorf("usage missing from -h output:\n%s", stderr.String())
+	}
+}

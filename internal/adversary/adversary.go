@@ -13,17 +13,34 @@
 //     bit-for-bit identical to the serial scan for every worker count
 //     and every goroutine schedule.
 //
-//   - Fast-path dispatch. When the graph is the canonical oriented ring
-//     and the explorer is the clockwise sweep (the Section 3 setting),
-//     every execution is routed through the segment-level executor of
-//     internal/ringsim, which runs in O(|schedule|) instead of
-//     O(|schedule|·E). The two executors are bit-for-bit equivalent
-//     (ringsim's contract, checked by its tests and by this package's),
-//     so dispatch never changes results, only speed.
+//   - Tiered dispatch. Executions are routed to the fastest executor
+//     that covers the spec:
 //
-// Package sim cannot host this dispatch itself because ringsim depends
-// on sim's schedule types; adversary sits above both and is what
-// internal/bench, cmd/rdvbench and the public facade use.
+//     TierRing — the segment-level ring executor of internal/ringsim,
+//     O(|schedule|) per execution, when the graph is the canonical
+//     oriented ring and the explorer the clockwise sweep (the
+//     Section 3 setting).
+//
+//     TierTable — the meeting-table executor of internal/meetoracle,
+//     also O(|schedule|) per execution, on any graph with any
+//     fixed-duration explorer, whenever its precomputed tables fit
+//     the memory budget. The tables are built once per search and
+//     shared read-only (lock-free) by every shard worker.
+//
+//     TierGeneric — the O(|schedule|·E) trajectory executor of
+//     internal/sim, the reference semantics and the fallback for
+//     degenerate spaces (negative delays, out-of-range starts) the
+//     segment-level executors do not encode.
+//
+//     All tiers are bit-for-bit equivalent (each fast executor's
+//     contract, enforced by differential fuzzing and exhaustive
+//     cross-engine tests), so dispatch never changes results, only
+//     speed.
+//
+// Package sim cannot host this dispatch itself because ringsim and
+// meetoracle depend on sim's schedule types; adversary sits above all
+// three and is what internal/bench, cmd/rdvbench and the public facade
+// use.
 package adversary
 
 import (
@@ -32,12 +49,59 @@ import (
 
 	"rendezvous/internal/explore"
 	"rendezvous/internal/graph"
+	"rendezvous/internal/meetoracle"
 	"rendezvous/internal/ringsim"
 	"rendezvous/internal/sim"
 )
 
+// Tier identifies an execution tier of the engine. The zero value
+// TierAuto lets the engine pick the fastest eligible tier; the other
+// values force one, which equivalence tests and benchmarks use to pin
+// the executor down. Forcing a tier never changes results — only which
+// engine produces them — except that forcing an inapplicable tier
+// (TierRing off the canonical ring, TierTable with an explorer that
+// rejects the graph) is an error.
+type Tier int
+
+const (
+	// TierAuto selects ring, then table, then generic — the fastest
+	// eligible executor.
+	TierAuto Tier = iota
+	// TierGeneric forces the O(|schedule|·E) trajectory executor
+	// (internal/sim), the reference semantics.
+	TierGeneric
+	// TierTable forces the precomputed meeting-table executor
+	// (internal/meetoracle), ignoring the memory budget.
+	TierTable
+	// TierRing forces the segment-level ring executor
+	// (internal/ringsim); the spec must be ring-eligible.
+	TierRing
+)
+
+// String implements fmt.Stringer.
+func (t Tier) String() string {
+	switch t {
+	case TierAuto:
+		return "auto"
+	case TierGeneric:
+		return "generic"
+	case TierTable:
+		return "table"
+	case TierRing:
+		return "ring"
+	default:
+		return fmt.Sprintf("tier(%d)", int(t))
+	}
+}
+
+// DefaultTableBudget is the memory the meeting-table tier may spend on
+// precomputed tables when Options.TableBudget is zero: 64 MiB, far
+// above any experiment in the repository yet small enough to keep an
+// accidental huge-graph search from ballooning resident memory.
+const DefaultTableBudget int64 = 64 << 20
+
 // Options tunes how a search executes. The zero value runs serially
-// with automatic fast-path dispatch.
+// with automatic tier dispatch.
 type Options struct {
 	// Workers is the number of goroutines the label-pair space is
 	// sharded across. 0 and 1 run serially; a negative value selects
@@ -46,14 +110,31 @@ type Options struct {
 	// Context cancels a long-running search between executions; the
 	// search then returns ctx.Err(). Nil means context.Background().
 	Context context.Context
-	// NoFastPath disables the ring fast path, forcing the generic
-	// trajectory executor. Used by equivalence tests; there is no other
-	// reason to set it.
+	// Tier forces an execution tier; TierAuto (the zero value) picks
+	// the fastest eligible one. See Tier for the forcing semantics.
+	Tier Tier
+	// TableBudget caps, in bytes, the memory TierAuto may spend on
+	// meeting tables before falling back to the generic executor.
+	// 0 means DefaultTableBudget; negative disables the table tier
+	// under TierAuto. A forced TierTable ignores the budget.
+	TableBudget int64
+	// NoFastPath forces the generic trajectory executor when Tier is
+	// TierAuto, exactly like Tier: TierGeneric. An explicitly forced
+	// Tier takes precedence and NoFastPath is then ignored. It predates
+	// Tier and is kept for existing callers; there is no reason to set
+	// it in new code.
 	NoFastPath bool
 }
 
 func (o Options) simOptions() sim.SearchOptions {
 	return sim.SearchOptions{Workers: o.Workers, Context: o.Context}
+}
+
+func (o Options) tableBudget() int64 {
+	if o.TableBudget == 0 {
+		return DefaultTableBudget
+	}
+	return o.TableBudget
 }
 
 // Spec binds the model under attack: the graph, the EXPLORE procedure,
@@ -89,14 +170,160 @@ func (s Spec) FastPathEligible() bool {
 // configurations in canonical enumeration order (labelPairs ×
 // startPairs × delays) achieving the maxima.
 func Search(spec Spec, space sim.SearchSpace, opts Options) (sim.WorstCase, error) {
-	if spec.FastPathEligible() && !opts.NoFastPath {
-		return ringSearch(spec, space, opts)
+	tier := opts.Tier
+	if tier == TierAuto && opts.NoFastPath {
+		tier = TierGeneric
 	}
+	switch tier {
+	case TierGeneric:
+		return genericSearch(spec, space, opts)
+	case TierRing:
+		if !spec.FastPathEligible() {
+			return sim.WorstCase{}, fmt.Errorf("adversary: TierRing forced but the spec is not ring-eligible (graph %v, explorer %s)", spec.Graph, spec.Explorer.Name())
+		}
+		return ringSearch(spec, space, opts)
+	case TierTable:
+		return tableSearch(spec, space, opts)
+	case TierAuto:
+		if spec.FastPathEligible() {
+			return ringSearch(spec, space, opts)
+		}
+		return autoSearch(spec, space, opts)
+	default:
+		return sim.WorstCase{}, fmt.Errorf("adversary: unknown tier %v", tier)
+	}
+}
+
+// genericSearch is the reference tier: the trajectory executor of
+// package sim, with per-worker trajectory caches.
+func genericSearch(spec Spec, space sim.SearchSpace, opts Options) (sim.WorstCase, error) {
 	tc := sim.NewTrajectories(spec.Graph, spec.Explorer, spec.ScheduleFor)
 	return sim.SearchWith(tc, space, opts.simOptions())
 }
 
-// ringSearch is the fast path: the same enumeration as sim.SearchWith,
+// tableDegenerate reports whether the expanded space contains
+// configurations the meeting-table executor does not encode: negative
+// delays (the generic path reports them through Meet's clamping
+// semantics) and out-of-range starts (which the generic path has its
+// own behaviour for). Equal starts are fine: the tables handle them
+// exactly as the trajectory scan does.
+func tableDegenerate(n int, startPairs [][2]int, delays []int) bool {
+	for _, d := range delays {
+		if d < 0 {
+			return true
+		}
+	}
+	for _, sp := range startPairs {
+		if sp[0] < 0 || sp[0] >= n || sp[1] < 0 || sp[1] >= n {
+			return true
+		}
+	}
+	return false
+}
+
+// autoSearch is TierAuto off the ring: it takes the meeting-table tier
+// when the space is non-degenerate and the tables fit the budget, and
+// the generic executor otherwise. All checks that can route to the
+// generic tier — degeneracy, the budget (using the exact slab count,
+// which needs no oracle), and the explorer rejecting the graph — run
+// before the oracle's walk tables are built, so a fallback never pays
+// for precomputation it will not use.
+func autoSearch(spec Spec, space sim.SearchSpace, opts Options) (sim.WorstCase, error) {
+	n := spec.Graph.N()
+	labelPairs, startPairs, delays, err := space.Expand(n)
+	if err != nil {
+		return sim.WorstCase{}, err
+	}
+	budget := opts.tableBudget()
+	e := spec.Explorer.Duration(spec.Graph)
+	if budget < 0 || n <= 0 || e <= 0 ||
+		tableDegenerate(n, startPairs, delays) ||
+		meetoracle.EstimateBytes(n, e, len(meetoracle.Phases(e, delays))) > budget {
+		return genericSearch(spec, space, opts)
+	}
+	oracle, err := meetoracle.New(spec.Graph, spec.Explorer)
+	if err != nil {
+		// The explorer rejects the graph; the generic executor reproduces
+		// the error per execution (or the lack of one, for schedules that
+		// never explore).
+		return genericSearch(spec, space, opts)
+	}
+	return tableRun(spec, opts, oracle, labelPairs, startPairs, delays)
+}
+
+// tableSearch is the forced meeting-table tier: it ignores the memory
+// budget but still routes degenerate spaces to the generic executor
+// (before paying for the oracle's walk tables), so that dispatch can
+// never change what the caller observes. Forcing the tier on a spec
+// whose explorer rejects the graph is an error.
+func tableSearch(spec Spec, space sim.SearchSpace, opts Options) (sim.WorstCase, error) {
+	n := spec.Graph.N()
+	labelPairs, startPairs, delays, err := space.Expand(n)
+	if err != nil {
+		return sim.WorstCase{}, err
+	}
+	if tableDegenerate(n, startPairs, delays) {
+		return genericSearch(spec, space, opts)
+	}
+	oracle, err := meetoracle.New(spec.Graph, spec.Explorer)
+	if err != nil {
+		return sim.WorstCase{}, fmt.Errorf("adversary: TierTable forced: %w", err)
+	}
+	return tableRun(spec, opts, oracle, labelPairs, startPairs, delays)
+}
+
+// tableRun executes the expanded space through the meeting-table
+// executor in O(|schedule|) table lookups per execution. The oracle's
+// slabs are prepared up front, then shared read-only by every shard
+// worker; each worker keeps a private compiled-schedule cache, so the
+// hot path takes no locks.
+func tableRun(spec Spec, opts Options, oracle *meetoracle.Oracle, labelPairs, startPairs [][2]int, delays []int) (sim.WorstCase, error) {
+	oracle.Prepare(delays)
+	return sim.Sharded(opts.simOptions(), labelPairs, func(ctx context.Context, shard [][2]int) (sim.WorstCase, error) {
+		return tableShard(ctx, oracle, spec.ScheduleFor, shard, startPairs, delays)
+	}, (*sim.WorstCase).Merge)
+}
+
+// tableShard sweeps one contiguous slice of label pairs through the
+// meeting-table executor, with a private compiled-schedule cache over
+// the shared read-only oracle.
+func tableShard(ctx context.Context, oracle *meetoracle.Oracle, scheduleFor func(label int) sim.Schedule, labelPairs, startPairs [][2]int, delays []int) (sim.WorstCase, error) {
+	cache := make(map[[2]int]meetoracle.Compiled)
+	get := func(label, start int) (meetoracle.Compiled, error) {
+		key := [2]int{label, start}
+		if c, ok := cache[key]; ok {
+			return c, nil
+		}
+		c, err := oracle.Compile(start, scheduleFor(label))
+		if err != nil {
+			return meetoracle.Compiled{}, fmt.Errorf("adversary: label %d start %d: %w", label, start, err)
+		}
+		cache[key] = c
+		return c, nil
+	}
+	wc := sim.WorstCase{AllMet: true}
+	for _, lp := range labelPairs {
+		if err := ctx.Err(); err != nil {
+			return sim.WorstCase{}, err
+		}
+		for _, sp := range startPairs {
+			ca, err := get(lp[0], sp[0])
+			if err != nil {
+				return sim.WorstCase{}, err
+			}
+			cb, err := get(lp[1], sp[1])
+			if err != nil {
+				return sim.WorstCase{}, err
+			}
+			for _, d := range delays {
+				wc.Observe(lp[0], lp[1], sp[0], sp[1], d, oracle.Meet(ca, cb, 1, 1+d, false))
+			}
+		}
+	}
+	return wc, nil
+}
+
+// ringSearch is the ring tier: the same enumeration as sim.SearchWith,
 // with every execution handled by ringsim.Run in O(|schedule|) time.
 func ringSearch(spec Spec, space sim.SearchSpace, opts Options) (sim.WorstCase, error) {
 	n := spec.Graph.N()
@@ -104,26 +331,17 @@ func ringSearch(spec Spec, space sim.SearchSpace, opts Options) (sim.WorstCase, 
 	if err != nil {
 		return sim.WorstCase{}, err
 	}
-	// Degenerate spaces take the generic executor so that dispatch can
-	// never change what the caller observes: negative delays have no
-	// segment-level encoding (the generic path reports them through
-	// Meet's clamping semantics), and equal or out-of-range start pairs
-	// would be rejected by ringsim.Run while the generic path has its
-	// own behaviour for them.
-	fallback := false
-	for _, d := range delays {
-		if d < 0 {
-			fallback = true
-		}
-	}
+	// The ring executor shares the table tier's notion of a degenerate
+	// space and additionally rejects equal start pairs (ringsim.Run
+	// errors on them, while the generic path has its own behaviour).
+	fallback := tableDegenerate(n, startPairs, delays)
 	for _, sp := range startPairs {
-		if sp[0] == sp[1] || sp[0] < 0 || sp[0] >= n || sp[1] < 0 || sp[1] >= n {
+		if sp[0] == sp[1] {
 			fallback = true
 		}
 	}
 	if fallback {
-		tc := sim.NewTrajectories(spec.Graph, spec.Explorer, spec.ScheduleFor)
-		return sim.SearchWith(tc, space, opts.simOptions())
+		return genericSearch(spec, space, opts)
 	}
 
 	return sim.Sharded(opts.simOptions(), labelPairs, func(ctx context.Context, shard [][2]int) (sim.WorstCase, error) {

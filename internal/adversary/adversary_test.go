@@ -9,6 +9,7 @@ import (
 	"rendezvous/internal/core"
 	"rendezvous/internal/explore"
 	"rendezvous/internal/graph"
+	"rendezvous/internal/meetoracle"
 	"rendezvous/internal/sim"
 )
 
@@ -221,6 +222,181 @@ func TestParallelRace(t *testing.T) {
 	for i := 0; i < 2; i++ {
 		if err := <-done; err != nil {
 			t.Fatal(err)
+		}
+	}
+}
+
+// TestTableTierMatchesGeneric is the meeting-table analogue of
+// TestFastPathMatchesGeneric: on non-ring graphs and explorers — where
+// the ring tier cannot fire — the table tier must return bit-for-bit
+// the same WorstCase as the generic trajectory executor, for several
+// algorithms, graphs and worker counts, including delays beyond E.
+func TestTableTierMatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		ex   explore.Explorer
+	}{
+		{"grid", graph.Grid(3, 3), explore.DFS{}},
+		{"tree", graph.RandomTree(9, rng), explore.DFS{}},
+		{"torus-eulerian", graph.Torus(3, 3), explore.Eulerian{}},
+		{"hypercube-hamiltonian", graph.Hypercube(3), explore.Hamiltonian{}},
+		{"ring-dfs", graph.OrientedRing(9), explore.DFS{}},
+		{"shuffled-ring-sweepless", graph.Ring(8, rand.New(rand.NewSource(4))), explore.DFS{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := tc.ex.Duration(tc.g)
+			space := sim.SearchSpace{L: 4, Delays: []int{0, 1, e, e + 1, 3 * e}}
+			for _, algo := range []core.Algorithm{core.Cheap{}, core.Fast{}} {
+				spec := specFor(tc.g, tc.ex, algo, 4)
+				if spec.FastPathEligible() {
+					t.Fatalf("%s: spec unexpectedly ring-eligible", algo.Name())
+				}
+				generic, err := Search(spec, space, Options{Tier: TierGeneric})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if generic.Runs == 0 {
+					t.Fatal("empty sweep")
+				}
+				for _, workers := range []int{0, 4} {
+					for _, tier := range []Tier{TierTable, TierAuto} {
+						got, err := Search(spec, space, Options{Workers: workers, Tier: tier})
+						if err != nil {
+							t.Fatalf("%s workers=%d tier=%v: %v", algo.Name(), workers, tier, err)
+						}
+						if got != generic {
+							t.Errorf("%s workers=%d tier=%v diverged\ngeneric: %+v\ngot:     %+v",
+								algo.Name(), workers, tier, generic, got)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTableTierEqualStarts: unlike the ring executor, the meeting
+// tables handle equal start pairs exactly as the trajectory scan does,
+// so no fallback fires and results still match.
+func TestTableTierEqualStarts(t *testing.T) {
+	spec := specFor(graph.Grid(3, 3), explore.DFS{}, core.Cheap{}, 4)
+	space := sim.SearchSpace{
+		L:          4,
+		StartPairs: [][2]int{{2, 2}, {0, 5}},
+		Delays:     []int{0, 3},
+	}
+	want, err := Search(spec, space, Options{Tier: TierGeneric})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Search(spec, space, Options{Tier: TierTable, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("equal-start table tier diverged: %+v vs %+v", got, want)
+	}
+}
+
+// TestForcedTierErrors: forcing an inapplicable tier is an error, not a
+// silent substitution.
+func TestForcedTierErrors(t *testing.T) {
+	grid := specFor(graph.Grid(3, 3), explore.DFS{}, core.Cheap{}, 4)
+	if _, err := Search(grid, sim.SearchSpace{L: 4}, Options{Tier: TierRing}); err == nil {
+		t.Error("TierRing on a grid: want error")
+	}
+	badEx := specFor(graph.Grid(2, 3), explore.Eulerian{}, core.Cheap{}, 4)
+	if _, err := Search(badEx, sim.SearchSpace{L: 4}, Options{Tier: TierTable}); err == nil {
+		t.Error("TierTable with an explorer that rejects the graph: want error")
+	}
+	if _, err := Search(grid, sim.SearchSpace{L: 4}, Options{Tier: Tier(42)}); err == nil {
+		t.Error("unknown tier: want error")
+	}
+}
+
+// TestTableDegenerate pins down which spaces the table tier refuses.
+func TestTableDegenerate(t *testing.T) {
+	ok := [][2]int{{0, 1}, {2, 2}}
+	if tableDegenerate(4, ok, []int{0, 7}) {
+		t.Error("in-range starts (equal allowed) and non-negative delays are not degenerate")
+	}
+	if !tableDegenerate(4, ok, []int{0, -1}) {
+		t.Error("negative delay must be degenerate")
+	}
+	if !tableDegenerate(4, [][2]int{{0, 4}}, []int{0}) {
+		t.Error("out-of-range start must be degenerate")
+	}
+	if !tableDegenerate(4, [][2]int{{-1, 2}}, []int{0}) {
+		t.Error("negative start must be degenerate")
+	}
+}
+
+// TestAutoBudgetDecision: TierAuto must fall back to the generic
+// executor when the budget disables or cannot fit the tables, and the
+// budget arithmetic must use the exact phase count, which never
+// exceeds E no matter how many delays the space sweeps.
+func TestAutoBudgetDecision(t *testing.T) {
+	g := graph.Grid(3, 3)
+	e := explore.DFS{}.Duration(g)
+	manyDelays := make([]int, 0, 10*e)
+	for d := 0; d < 10*e; d++ {
+		manyDelays = append(manyDelays, d)
+	}
+	if got := len(meetoracle.Phases(e, manyDelays)); got != e {
+		t.Fatalf("distinct phases = %d, want E = %d", got, e)
+	}
+	// A budget sized for E slabs (plus walks and hit lists) must admit
+	// the delay-rich sweep: the naive 2·len(delays) bound would demand
+	// ~20x more and reject it.
+	budget := meetoracle.EstimateBytes(g.N(), e, e)
+	if naive := meetoracle.EstimateBytes(g.N(), e, 2*len(manyDelays)); naive <= budget {
+		t.Fatalf("test premise broken: naive bound %d <= exact budget %d", naive, budget)
+	}
+	spec := specFor(g, explore.DFS{}, core.Cheap{}, 3)
+	space := sim.SearchSpace{L: 3, StartPairs: [][2]int{{0, 4}, {8, 2}}, Delays: manyDelays[:2*e]}
+	want, err := Search(spec, space, Options{Tier: TierGeneric})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int64{0, budget, -1, 16} {
+		got, err := Search(spec, space, Options{TableBudget: budget})
+		if err != nil {
+			t.Fatalf("budget=%d: %v", budget, err)
+		}
+		if got != want {
+			t.Errorf("budget=%d diverged: %+v vs %+v", budget, got, want)
+		}
+	}
+}
+
+// TestTinyBudgetStillCorrect: a budget too small for the tables routes
+// TierAuto to the generic executor, with identical results.
+func TestTinyBudgetStillCorrect(t *testing.T) {
+	spec := specFor(graph.Grid(3, 3), explore.DFS{}, core.Fast{}, 4)
+	space := sim.SearchSpace{L: 4, Delays: []int{0, 2}}
+	want, err := Search(spec, space, Options{Tier: TierGeneric})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Search(spec, space, Options{TableBudget: 16, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("tiny-budget search diverged: %+v vs %+v", got, want)
+	}
+}
+
+// TestTierStrings keeps the Tier diagnostics stable.
+func TestTierStrings(t *testing.T) {
+	for tier, want := range map[Tier]string{
+		TierAuto: "auto", TierGeneric: "generic", TierTable: "table", TierRing: "ring", Tier(9): "tier(9)",
+	} {
+		if got := tier.String(); got != want {
+			t.Errorf("Tier(%d).String() = %q, want %q", int(tier), got, want)
 		}
 	}
 }

@@ -1,0 +1,107 @@
+package adversary
+
+import (
+	"math/rand"
+	"testing"
+
+	"rendezvous/internal/core"
+	"rendezvous/internal/explore"
+	"rendezvous/internal/graph"
+	"rendezvous/internal/meetoracle"
+	"rendezvous/internal/sim"
+)
+
+// fuzzSpec decodes a small (graph, explorer, algorithm) triple from
+// fuzz bytes. Graphs stay tiny so the generic reference executor keeps
+// the fuzz loop fast; every tier-relevant shape is reachable: the
+// canonical ring with the sweep (ring tier), any family with DFS or
+// Eulerian explorers (table tier), and algorithms that sometimes fail
+// to meet (CheapSimultaneous under delays) to exercise AllMet.
+func fuzzSpec(family, exb, algob, nb byte, L int) Spec {
+	var g *graph.Graph
+	n := 3 + int(nb)%6 // 3..8
+	switch family % 6 {
+	case 0:
+		g = graph.OrientedRing(n)
+	case 1:
+		g = graph.Ring(n, rand.New(rand.NewSource(int64(nb))))
+	case 2:
+		g = graph.RandomTree(n, rand.New(rand.NewSource(int64(nb))))
+	case 3:
+		g = graph.Grid(2, (n+1)/2)
+	case 4:
+		g = graph.Star(n)
+	default:
+		g = graph.Torus(3, 3)
+	}
+	var candidates []explore.Explorer
+	candidates = append(candidates, explore.DFS{})
+	if graph.IsCanonicalOrientedRing(g) {
+		candidates = append(candidates, explore.OrientedRingSweep{})
+	}
+	if g.IsEulerian() {
+		candidates = append(candidates, explore.Eulerian{})
+	}
+	ex := candidates[int(exb)%len(candidates)]
+
+	var algo core.Algorithm
+	switch algob % 4 {
+	case 0:
+		algo = core.Cheap{}
+	case 1:
+		algo = core.CheapSimultaneous{}
+	case 2:
+		algo = core.Fast{}
+	default:
+		algo = core.NewFastWithRelabeling(2)
+	}
+	params := core.Params{L: L}
+	return Spec{Graph: g, Explorer: ex, ScheduleFor: func(l int) sim.Schedule { return algo.Schedule(l, params) }}
+}
+
+// FuzzDispatchEquivalence asserts the engine's central guarantee under
+// random configuration spaces: adversary.Search output — witnesses,
+// Runs, AllMet — is invariant under the forced dispatch tier and the
+// worker count. The generic trajectory executor is the reference; the
+// table tier (forced past its budget), the auto tier, and — when the
+// spec is ring-eligible — the ring tier must all agree bit for bit.
+func FuzzDispatchEquivalence(f *testing.F) {
+	f.Add(byte(0), byte(1), byte(0), byte(5), byte(3), byte(0), byte(7), byte(2))
+	f.Add(byte(0), byte(0), byte(2), byte(2), byte(4), byte(1), byte(0), byte(1))
+	f.Add(byte(1), byte(0), byte(1), byte(3), byte(2), byte(9), byte(9), byte(3))
+	f.Add(byte(2), byte(0), byte(3), byte(6), byte(3), byte(2), byte(40), byte(0))
+	f.Add(byte(3), byte(0), byte(0), byte(4), byte(5), byte(0), byte(13), byte(2))
+	f.Add(byte(4), byte(0), byte(2), byte(7), byte(2), byte(3), byte(5), byte(8))
+	f.Add(byte(5), byte(1), byte(1), byte(0), byte(3), byte(0), byte(17), byte(2))
+
+	f.Fuzz(func(t *testing.T, family, exb, algob, nb, Lb, d1, d2, workers byte) {
+		L := 2 + int(Lb)%3 // 2..4
+		spec := fuzzSpec(family, exb, algob, nb, L)
+		if _, err := meetoracle.New(spec.Graph, spec.Explorer); err != nil {
+			t.Fatalf("fuzzSpec produced a table-ineligible spec: %v", err)
+		}
+		e := spec.Explorer.Duration(spec.Graph)
+		space := sim.SearchSpace{L: L, Delays: []int{int(d1) % (e + 2), int(d2) % (3 * e)}}
+
+		want, err := Search(spec, space, Options{Tier: TierGeneric})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tiers := []Tier{TierTable, TierAuto}
+		if spec.FastPathEligible() {
+			tiers = append(tiers, TierRing)
+		}
+		for _, w := range []int{1, 2 + int(workers)%3} {
+			for _, tier := range tiers {
+				got, err := Search(spec, space, Options{Workers: w, Tier: tier})
+				if err != nil {
+					t.Fatalf("tier=%v workers=%d: %v", tier, w, err)
+				}
+				if got != want {
+					t.Fatalf("tier=%v workers=%d diverged on %v with %s:\ngeneric: %+v\ngot:     %+v",
+						tier, w, spec.Graph, spec.Explorer.Name(), want, got)
+				}
+			}
+		}
+	})
+}

@@ -26,11 +26,16 @@ type Options struct {
 	Workers int
 	// Context cancels in-flight sweeps; experiments return its error.
 	Context context.Context
+	// TableBudget caps, in bytes, the memory each sweep may spend on the
+	// engine's precomputed meeting tables (0 = the engine default,
+	// negative disables the meeting-table tier). Results are identical
+	// for every value; only wall-clock time changes.
+	TableBudget int64
 }
 
 // search lowers the experiment options onto the adversary engine.
 func (o Options) search() adversary.Options {
-	return adversary.Options{Workers: o.Workers, Context: o.Context}
+	return adversary.Options{Workers: o.Workers, Context: o.Context, TableBudget: o.TableBudget}
 }
 
 // ringsimSearch lowers the experiment options onto the segment-level

@@ -71,9 +71,13 @@ func E2CheapArbitraryDelay(opts Options) (*Table, error) {
 		{"ring-18", graph.OrientedRing(18), explore.OrientedRingSweep{}},
 		{"ring-18/dfs", graph.OrientedRing(18), explore.DFS{}},
 		{"tree-10", graph.RandomTree(10, rng), explore.DFS{}},
+		{"tree-16", graph.RandomTree(16, rng), explore.DFS{}},
 		{"torus-3x4", graph.Torus(3, 4), explore.DFS{}},
+		{"torus-4x4", graph.Torus(4, 4), explore.Eulerian{}},
 		{"star-9", graph.Star(9), explore.DFS{}},
 		{"grid-3x3", graph.Grid(3, 3), explore.DFS{}},
+		{"grid-4x4", graph.Grid(4, 4), explore.DFS{}},
+		{"grid-3x3-unmarked", graph.Grid(3, 3), explore.UnmarkedDFS{}},
 	} {
 		e := tc.ex.Duration(tc.g)
 		delays := delaysFor(e)

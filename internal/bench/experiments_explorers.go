@@ -26,6 +26,7 @@ func E15ExplorerSensitivity(opts Options) (*Table, error) {
 		Notes: []string{
 			"same algorithm (Fast, L=8), same graphs, same adversary; only EXPLORE changes",
 			"rotor-router explores without a map (agent-private rotors); its E is the exact simulated worst-case cover time",
+			"sweep sizes (n up to 20, unmarked-map E up to 1520) rely on the engine's meeting-table tier; the generic executor pays O(|schedule|·E) per execution and previously capped this table at n ≈ 12",
 		},
 	}
 	const L = 8
@@ -36,14 +37,17 @@ func E15ExplorerSensitivity(opts Options) (*Table, error) {
 		exs  []explore.Explorer
 	}
 	cfgs := []cfg{
-		{"oriented-ring-12", graph.OrientedRing(12), []explore.Explorer{
+		{"oriented-ring-16", graph.OrientedRing(16), []explore.Explorer{
 			explore.OrientedRingSweep{}, explore.DFS{}, explore.RotorRouter{}, explore.UnmarkedDFS{},
 		}},
-		{"tree-9", graph.RandomTree(9, rng), []explore.Explorer{
-			explore.DFS{}, explore.RotorRouter{},
+		{"tree-14", graph.RandomTree(14, rng), []explore.Explorer{
+			explore.DFS{}, explore.RotorRouter{}, explore.UnmarkedDFS{},
 		}},
-		{"torus-3x3", graph.Torus(3, 3), []explore.Explorer{
-			explore.Eulerian{}, explore.DFS{}, explore.RotorRouter{},
+		{"torus-4x4", graph.Torus(4, 4), []explore.Explorer{
+			explore.Eulerian{}, explore.DFS{}, explore.RotorRouter{}, explore.UnmarkedDFS{},
+		}},
+		{"grid-4x5", graph.Grid(4, 5), []explore.Explorer{
+			explore.DFS{}, explore.UnmarkedDFS{},
 		}},
 	}
 	allBounded := true

@@ -44,8 +44,13 @@ func E8Exploration(opts Options) (*Table, error) {
 		{"star-12", graph.Star(12), explore.DFS{}, "2n-2", func(g *graph.Graph) int { return 2 * (g.N() - 1) }},
 		{"tree-14", graph.RandomTree(14, rng), explore.DFS{}, "2n-2", func(g *graph.Graph) int { return 2 * (g.N() - 1) }},
 		{"grid-3x4", graph.Grid(3, 4), explore.DFS{}, "2n-2", func(g *graph.Graph) int { return 2 * (g.N() - 1) }},
+		{"grid-5x5", graph.Grid(5, 5), explore.DFS{}, "2n-2", func(g *graph.Graph) int { return 2 * (g.N() - 1) }},
+		{"hypercube-4", graph.Hypercube(4), explore.Hamiltonian{}, "n-1", func(g *graph.Graph) int { return g.N() - 1 }},
+		{"torus-4x6", graph.Torus(4, 6), explore.Hamiltonian{}, "n-1", func(g *graph.Graph) int { return g.N() - 1 }},
+		{"complete-7", graph.Complete(7), explore.Eulerian{}, "e-1", func(g *graph.Graph) int { return g.M() - 1 }},
 		{"ring-8-unmarked", graph.OrientedRing(8), explore.UnmarkedDFS{}, "2n(2n-2)", func(g *graph.Graph) int { return 2 * g.N() * (2 * (g.N() - 1)) }},
 		{"tree-7-unmarked", graph.RandomTree(7, rng), explore.UnmarkedDFS{}, "2n(2n-2)", func(g *graph.Graph) int { return 2 * g.N() * (2 * (g.N() - 1)) }},
+		{"tree-20-unmarked", graph.RandomTree(20, rng), explore.UnmarkedDFS{}, "2n(2n-2)", func(g *graph.Graph) int { return 2 * g.N() * (2 * (g.N() - 1)) }},
 	}
 	allOK := true
 	for _, en := range entries {

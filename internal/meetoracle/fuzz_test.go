@@ -1,0 +1,104 @@
+package meetoracle
+
+import (
+	"math/rand"
+	"testing"
+
+	"rendezvous/internal/explore"
+	"rendezvous/internal/graph"
+	"rendezvous/internal/sim"
+)
+
+// fuzzGraph decodes a graph family and size from two fuzz bytes. Sizes
+// are kept small so the reference simulator stays fast; every family of
+// the paper's experiments is reachable.
+func fuzzGraph(family, nb byte) *graph.Graph {
+	n := 3 + int(nb)%8 // 3..10
+	switch family % 8 {
+	case 0:
+		return graph.OrientedRing(n)
+	case 1:
+		return graph.Ring(n, rand.New(rand.NewSource(int64(nb))))
+	case 2:
+		return graph.RandomTree(n, rand.New(rand.NewSource(int64(nb))))
+	case 3:
+		return graph.Grid(2, (n+1)/2)
+	case 4:
+		return graph.Torus(3, 3+int(nb)%3)
+	case 5:
+		return graph.Hypercube(3)
+	case 6:
+		return graph.Star(n)
+	default:
+		return graph.Path(n)
+	}
+}
+
+// fuzzExplorer picks an explorer applicable to g.
+func fuzzExplorer(exb byte, g *graph.Graph) explore.Explorer {
+	var candidates []explore.Explorer
+	candidates = append(candidates, explore.DFS{}, explore.UnmarkedDFS{})
+	if graph.IsCanonicalOrientedRing(g) {
+		candidates = append(candidates, explore.OrientedRingSweep{})
+	}
+	if g.IsEulerian() {
+		candidates = append(candidates, explore.Eulerian{})
+	}
+	return candidates[int(exb)%len(candidates)]
+}
+
+// fuzzSchedule decodes up to 12 segments from a bit pattern.
+func fuzzSchedule(bits uint16, length byte) sim.Schedule {
+	l := int(length) % 13
+	sched := make(sim.Schedule, l)
+	for i := range sched {
+		if bits&(1<<i) != 0 {
+			sched[i] = sim.SegmentExplore
+		} else {
+			sched[i] = sim.SegmentWait
+		}
+	}
+	return sched
+}
+
+// FuzzMeetOracleVsSim is the differential spine of the meeting-table
+// executor: for a random graph family, explorer, schedule pair, start
+// pair, delay and model variant, the oracle's Result must be bit-for-bit
+// equal to sim.Run's, and the two must agree on whether the scenario is
+// valid at all.
+func FuzzMeetOracleVsSim(f *testing.F) {
+	f.Add(byte(0), byte(0), byte(5), uint16(0b1011), byte(4), uint16(0b0110), byte(4), byte(0), byte(3), byte(0), false)
+	f.Add(byte(1), byte(1), byte(4), uint16(0b0101), byte(3), uint16(0b1111), byte(5), byte(1), byte(2), byte(7), true)
+	f.Add(byte(2), byte(0), byte(6), uint16(0xffff), byte(12), uint16(0), byte(12), byte(2), byte(0), byte(30), false)
+	f.Add(byte(3), byte(2), byte(7), uint16(0b10), byte(2), uint16(0b01), byte(2), byte(0), byte(1), byte(1), false)
+	f.Add(byte(4), byte(3), byte(3), uint16(0b111), byte(3), uint16(0b111), byte(3), byte(4), byte(5), byte(9), true)
+	f.Add(byte(5), byte(0), byte(0), uint16(0b1), byte(1), uint16(0b1), byte(1), byte(0), byte(7), byte(0), false)
+	f.Add(byte(6), byte(1), byte(9), uint16(0), byte(0), uint16(0), byte(0), byte(3), byte(3), byte(2), false)
+	f.Add(byte(7), byte(0), byte(8), uint16(0b1100), byte(6), uint16(0b0011), byte(6), byte(5), byte(1), byte(60), true)
+
+	f.Fuzz(func(t *testing.T, family, exb, nb byte, bitsA uint16, lenA byte, bitsB uint16, lenB byte, sa, sb, delay byte, parachuted bool) {
+		g := fuzzGraph(family, nb)
+		ex := fuzzExplorer(exb, g)
+		o, err := New(g, ex)
+		if err != nil {
+			t.Fatalf("New on %v with %s: %v", g, ex.Name(), err)
+		}
+		n := g.N()
+		a := sim.AgentSpec{Label: 1, Start: int(sa) % n, Wake: 1, Schedule: fuzzSchedule(bitsA, lenA)}
+		b := sim.AgentSpec{Label: 2, Start: int(sb) % n, Wake: 1 + int(delay), Schedule: fuzzSchedule(bitsB, lenB)}
+		sc := sim.Scenario{Graph: g, Explorer: ex, A: a, B: b, Parachuted: parachuted}
+
+		want, wantErr := sim.Run(sc)
+		got, gotErr := o.Run(a, b, parachuted)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("error divergence: sim err = %v, oracle err = %v\nA: %+v\nB: %+v", wantErr, gotErr, a, b)
+		}
+		if wantErr != nil {
+			return
+		}
+		if got != want {
+			t.Fatalf("result divergence on %v with %s (parachuted=%v):\nA: %+v\nB: %+v\nsim:    %+v\noracle: %+v",
+				g, ex.Name(), parachuted, a, b, want, got)
+		}
+	})
+}

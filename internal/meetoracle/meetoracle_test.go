@@ -1,0 +1,313 @@
+package meetoracle
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"rendezvous/internal/core"
+	"rendezvous/internal/explore"
+	"rendezvous/internal/graph"
+	"rendezvous/internal/sim"
+)
+
+// runBoth executes the same scenario through sim.Run and the oracle and
+// fails the test on any divergence — result or error presence.
+func runBoth(t *testing.T, o *Oracle, sc sim.Scenario) {
+	t.Helper()
+	want, wantErr := sim.Run(sc)
+	got, gotErr := o.Run(sc.A, sc.B, sc.Parachuted)
+	if (wantErr == nil) != (gotErr == nil) {
+		t.Fatalf("error divergence: sim err = %v, oracle err = %v (A %+v, B %+v)", wantErr, gotErr, sc.A, sc.B)
+	}
+	if wantErr != nil {
+		return
+	}
+	if got != want {
+		t.Fatalf("result divergence (parachuted=%v):\nA: %+v\nB: %+v\nsim:    %+v\noracle: %+v",
+			sc.Parachuted, sc.A, sc.B, want, got)
+	}
+}
+
+// randomSchedule draws a schedule of the given length.
+func randomSchedule(rng *rand.Rand, length int) sim.Schedule {
+	sched := make(sim.Schedule, length)
+	for i := range sched {
+		if rng.Intn(2) == 0 {
+			sched[i] = sim.SegmentWait
+		} else {
+			sched[i] = sim.SegmentExplore
+		}
+	}
+	return sched
+}
+
+// TestExhaustiveSmall compares the oracle against sim.Run over every
+// schedule pair of length <= 3, every start pair, a delay sweep
+// crossing E, and both parachuted modes, on a ring and a star.
+func TestExhaustiveSmall(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		ex   explore.Explorer
+	}{
+		{"ring-5/sweep", graph.OrientedRing(5), explore.OrientedRingSweep{}},
+		{"star-4/dfs", graph.Star(4), explore.DFS{}},
+	}
+	all := allSchedules(3)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o, err := New(tc.g, tc.ex)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := o.E()
+			n := tc.g.N()
+			delays := []int{0, 1, e - 1, e, e + 1, 2*e + 1}
+			for _, sa := range all {
+				for _, sb := range all {
+					for startA := 0; startA < n; startA++ {
+						for _, startB := range []int{(startA + 1) % n, (startA + n - 1) % n} {
+							for _, d := range delays {
+								for _, par := range []bool{false, true} {
+									runBoth(t, o, sim.Scenario{
+										Graph:      tc.g,
+										Explorer:   tc.ex,
+										A:          sim.AgentSpec{Label: 1, Start: startA, Wake: 1, Schedule: sa},
+										B:          sim.AgentSpec{Label: 2, Start: startB, Wake: 1 + d, Schedule: sb},
+										Parachuted: par,
+									})
+								}
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// allSchedules enumerates every schedule of length 0..maxLen.
+func allSchedules(maxLen int) []sim.Schedule {
+	scheds := []sim.Schedule{{}}
+	frontier := []sim.Schedule{{}}
+	for l := 0; l < maxLen; l++ {
+		var next []sim.Schedule
+		for _, s := range frontier {
+			for _, seg := range []sim.Segment{sim.SegmentWait, sim.SegmentExplore} {
+				ext := append(append(sim.Schedule{}, s...), seg)
+				next = append(next, ext)
+			}
+		}
+		scheds = append(scheds, next...)
+		frontier = next
+	}
+	return scheds
+}
+
+// TestRandomizedFamilies compares the oracle against sim.Run on random
+// schedules across every graph family and applicable explorer,
+// including delayed wake-ups in both directions and parachuted mode.
+func TestRandomizedFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		ex   explore.Explorer
+	}{
+		{"ring-8/sweep", graph.OrientedRing(8), explore.OrientedRingSweep{}},
+		{"ring-8/dfs", graph.OrientedRing(8), explore.DFS{}},
+		{"ring-9/unmarked", graph.OrientedRing(9), explore.UnmarkedDFS{}},
+		{"shuffled-ring-7/dfs", graph.Ring(7, rand.New(rand.NewSource(9))), explore.DFS{}},
+		{"tree-9/dfs", graph.RandomTree(9, rand.New(rand.NewSource(3))), explore.DFS{}},
+		{"grid-3x3/dfs", graph.Grid(3, 3), explore.DFS{}},
+		{"torus-3x3/eulerian", graph.Torus(3, 3), explore.Eulerian{}},
+		{"torus-3x4/hamiltonian", graph.Torus(3, 4), explore.Hamiltonian{}},
+		{"hypercube-3/hamiltonian", graph.Hypercube(3), explore.Hamiltonian{}},
+		{"complete-5/dfs", graph.Complete(5), explore.DFS{}},
+		{"path-6/dfs", graph.Path(6), explore.DFS{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o, err := New(tc.g, tc.ex)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := o.E()
+			n := tc.g.N()
+			for trial := 0; trial < 200; trial++ {
+				sa := randomSchedule(rng, rng.Intn(7))
+				sb := randomSchedule(rng, rng.Intn(7))
+				startA := rng.Intn(n)
+				startB := (startA + 1 + rng.Intn(n-1)) % n
+				wakeA, wakeB := 1, 1
+				switch rng.Intn(3) {
+				case 0:
+					wakeB = 1 + rng.Intn(3*e)
+				case 1:
+					wakeA = 1 + rng.Intn(3*e)
+				}
+				runBoth(t, o, sim.Scenario{
+					Graph:      tc.g,
+					Explorer:   tc.ex,
+					A:          sim.AgentSpec{Label: 1, Start: startA, Wake: wakeA, Schedule: sa},
+					B:          sim.AgentSpec{Label: 2, Start: startB, Wake: wakeB, Schedule: sb},
+					Parachuted: rng.Intn(2) == 0,
+				})
+			}
+		})
+	}
+}
+
+// TestAlgorithmSchedules runs the paper's algorithms through both
+// executors on a non-ring graph — longer, structured schedules than the
+// random ones above.
+func TestAlgorithmSchedules(t *testing.T) {
+	g := graph.Grid(3, 3)
+	ex := explore.DFS{}
+	o, err := New(g, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := o.E()
+	const L = 5
+	params := core.Params{L: L}
+	for _, algo := range []core.Algorithm{core.Cheap{}, core.Fast{}, core.NewFastWithRelabeling(2)} {
+		for la := 1; la <= L; la++ {
+			for lb := 1; lb <= L; lb++ {
+				if la == lb {
+					continue
+				}
+				for _, d := range []int{0, 1, e, e + 1} {
+					runBoth(t, o, sim.Scenario{
+						Graph:    g,
+						Explorer: ex,
+						A:        sim.AgentSpec{Label: la, Start: 0, Wake: 1, Schedule: algo.Schedule(la, params)},
+						B:        sim.AgentSpec{Label: lb, Start: 4, Wake: 1 + d, Schedule: algo.Schedule(lb, params)},
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestRunValidationErrors checks that Run mirrors sim.Run's sentinel
+// errors exactly.
+func TestRunValidationErrors(t *testing.T) {
+	g := graph.OrientedRing(6)
+	o, err := New(g, explore.OrientedRingSweep{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := sim.Schedule{sim.SegmentExplore}
+	cases := []struct {
+		name string
+		a, b sim.AgentSpec
+		want error
+	}{
+		{"same start", sim.AgentSpec{Label: 1, Start: 2, Wake: 1, Schedule: sched}, sim.AgentSpec{Label: 2, Start: 2, Wake: 1, Schedule: sched}, sim.ErrSameStart},
+		{"same label", sim.AgentSpec{Label: 1, Start: 0, Wake: 1, Schedule: sched}, sim.AgentSpec{Label: 1, Start: 2, Wake: 1, Schedule: sched}, sim.ErrSameLabel},
+		{"start out of range", sim.AgentSpec{Label: 1, Start: -1, Wake: 1, Schedule: sched}, sim.AgentSpec{Label: 2, Start: 2, Wake: 1, Schedule: sched}, sim.ErrStartOutRange},
+		{"bad wake", sim.AgentSpec{Label: 1, Start: 0, Wake: 2, Schedule: sched}, sim.AgentSpec{Label: 2, Start: 2, Wake: 3, Schedule: sched}, sim.ErrBadWake},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := o.Run(tc.a, tc.b, false); !errors.Is(err, tc.want) {
+				t.Errorf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+	t.Run("unknown segment kind", func(t *testing.T) {
+		bad := sim.Schedule{sim.Segment(99)}
+		_, err := o.Run(
+			sim.AgentSpec{Label: 1, Start: 0, Wake: 1, Schedule: bad},
+			sim.AgentSpec{Label: 2, Start: 2, Wake: 1, Schedule: sched}, false)
+		if err == nil {
+			t.Error("want error for unknown segment kind")
+		}
+	})
+}
+
+// TestNewErrors pins down the build-time failures.
+func TestNewErrors(t *testing.T) {
+	if _, err := New(graph.Grid(2, 3), explore.Eulerian{}); err == nil {
+		t.Error("Eulerian on a grid with odd-degree nodes: want error")
+	}
+	if _, err := New(graph.Grid(3, 3), explore.OrientedRingSweep{}); err == nil {
+		t.Error("ring sweep on a grid: want error")
+	}
+}
+
+// TestEndMap checks the end-map against the explorer's plans.
+func TestEndMap(t *testing.T) {
+	g := graph.RandomTree(8, rand.New(rand.NewSource(1)))
+	ex := explore.DFS{}
+	o, err := New(g, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		plan, err := ex.Plan(g, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := plan.End(g, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := o.End(v); got != want {
+			t.Errorf("End(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+// TestPhasesAndEstimate covers the budget arithmetic the dispatch tier
+// relies on.
+func TestPhasesAndEstimate(t *testing.T) {
+	g := graph.OrientedRing(8)
+	o, err := New(g, explore.OrientedRingSweep{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := o.E() // 7
+	got := o.Phases([]int{0, 1, e, e + 1, -3})
+	want := []int{0, 1, e - 1} // 0 -> {0}; 1 -> {1, e-1}; e -> {0}; e+1 -> {1, e-1}; -3 skipped
+	if len(got) != len(want) {
+		t.Fatalf("Phases = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Phases = %v, want %v", got, want)
+		}
+	}
+	if EstimateBytes(8, 7, 3) <= EstimateBytes(8, 7, 1) {
+		t.Error("estimate must grow with phase count")
+	}
+	if EstimateBytes(100, 200, 2) <= EstimateBytes(10, 20, 2) {
+		t.Error("estimate must grow with graph size")
+	}
+}
+
+// TestCompiledAccessors sanity-checks the Compiled surface.
+func TestCompiledAccessors(t *testing.T) {
+	g := graph.OrientedRing(6)
+	o, err := New(g, explore.OrientedRingSweep{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := o.Compile(2, sim.Schedule{sim.SegmentExplore, sim.SegmentWait})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Segments() != 2 || c.Start() != 2 {
+		t.Errorf("Segments/Start = %d/%d", c.Segments(), c.Start())
+	}
+	// One full sweep of E = 5 steps from node 2 ends at node 1; the wait
+	// stays there.
+	if c.Final() != 1 {
+		t.Errorf("Final = %d, want 1", c.Final())
+	}
+	if _, err := o.Compile(17, nil); err == nil {
+		t.Error("out-of-range start: want error")
+	}
+}

@@ -101,6 +101,9 @@ func (space SearchSpace) Expand(n int) (labelPairs, startPairs [][2]int, delays 
 	}
 	startPairs = space.StartPairs
 	if startPairs == nil {
+		if n < 2 {
+			return nil, nil, nil, fmt.Errorf("sim: Search: need a graph with >= 2 nodes (got %d) when StartPairs is nil", n)
+		}
 		startPairs = make([][2]int, 0, n*(n-1))
 		for u := 0; u < n; u++ {
 			for v := 0; v < n; v++ {

@@ -95,18 +95,5 @@ func TestExpandDefaults(t *testing.T) {
 	}
 }
 
-// TestResolveWorkers pins the clamping rules.
-func TestResolveWorkers(t *testing.T) {
-	for _, tt := range []struct{ workers, units, min, max int }{
-		{0, 10, 1, 1},
-		{1, 10, 1, 1},
-		{4, 10, 4, 4},
-		{4, 2, 2, 2},    // clamped to units
-		{-1, 64, 1, 64}, // GOMAXPROCS-dependent but within [1, units]
-	} {
-		got := SearchOptions{Workers: tt.workers}.ResolveWorkers(tt.units)
-		if got < tt.min || got > tt.max {
-			t.Errorf("ResolveWorkers(%d units=%d) = %d, want in [%d, %d]", tt.workers, tt.units, got, tt.min, tt.max)
-		}
-	}
-}
+// The clamping rules of ResolveWorkers are pinned by the table-driven
+// TestResolveWorkers in search_options_test.go.

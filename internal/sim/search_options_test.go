@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestSearchSpaceExpandErrors is the table-driven error-path coverage
+// for SearchSpace.Expand: invalid label spaces and graphs too small to
+// form the default start-pair enumeration must fail up front, instead
+// of silently producing an empty sweep that reports AllMet = true over
+// zero runs.
+func TestSearchSpaceExpandErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		space   SearchSpace
+		n       int
+		wantErr bool
+	}{
+		{"default ok", SearchSpace{L: 2}, 4, false},
+		{"L zero", SearchSpace{}, 4, true},
+		{"L one", SearchSpace{L: 1}, 4, true},
+		{"L negative", SearchSpace{L: -3}, 4, true},
+		{"explicit label pairs bypass L", SearchSpace{LabelPairs: [][2]int{{1, 2}}}, 4, false},
+		{"single-node graph, default starts", SearchSpace{L: 2}, 1, true},
+		{"zero-node graph, default starts", SearchSpace{L: 2}, 0, true},
+		{"single-node graph, explicit starts", SearchSpace{L: 2, StartPairs: [][2]int{{0, 0}}}, 1, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			labelPairs, startPairs, delays, err := tc.space.Expand(tc.n)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("want error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(labelPairs) == 0 {
+				t.Error("no label pairs")
+			}
+			if len(startPairs) == 0 {
+				t.Error("no start pairs")
+			}
+			if len(delays) == 0 {
+				t.Error("no delays")
+			}
+		})
+	}
+}
+
+// TestSearchSpaceExpandDefaults pins the documented default
+// enumeration: all ordered distinct pairs, in canonical order, and the
+// {0} delay set.
+func TestSearchSpaceExpandDefaults(t *testing.T) {
+	labelPairs, startPairs, delays, err := SearchSpace{L: 3}.Expand(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLabels := [][2]int{{1, 2}, {1, 3}, {2, 1}, {2, 3}, {3, 1}, {3, 2}}
+	wantStarts := [][2]int{{0, 1}, {0, 2}, {1, 0}, {1, 2}, {2, 0}, {2, 1}}
+	if len(labelPairs) != len(wantLabels) {
+		t.Fatalf("labelPairs = %v", labelPairs)
+	}
+	for i := range wantLabels {
+		if labelPairs[i] != wantLabels[i] {
+			t.Fatalf("labelPairs[%d] = %v, want %v", i, labelPairs[i], wantLabels[i])
+		}
+	}
+	for i := range wantStarts {
+		if startPairs[i] != wantStarts[i] {
+			t.Fatalf("startPairs[%d] = %v, want %v", i, startPairs[i], wantStarts[i])
+		}
+	}
+	if len(delays) != 1 || delays[0] != 0 {
+		t.Fatalf("delays = %v, want [0]", delays)
+	}
+}
+
+// TestResolveWorkers is the table-driven coverage for the worker-count
+// resolution rules: 0 and 1 are serial, negatives select GOMAXPROCS,
+// and the result is always clamped to [1, units].
+func TestResolveWorkers(t *testing.T) {
+	maxprocs := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		name    string
+		workers int
+		units   int
+		want    int
+	}{
+		{"zero is serial", 0, 100, 1},
+		{"one is serial", 1, 100, 1},
+		{"explicit count", 7, 100, 7},
+		{"clamped to units", 8, 3, 3},
+		{"negative selects GOMAXPROCS", -1, 1 << 30, maxprocs},
+		{"negative clamped to units", -1, 1, 1},
+		{"zero units never yields zero workers", 4, 0, 1},
+		{"negative units never yields zero workers", 4, -2, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := (SearchOptions{Workers: tc.workers}).ResolveWorkers(tc.units); got != tc.want {
+				t.Errorf("ResolveWorkers(%d) with Workers=%d = %d, want %d", tc.units, tc.workers, got, tc.want)
+			}
+		})
+	}
+}

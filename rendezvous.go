@@ -34,6 +34,7 @@ import (
 	"rendezvous/internal/explore"
 	"rendezvous/internal/graph"
 	"rendezvous/internal/lowerbound"
+	"rendezvous/internal/meetoracle"
 	"rendezvous/internal/ringsim"
 	"rendezvous/internal/sim"
 	"rendezvous/internal/uxs"
@@ -146,8 +147,22 @@ type (
 	// witnesses, the number of executions, and whether all met.
 	WorstCase = sim.WorstCase
 	// SearchOptions tunes execution: worker count, cancellation context,
-	// and fast-path control. The zero value is serial.
+	// dispatch tier and meeting-table memory budget. The zero value is
+	// serial with automatic tier dispatch.
 	SearchOptions = adversary.Options
+	// SearchTier identifies an execution tier of the engine (generic
+	// trajectory scan, meeting tables, segment-level ring); TierAuto
+	// picks the fastest eligible one, the others force it.
+	SearchTier = adversary.Tier
+)
+
+// The engine's execution tiers, for SearchOptions.Tier. Forcing a tier
+// never changes results, only which executor produces them.
+const (
+	TierAuto    = adversary.TierAuto
+	TierGeneric = adversary.TierGeneric
+	TierTable   = adversary.TierTable
+	TierRing    = adversary.TierRing
 )
 
 // Search runs the adversary serially over the space for the algorithm
@@ -207,6 +222,24 @@ type (
 // RunOnRing executes two schedules on the oriented ring of size n with
 // the optimal sweep as EXPLORE (E = n-1), in O(|schedules|) time.
 func RunOnRing(n int, a, b RingAgent) (RingResult, error) { return ringsim.Run(n, a, b) }
+
+// Meeting-table execution (internal/meetoracle): the segment-level
+// trick generalized from the ring to every graph family. A MeetOracle
+// precomputes, once per (graph, explorer), the walk and meeting tables
+// that make any execution an O(|schedule|) scan independent of E; it
+// is what the search engine's TierTable dispatches to.
+type (
+	// MeetOracle holds the precomputed meeting structure of one
+	// (graph, explorer) pair; safe for concurrent use.
+	MeetOracle = meetoracle.Oracle
+	// CompiledSchedule is a schedule lowered onto an oracle's tables.
+	CompiledSchedule = meetoracle.Compiled
+)
+
+// NewMeetOracle precomputes the meeting tables of a (graph, explorer)
+// pair. Its Run method is bit-for-bit equal to Run with the same graph
+// and explorer; its Meet method is the segment-level analogue of Meet.
+func NewMeetOracle(g *Graph, ex Explorer) (*MeetOracle, error) { return meetoracle.New(g, ex) }
 
 // Trace renders a two-agent execution as a round-by-round timeline.
 func Trace(w io.Writer, sc Scenario, maxRows int) error { return sim.Trace(w, sc, maxRows) }

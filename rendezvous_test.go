@@ -216,3 +216,52 @@ func TestFacadeSearch(t *testing.T) {
 		})
 	}
 }
+
+// TestFacadeMeetOracle exercises the meeting-table surface: the oracle
+// replays a scenario bit-for-bit, and SearchWith is invariant under
+// every forced tier.
+func TestFacadeMeetOracle(t *testing.T) {
+	g := rendezvous.Grid(3, 4)
+	ex := rendezvous.DFSExplorer()
+	oracle, err := rendezvous.NewMeetOracle(g, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := rendezvous.Params{L: 6}
+	algo := rendezvous.Fast{}
+	sc := rendezvous.Scenario{
+		Graph:    g,
+		Explorer: ex,
+		A:        rendezvous.AgentSpec{Label: 2, Start: 0, Wake: 1, Schedule: algo.Schedule(2, params)},
+		B:        rendezvous.AgentSpec{Label: 5, Start: 11, Wake: 9, Schedule: algo.Schedule(5, params)},
+	}
+	want, err := rendezvous.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := oracle.Run(sc.A, sc.B, sc.Parachuted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("oracle diverged from Run:\nsim:    %+v\noracle: %+v", want, got)
+	}
+
+	scheduleFor := func(l int) rendezvous.Schedule { return algo.Schedule(l, params) }
+	space := rendezvous.SearchSpace{L: 4, Delays: []int{0, 1, ex.Duration(g)}}
+	ref, err := rendezvous.SearchWith(g, ex, scheduleFor, space,
+		rendezvous.SearchOptions{Tier: rendezvous.TierGeneric})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tier := range []rendezvous.SearchTier{rendezvous.TierTable, rendezvous.TierAuto} {
+		got, err := rendezvous.SearchWith(g, ex, scheduleFor, space,
+			rendezvous.SearchOptions{Tier: tier, Workers: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ref {
+			t.Errorf("tier %v diverged:\ngeneric: %+v\ngot:     %+v", tier, ref, got)
+		}
+	}
+}
