@@ -7,19 +7,25 @@
 //	rdvbench                 # run every experiment, plain-text tables
 //	rdvbench -run E3,E7      # run a subset
 //	rdvbench -markdown       # emit GitHub-flavoured markdown (EXPERIMENTS.md body)
+//	rdvbench -json           # emit a machine-readable report (CI artifact)
 //	rdvbench -list           # list experiment IDs and titles
 //	rdvbench -workers 8      # shard adversary sweeps across 8 goroutines
 //	rdvbench -timeout 10m    # abort (non-zero exit) if not done in time
-//	rdvbench -tablemem 128   # meeting-table memory budget, MiB (0 = default 64)
+//	rdvbench -tablemem 128   # meeting-table memory budget, MiB (0 = default 64, -1 disables)
+//	rdvbench -symmetry off   # start-pair orbit reduction: auto (default), off, forced
 //
-// Tables are identical for every -workers and -tablemem value;
-// parallelism and the meeting-table tier only change wall-clock time.
-// The process exits non-zero if any bound check fails or the timeout
-// expires.
+// Tables are identical for every -workers, -tablemem and -symmetry
+// value; parallelism, the meeting-table tier and the symmetry-orbit
+// reduction only change wall-clock time (and, for -symmetry, how many
+// configurations execute). Flag values are validated up front: -workers
+// below -1, -tablemem below -1 and unknown -symmetry modes are usage
+// errors. The process exits non-zero if any bound check fails or the
+// timeout expires.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -27,11 +33,25 @@ import (
 	"os"
 	"strings"
 
+	"rendezvous/internal/adversary"
 	"rendezvous/internal/bench"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonReport is the machine-readable -json output: the options the
+// sweep ran under, every rendered table, and the failure count the
+// exit code reflects. CI uploads it as a workflow artifact.
+type jsonReport struct {
+	Options struct {
+		Workers     int    `json:"workers"`
+		TableMemMiB int64  `json:"tablememMiB"`
+		Symmetry    string `json:"symmetry"`
+	} `json:"options"`
+	Experiments []*bench.Table `json:"experiments"`
+	Failures    int            `json:"failures"`
 }
 
 // run is the testable entry point: it parses args with a private flag
@@ -42,16 +62,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		runList  = fs.String("run", "", "comma-separated experiment IDs (default: all)")
 		markdown = fs.Bool("markdown", false, "emit markdown instead of plain text")
+		jsonOut  = fs.Bool("json", false, "emit a machine-readable JSON report instead of plain text")
 		list     = fs.Bool("list", false, "list experiments and exit")
 		workers  = fs.Int("workers", -1, "goroutines per adversary sweep (-1 = GOMAXPROCS, 1 = serial)")
 		timeout  = fs.Duration("timeout", 0, "overall deadline, e.g. 10m (0 = none)")
-		tablemem = fs.Int64("tablemem", 0, "meeting-table memory budget in MiB (0 = engine default, negative disables the tier)")
+		tablemem = fs.Int64("tablemem", 0, "meeting-table memory budget in MiB (0 = engine default, -1 disables the tier)")
+		symmetry = fs.String("symmetry", "auto", "start-pair orbit reduction: auto, off or forced")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
 		return 2
+	}
+	usageErr := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "rdvbench: "+format+"\n", args...)
+		fs.Usage()
+		return 2
+	}
+	if *workers < -1 {
+		return usageErr("-workers %d: want -1 (GOMAXPROCS) or a count >= 0", *workers)
+	}
+	if *tablemem < -1 {
+		return usageErr("-tablemem %d: want -1 (disable the meeting-table tier) or a budget >= 0 MiB", *tablemem)
+	}
+	sym, err := adversary.ParseSymmetry(*symmetry)
+	if err != nil {
+		return usageErr("-symmetry %q: want auto, off or forced", *symmetry)
+	}
+	if *markdown && *jsonOut {
+		return usageErr("-markdown and -json are mutually exclusive")
 	}
 
 	if *list {
@@ -84,7 +124,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *tablemem < 0 {
 		budget = -1
 	}
-	opts := bench.Options{Workers: *workers, Context: ctx, TableBudget: budget}
+	opts := bench.Options{Workers: *workers, Context: ctx, TableBudget: budget, Symmetry: sym}
+
+	report := jsonReport{Experiments: []*bench.Table{}}
+	report.Options.Workers = *workers
+	report.Options.TableMemMiB = *tablemem
+	report.Options.Symmetry = sym.String()
 
 	failures := 0
 	for _, exp := range experiments {
@@ -99,9 +144,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			continue
 		}
 		var renderErr error
-		if *markdown {
+		switch {
+		case *jsonOut:
+			report.Experiments = append(report.Experiments, table)
+		case *markdown:
 			renderErr = table.Markdown(stdout)
-		} else {
+		default:
 			renderErr = table.Render(stdout)
 		}
 		if renderErr != nil {
@@ -109,6 +157,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		failures += len(table.Failed())
+	}
+	if *jsonOut {
+		report.Failures = failures
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(stderr, "json: %v\n", err)
+			return 2
+		}
 	}
 	if failures > 0 {
 		fmt.Fprintf(stderr, "%d check(s) failed\n", failures)

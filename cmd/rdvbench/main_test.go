@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -40,14 +41,93 @@ func TestRunSingleExperiment(t *testing.T) {
 	}
 }
 
-// TestBadFlags covers the error exits.
+// TestBadFlags covers the error exits, including the value validation
+// run() performs after parsing: worker counts below the GOMAXPROCS
+// sentinel, table budgets below the disable sentinel, unknown symmetry
+// modes and contradictory output formats are usage errors (exit 2)
+// with an explanation on stderr, instead of being silently accepted.
 func TestBadFlags(t *testing.T) {
-	var stdout, stderr strings.Builder
-	if code := run([]string{"-run", "E99"}, &stdout, &stderr); code != 2 {
-		t.Errorf("unknown experiment: exit = %d, want 2", code)
+	cases := []struct {
+		name string
+		args []string
+		want string // substring expected on stderr
+	}{
+		{"unknown experiment", []string{"-run", "E99"}, "unknown experiment"},
+		{"unknown flag", []string{"-no-such-flag"}, "flag provided but not defined"},
+		{"workers below -1", []string{"-workers", "-2"}, "-workers -2"},
+		{"tablemem below -1", []string{"-tablemem", "-5"}, "-tablemem -5"},
+		{"symmetry junk", []string{"-symmetry", "junk"}, "-symmetry \"junk\""},
+		{"symmetry empty", []string{"-symmetry", ""}, "-symmetry"},
+		{"markdown+json conflict", []string{"-markdown", "-json"}, "mutually exclusive"},
 	}
-	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
-		t.Errorf("unknown flag: exit = %d, want 2", code)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			if code := run(tc.args, &stdout, &stderr); code != 2 {
+				t.Fatalf("exit = %d, want 2 (stderr: %s)", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.want) {
+				t.Errorf("stderr missing %q:\n%s", tc.want, stderr.String())
+			}
+		})
+	}
+}
+
+// TestSentinelFlagValuesStillWork: -workers -1 (GOMAXPROCS) and
+// -tablemem -1 (disable the meeting-table tier) are documented
+// sentinels, not junk; validation must keep accepting them, as well as
+// every -symmetry mode.
+func TestSentinelFlagValuesStillWork(t *testing.T) {
+	for _, args := range [][]string{
+		{"-run", "E8", "-workers", "-1", "-tablemem", "-1"},
+		{"-run", "E8", "-symmetry", "off"},
+		{"-run", "E8", "-symmetry", "forced"},
+		{"-run", "E8", "-symmetry", "auto"},
+	} {
+		var stdout, stderr strings.Builder
+		if code := run(args, &stdout, &stderr); code != 0 {
+			t.Errorf("%v: exit = %d, stderr: %s", args, code, stderr.String())
+		}
+	}
+}
+
+// TestJSONReport: -json emits a parseable report carrying the options,
+// every table and the failure count.
+func TestJSONReport(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-run", "E8", "-json", "-symmetry", "auto"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr.String())
+	}
+	var report struct {
+		Options struct {
+			Workers  int    `json:"workers"`
+			Symmetry string `json:"symmetry"`
+		} `json:"options"`
+		Experiments []struct {
+			ID     string `json:"ID"`
+			Checks []struct {
+				Name string `json:"Name"`
+				Pass bool   `json:"Pass"`
+			} `json:"Checks"`
+		} `json:"experiments"`
+		Failures int `json:"failures"`
+	}
+	if err := json.Unmarshal([]byte(stdout.String()), &report); err != nil {
+		t.Fatalf("unparseable -json output: %v\n%s", err, stdout.String())
+	}
+	if report.Options.Symmetry != "auto" || report.Failures != 0 {
+		t.Errorf("report header wrong: %+v", report)
+	}
+	if len(report.Experiments) != 1 || report.Experiments[0].ID != "E8" {
+		t.Fatalf("experiments = %+v, want exactly E8", report.Experiments)
+	}
+	if len(report.Experiments[0].Checks) == 0 {
+		t.Error("E8 report carries no checks")
+	}
+	for _, c := range report.Experiments[0].Checks {
+		if !c.Pass {
+			t.Errorf("check %q failed in JSON report", c.Name)
+		}
 	}
 }
 

@@ -37,6 +37,22 @@
 //     cross-engine tests), so dispatch never changes results, only
 //     speed.
 //
+//   - Symmetry reduction. Before tier dispatch, the start-pair space is
+//     quotiented by the graph's port-preserving automorphism group
+//     (graph.Automorphisms + internal/orbits): two start pairs in the
+//     same orbit produce identical outcomes for every label pair and
+//     delay, so only the first listed member of each orbit executes.
+//     On vertex-transitive families (oriented rings and tori,
+//     hypercubes, circulant complete graphs) this cuts executions by a
+//     factor of n, compounding with whichever tier wins; on graphs with
+//     trivial groups it is a no-op. The canonicalization rule —
+//     representative = first orbit member in enumeration order —
+//     makes the reduction invisible except in Runs: values, witnesses
+//     and AllMet are bit-for-bit identical to the unreduced search
+//     (enforced by an exhaustive equivalence sweep and
+//     FuzzSymmetryEquivalence). Options.Symmetry selects
+//     Auto/Off/Forced.
+//
 // Package sim cannot host this dispatch itself because ringsim and
 // meetoracle depend on sim's schedule types; adversary sits above all
 // three and is what internal/bench, cmd/rdvbench and the public facade
@@ -50,6 +66,7 @@ import (
 	"rendezvous/internal/explore"
 	"rendezvous/internal/graph"
 	"rendezvous/internal/meetoracle"
+	"rendezvous/internal/orbits"
 	"rendezvous/internal/ringsim"
 	"rendezvous/internal/sim"
 )
@@ -94,6 +111,58 @@ func (t Tier) String() string {
 	}
 }
 
+// Symmetry selects the engine's start-pair orbit reduction. Reduction
+// never changes values, witnesses or AllMet — only how many
+// configurations execute (WorstCase.Runs) — so the zero value applies
+// it automatically.
+type Symmetry int
+
+const (
+	// SymmetryAuto applies the reduction whenever the graph has a
+	// non-trivial port-preserving automorphism group and every start
+	// pair is in range; degenerate spaces (out-of-range starts, which
+	// have no orbit action) skip it and keep the generic tier's
+	// semantics.
+	SymmetryAuto Symmetry = iota
+	// SymmetryOff disables the reduction; every listed start pair
+	// executes. Equivalence tests and benchmarks use it as the
+	// unreduced reference.
+	SymmetryOff
+	// SymmetryForced always applies the reduction machinery (on a
+	// trivial group it degenerates to the identity quotient) and makes
+	// inapplicable spaces — out-of-range start pairs — an error instead
+	// of a silent skip.
+	SymmetryForced
+)
+
+// String implements fmt.Stringer.
+func (s Symmetry) String() string {
+	switch s {
+	case SymmetryAuto:
+		return "auto"
+	case SymmetryOff:
+		return "off"
+	case SymmetryForced:
+		return "forced"
+	default:
+		return fmt.Sprintf("symmetry(%d)", int(s))
+	}
+}
+
+// ParseSymmetry parses the textual form used by CLI flags.
+func ParseSymmetry(s string) (Symmetry, error) {
+	switch s {
+	case "auto":
+		return SymmetryAuto, nil
+	case "off":
+		return SymmetryOff, nil
+	case "forced":
+		return SymmetryForced, nil
+	default:
+		return 0, fmt.Errorf("adversary: unknown symmetry mode %q (want auto, off or forced)", s)
+	}
+}
+
 // DefaultTableBudget is the memory the meeting-table tier may spend on
 // precomputed tables when Options.TableBudget is zero: 64 MiB, far
 // above any experiment in the repository yet small enough to keep an
@@ -118,6 +187,10 @@ type Options struct {
 	// 0 means DefaultTableBudget; negative disables the table tier
 	// under TierAuto. A forced TierTable ignores the budget.
 	TableBudget int64
+	// Symmetry selects the start-pair orbit reduction applied before
+	// tier dispatch. The zero value (SymmetryAuto) reduces whenever the
+	// graph's automorphism group permits; see Symmetry.
+	Symmetry Symmetry
 	// NoFastPath forces the generic trajectory executor when Tier is
 	// TierAuto, exactly like Tier: TierGeneric. An explicitly forced
 	// Tier takes precedence and NoFastPath is then ignored. It predates
@@ -164,12 +237,21 @@ func (s Spec) FastPathEligible() bool {
 }
 
 // Search runs the adversary over the space and returns the worst time
-// and cost found, dispatching each execution to the fastest eligible
-// executor. Identical inputs yield identical outputs regardless of
-// Workers, scheduling, or which executor ran: witnesses are the first
-// configurations in canonical enumeration order (labelPairs ×
-// startPairs × delays) achieving the maxima.
+// and cost found, first quotienting the start pairs by the graph's
+// automorphism group (Options.Symmetry), then dispatching each
+// remaining execution to the fastest eligible executor. Identical
+// inputs yield identical outputs regardless of Workers, scheduling,
+// which executor ran, or whether the symmetry reduction fired — except
+// for Runs, which counts only the orbit representatives actually
+// executed: witnesses are the first configurations in canonical
+// enumeration order (labelPairs × startPairs × delays) achieving the
+// maxima, and every such first configuration is its orbit's
+// representative.
 func Search(spec Spec, space sim.SearchSpace, opts Options) (sim.WorstCase, error) {
+	space, err := reduceSpace(spec, space, opts.Symmetry)
+	if err != nil {
+		return sim.WorstCase{}, err
+	}
 	tier := opts.Tier
 	if tier == TierAuto && opts.NoFastPath {
 		tier = TierGeneric
@@ -194,6 +276,52 @@ func Search(spec Spec, space sim.SearchSpace, opts Options) (sim.WorstCase, erro
 	}
 }
 
+// reduceSpace is the symmetry-reduction step: it replaces the space's
+// start pairs with one representative per orbit of the graph's
+// port-preserving automorphism group, keeping the first listed member
+// of each orbit so the enumeration order of survivors — and therefore
+// every witness — is unchanged. It returns the space untouched when
+// the reduction cannot fire (SymmetryOff, a trivial group, or — under
+// SymmetryAuto — out-of-range start pairs, which have no orbit action
+// and whose semantics belong to the generic tier). Space-expansion
+// errors surface here, before tier dispatch, identically for every
+// Symmetry mode.
+func reduceSpace(spec Spec, space sim.SearchSpace, sym Symmetry) (sim.SearchSpace, error) {
+	if sym == SymmetryOff {
+		return space, nil // the winning tier expands (and validates) itself
+	}
+	n := spec.Graph.N()
+	labelPairs, startPairs, delays, err := space.Expand(n)
+	if err != nil {
+		return sim.SearchSpace{}, err
+	}
+	for _, sp := range startPairs {
+		if sp[0] < 0 || sp[0] >= n || sp[1] < 0 || sp[1] >= n {
+			if sym == SymmetryForced {
+				return sim.SearchSpace{}, fmt.Errorf("adversary: SymmetryForced: start pair %v out of range [0,%d) has no orbit action", sp, n)
+			}
+			return space, nil
+		}
+	}
+	// From here on the expansion is returned in explicit form even when
+	// no orbit collapses, so the winning tier validates the (already
+	// valid) slices instead of rebuilding them.
+	expanded := sim.SearchSpace{LabelPairs: labelPairs, StartPairs: startPairs, Delays: delays}
+	auts := graph.Automorphisms(spec.Graph)
+	if len(auts) <= 1 && sym != SymmetryForced {
+		return expanded, nil
+	}
+	orbs, err := orbits.Compute(auts, startPairs)
+	if err != nil {
+		return sim.SearchSpace{}, fmt.Errorf("adversary: symmetry reduction: %w", err)
+	}
+	reps := orbs.Representatives()
+	if len(reps) == len(startPairs) {
+		return expanded, nil
+	}
+	return sim.SearchSpace{LabelPairs: labelPairs, StartPairs: reps, Delays: delays}, nil
+}
+
 // genericSearch is the reference tier: the trajectory executor of
 // package sim, with per-worker trajectory caches.
 func genericSearch(spec Spec, space sim.SearchSpace, opts Options) (sim.WorstCase, error) {
@@ -205,8 +333,8 @@ func genericSearch(spec Spec, space sim.SearchSpace, opts Options) (sim.WorstCas
 // configurations the meeting-table executor does not encode: negative
 // delays (the generic path reports them through Meet's clamping
 // semantics) and out-of-range starts (which the generic path has its
-// own behaviour for). Equal starts are fine: the tables handle them
-// exactly as the trajectory scan does.
+// own behaviour for — a per-execution compile error). Equal starts
+// cannot reach the executors anymore: Expand rejects them up front.
 func tableDegenerate(n int, startPairs [][2]int, delays []int) bool {
 	for _, d := range delays {
 		if d < 0 {
@@ -332,15 +460,9 @@ func ringSearch(spec Spec, space sim.SearchSpace, opts Options) (sim.WorstCase, 
 		return sim.WorstCase{}, err
 	}
 	// The ring executor shares the table tier's notion of a degenerate
-	// space and additionally rejects equal start pairs (ringsim.Run
-	// errors on them, while the generic path has its own behaviour).
-	fallback := tableDegenerate(n, startPairs, delays)
-	for _, sp := range startPairs {
-		if sp[0] == sp[1] {
-			fallback = true
-		}
-	}
-	if fallback {
+	// space (equal start pairs, which ringsim.Run would reject, no
+	// longer reach any executor: Expand errors on them first).
+	if tableDegenerate(n, startPairs, delays) {
 		return genericSearch(spec, space, opts)
 	}
 

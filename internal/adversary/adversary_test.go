@@ -136,11 +136,11 @@ func TestNegativeDelayFallsBack(t *testing.T) {
 	}
 }
 
-// TestDegenerateStartPairsFallBack: start pairs the segment-level
-// executor would reject (equal starts) must not make dispatch
-// observable — the engine routes them through the generic executor,
-// matching NoFastPath exactly.
-func TestDegenerateStartPairsFallBack(t *testing.T) {
+// TestEqualStartPairsRejectedEverywhere: the model places agents at
+// distinct nodes, so spaces listing equal start pairs must error out
+// of Expand identically through every tier, worker count and symmetry
+// mode — never reach an executor, never silently fall back.
+func TestEqualStartPairsRejectedEverywhere(t *testing.T) {
 	const n, L = 10, 4
 	spec := specFor(graph.OrientedRing(n), explore.OrientedRingSweep{}, core.Cheap{}, L)
 	space := sim.SearchSpace{
@@ -148,17 +148,17 @@ func TestDegenerateStartPairsFallBack(t *testing.T) {
 		StartPairs: [][2]int{{3, 3}, {0, 5}},
 		Delays:     []int{0, 2},
 	}
-	want, err := Search(spec, space, Options{NoFastPath: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, workers := range []int{0, 4} {
-		got, err := Search(spec, space, Options{Workers: workers})
-		if err != nil {
-			t.Fatalf("workers=%d: %v", workers, err)
-		}
-		if got != want {
-			t.Errorf("workers=%d: equal-start dispatch diverged: %+v vs %+v", workers, got, want)
+	for _, opts := range []Options{
+		{},
+		{Workers: 4},
+		{NoFastPath: true},
+		{Tier: TierTable},
+		{Tier: TierRing},
+		{Symmetry: SymmetryOff},
+		{Symmetry: SymmetryForced},
+	} {
+		if _, err := Search(spec, space, opts); err == nil {
+			t.Errorf("opts %+v: equal start pair accepted, want error", opts)
 		}
 	}
 }
@@ -278,14 +278,13 @@ func TestTableTierMatchesGeneric(t *testing.T) {
 	}
 }
 
-// TestTableTierEqualStarts: unlike the ring executor, the meeting
-// tables handle equal start pairs exactly as the trajectory scan does,
-// so no fallback fires and results still match.
-func TestTableTierEqualStarts(t *testing.T) {
+// TestTableTierExplicitStarts: the meeting-table tier honours explicit
+// (valid) start-pair subsets exactly as the trajectory scan does.
+func TestTableTierExplicitStarts(t *testing.T) {
 	spec := specFor(graph.Grid(3, 3), explore.DFS{}, core.Cheap{}, 4)
 	space := sim.SearchSpace{
 		L:          4,
-		StartPairs: [][2]int{{2, 2}, {0, 5}},
+		StartPairs: [][2]int{{2, 6}, {0, 5}},
 		Delays:     []int{0, 3},
 	}
 	want, err := Search(spec, space, Options{Tier: TierGeneric})
@@ -297,7 +296,7 @@ func TestTableTierEqualStarts(t *testing.T) {
 		t.Fatal(err)
 	}
 	if got != want {
-		t.Errorf("equal-start table tier diverged: %+v vs %+v", got, want)
+		t.Errorf("explicit-start table tier diverged: %+v vs %+v", got, want)
 	}
 }
 

@@ -169,3 +169,61 @@ func BenchmarkUnmarkedSweepGeneric(b *testing.B) {
 func BenchmarkUnmarkedSweepTable(b *testing.B) {
 	runUnmarkedSweep(b, Options{Workers: 1, Tier: TierTable})
 }
+
+// The torus pair is the acceptance benchmark for the symmetry-orbit
+// reduction: an exhaustive-start sweep on the 4x4 oriented torus
+// (240 ordered start pairs per label pair unreduced, 15 orbit
+// representatives reduced — the translation group has order 16), DFS
+// explorer, L = 16, both serial through the same winning tier, so the
+// gain measured is purely the quotient. The reduction composes with
+// the table tier: the recorded numbers (DESIGN.md "engine" section)
+// multiply the table tier's gain by ~16x on this sweep. Run with
+//
+//	go test ./internal/adversary -bench BenchmarkTorusSweep -benchtime 3x
+
+func torusSpec() Spec {
+	const L = 16
+	params := core.Params{L: L}
+	return Spec{
+		Graph:       graph.Torus(4, 4),
+		Explorer:    explore.DFS{},
+		ScheduleFor: func(l int) sim.Schedule { return core.Fast{}.Schedule(l, params) },
+	}
+}
+
+func torusSpace() sim.SearchSpace {
+	e := explore.DFS{}.Duration(graph.Torus(4, 4))
+	return sim.SearchSpace{L: 16, Delays: []int{0, 1, e}}
+}
+
+func runTorusSweep(b *testing.B, opts Options) {
+	b.Helper()
+	spec, space := torusSpec(), torusSpace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wc, err := Search(spec, space, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !wc.AllMet {
+			b.Fatal("executions failed to meet")
+		}
+	}
+}
+
+func BenchmarkTorusSweepSymmetryOff(b *testing.B) {
+	runTorusSweep(b, Options{Workers: 1, Symmetry: SymmetryOff})
+}
+
+func BenchmarkTorusSweepSymmetryAuto(b *testing.B) {
+	runTorusSweep(b, Options{Workers: 1})
+}
+
+func BenchmarkTorusSweepSymmetryOffGeneric(b *testing.B) {
+	runTorusSweep(b, Options{Workers: 1, Symmetry: SymmetryOff, Tier: TierGeneric})
+}
+
+func BenchmarkTorusSweepSymmetryAutoGeneric(b *testing.B) {
+	runTorusSweep(b, Options{Workers: 1, Tier: TierGeneric})
+}

@@ -105,3 +105,50 @@ func FuzzDispatchEquivalence(f *testing.F) {
 		}
 	})
 }
+
+// FuzzSymmetryEquivalence is the differential spine of the symmetry
+// reduction: under random specs and delay sets, the orbit-reduced
+// search must return bit-for-bit the same worst case as the unreduced
+// one — values, witnesses and AllMet — with Runs shrunk by exactly the
+// automorphism-group order (the groups act freely on ordered distinct
+// pairs in every reachable family), for every symmetry mode, tier and
+// worker count.
+func FuzzSymmetryEquivalence(f *testing.F) {
+	f.Add(byte(0), byte(1), byte(0), byte(5), byte(3), byte(0), byte(7), byte(2))
+	f.Add(byte(0), byte(0), byte(1), byte(2), byte(4), byte(1), byte(0), byte(1))
+	f.Add(byte(1), byte(0), byte(2), byte(3), byte(2), byte(9), byte(9), byte(3))
+	f.Add(byte(2), byte(0), byte(3), byte(6), byte(3), byte(2), byte(40), byte(0))
+	f.Add(byte(3), byte(0), byte(0), byte(4), byte(5), byte(0), byte(13), byte(2))
+	f.Add(byte(4), byte(0), byte(2), byte(7), byte(2), byte(3), byte(5), byte(8))
+	f.Add(byte(5), byte(1), byte(1), byte(0), byte(3), byte(0), byte(17), byte(2))
+
+	f.Fuzz(func(t *testing.T, family, exb, algob, nb, Lb, d1, d2, workers byte) {
+		L := 2 + int(Lb)%3 // 2..4
+		spec := fuzzSpec(family, exb, algob, nb, L)
+		e := spec.Explorer.Duration(spec.Graph)
+		space := sim.SearchSpace{L: L, Delays: []int{int(d1) % (e + 2), int(d2) % (3 * e)}}
+
+		want, err := Search(spec, space, Options{Symmetry: SymmetryOff})
+		if err != nil {
+			t.Fatal(err)
+		}
+		order := len(graph.Automorphisms(spec.Graph))
+		for _, w := range []int{1, 2 + int(workers)%3} {
+			for _, sym := range []Symmetry{SymmetryAuto, SymmetryForced} {
+				got, err := Search(spec, space, Options{Workers: w, Symmetry: sym})
+				if err != nil {
+					t.Fatalf("sym=%v workers=%d: %v", sym, w, err)
+				}
+				if got.Runs*order != want.Runs {
+					t.Fatalf("sym=%v workers=%d on %v: Runs = %d, want %d/%d",
+						sym, w, spec.Graph, got.Runs, want.Runs, order)
+				}
+				got.Runs = want.Runs
+				if got != want {
+					t.Fatalf("sym=%v workers=%d diverged on %v with %s:\noff: %+v\ngot: %+v",
+						sym, w, spec.Graph, spec.Explorer.Name(), want, got)
+				}
+			}
+		}
+	})
+}

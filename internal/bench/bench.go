@@ -31,11 +31,16 @@ type Options struct {
 	// negative disables the meeting-table tier). Results are identical
 	// for every value; only wall-clock time changes.
 	TableBudget int64
+	// Symmetry selects the engine's start-pair orbit reduction
+	// (adversary.Symmetry; the zero value reduces automatically).
+	// Values, witnesses and every bound check are identical for every
+	// setting; only the execution count and wall-clock time change.
+	Symmetry adversary.Symmetry
 }
 
 // search lowers the experiment options onto the adversary engine.
 func (o Options) search() adversary.Options {
-	return adversary.Options{Workers: o.Workers, Context: o.Context, TableBudget: o.TableBudget}
+	return adversary.Options{Workers: o.Workers, Context: o.Context, TableBudget: o.TableBudget, Symmetry: o.Symmetry}
 }
 
 // ringsimSearch lowers the experiment options onto the segment-level

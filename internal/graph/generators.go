@@ -180,8 +180,13 @@ func Grid(rows, cols int) *Graph {
 }
 
 // Torus returns the rows x cols torus (grid with wraparound in both
-// dimensions). Both dimensions must be at least 3 so that no parallel
-// edges arise.
+// dimensions) with direction-consistent ports at every node: port 0
+// leads east (c+1), port 1 west, port 2 south (r+1), port 3 north —
+// the torus analogue of the oriented ring's clockwise port 0 and the
+// hypercube's dimension ports. Under this labeling every translation
+// is a port-preserving automorphism (TorusTranslations), which is what
+// the search engine's symmetry reduction quotients by. Both dimensions
+// must be at least 3 so that no parallel edges arise.
 func Torus(rows, cols int) *Graph {
 	if rows < 3 || cols < 3 {
 		panic(fmt.Sprintf("graph: Torus(%d,%d): need rows,cols >= 3", rows, cols))
@@ -190,8 +195,30 @@ func Torus(rows, cols int) *Graph {
 	id := func(r, c int) int { return r*cols + c }
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
-			b.AddEdge(id(r, c), id(r, (c+1)%cols))
-			b.AddEdge(id(r, c), id((r+1)%rows, c))
+			b.AddEdgePorts(id(r, c), 0, id(r, (c+1)%cols), 1)
+			b.AddEdgePorts(id(r, c), 2, id((r+1)%rows, c), 3)
+		}
+	}
+	return b.MustBuild()
+}
+
+// CirculantComplete returns the complete graph K_n with the circulant
+// port labeling: port p at node v leads to node (v+p+1) mod n, entered
+// at port n-2-p. Unlike Complete's increasing-neighbor-order ports —
+// which break every symmetry (an agent can identify nodes by entry
+// ports alone) — the circulant labeling makes all n rotations
+// port-preserving automorphisms (CirculantRotations), the maximum any
+// port labeling of K_n admits. n must be at least 2.
+func CirculantComplete(n int) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("graph: CirculantComplete(%d): need n >= 2", n))
+	}
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for p := 0; p+1 < n; p++ {
+			if u := (v + p + 1) % n; v < u {
+				b.AddEdgePorts(v, p, u, n-2-p)
+			}
 		}
 	}
 	return b.MustBuild()

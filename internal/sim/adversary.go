@@ -21,11 +21,19 @@ type Witness struct {
 
 // WorstCase aggregates the adversary's best achievements over a searched
 // configuration space: the maximum rendezvous time and cost, with the
-// configurations that realise them.
+// configurations that realise them. Both witnesses follow the paper's
+// until-meeting measures, so only executions that achieved rendezvous
+// update them; executions that never meet are still counted in Runs and
+// recorded through AllMet (this matches the segment-level ring engine,
+// whose sweep has always skipped non-meeting executions when updating
+// witnesses).
 type WorstCase struct {
 	Time Witness
 	Cost Witness
-	// Runs is the number of executions examined.
+	// Runs is the number of executions examined. Under the adversary
+	// engine's symmetry reduction only one start pair per automorphism
+	// orbit executes, so Runs can be smaller than the nominal size of
+	// the configuration space; values and witnesses are unaffected.
 	Runs int
 	// AllMet reports whether every execution achieved rendezvous; a
 	// correct algorithm must make this true.
@@ -50,12 +58,17 @@ func (wc *WorstCase) Merge(next WorstCase) {
 
 // Observe records one execution outcome under the canonical
 // strictly-greater update rule shared by the serial and parallel paths.
+// Executions that never meet flip AllMet but update neither witness:
+// the paper defines both time and cost until the meeting, so a
+// non-meeting execution has no finite value of either (its schedule
+// costs are an artifact of the simulation horizon, not of the model).
 func (wc *WorstCase) Observe(labelA, labelB, startA, startB, delay int, res Result) {
 	wc.Runs++
 	if !res.Met {
 		wc.AllMet = false
+		return
 	}
-	if res.Met && res.Time() > wc.Time.Value {
+	if res.Time() > wc.Time.Value {
 		wc.Time = Witness{LabelA: labelA, LabelB: labelB, StartA: startA, StartB: startB, DelayB: delay, Value: res.Time()}
 	}
 	if res.Cost() > wc.Cost.Value {
@@ -67,13 +80,16 @@ func (wc *WorstCase) Observe(labelA, labelB, startA, startB, delay int, res Resu
 // exhaustive default noted per field.
 type SearchSpace struct {
 	// LabelPairs lists ordered (labelA, labelB) pairs; both agents run
-	// the deterministic algorithm with their own label. Defaults to all
-	// ordered pairs of distinct labels in {1..L}.
+	// the deterministic algorithm with their own label. The model
+	// requires distinct labels >= 1, which Expand enforces. Defaults to
+	// all ordered pairs of distinct labels in {1..L}.
 	LabelPairs [][2]int
 	// L is the label-space size used when LabelPairs is nil.
 	L int
-	// StartPairs lists ordered (startA, startB) pairs. Defaults to all
-	// ordered pairs of distinct nodes.
+	// StartPairs lists ordered (startA, startB) pairs. The model places
+	// the agents at distinct nodes, so pairs with equal entries are
+	// rejected by Expand. Defaults to all ordered pairs of distinct
+	// nodes.
 	StartPairs [][2]int
 	// Delays lists wake delays for agent B (0 = simultaneous start).
 	// Defaults to {0}.
@@ -81,9 +97,11 @@ type SearchSpace struct {
 }
 
 // Expand materialises the space's enumeration over a graph of n nodes,
-// applying the documented defaults. The returned slices define the
-// canonical configuration order (labelPairs × startPairs × delays) that
-// both the serial and the sharded parallel search follow.
+// applying the documented defaults and validating explicit pairs
+// against the model the way the defaults always were: labels must be
+// distinct and >= 1, starts must be distinct. The returned slices
+// define the canonical configuration order (labelPairs × startPairs ×
+// delays) that both the serial and the sharded parallel search follow.
 func (space SearchSpace) Expand(n int) (labelPairs, startPairs [][2]int, delays []int, err error) {
 	labelPairs = space.LabelPairs
 	if labelPairs == nil {
@@ -98,6 +116,15 @@ func (space SearchSpace) Expand(n int) (labelPairs, startPairs [][2]int, delays 
 				}
 			}
 		}
+	} else {
+		for i, lp := range labelPairs {
+			if lp[0] < 1 || lp[1] < 1 {
+				return nil, nil, nil, fmt.Errorf("sim: Search: LabelPairs[%d] = %v: labels must be >= 1", i, lp)
+			}
+			if lp[0] == lp[1] {
+				return nil, nil, nil, fmt.Errorf("sim: Search: LabelPairs[%d] = %v: the model requires distinct labels", i, lp)
+			}
+		}
 	}
 	startPairs = space.StartPairs
 	if startPairs == nil {
@@ -110,6 +137,12 @@ func (space SearchSpace) Expand(n int) (labelPairs, startPairs [][2]int, delays 
 				if u != v {
 					startPairs = append(startPairs, [2]int{u, v})
 				}
+			}
+		}
+	} else {
+		for i, sp := range startPairs {
+			if sp[0] == sp[1] {
+				return nil, nil, nil, fmt.Errorf("sim: Search: StartPairs[%d] = %v: the model requires distinct start nodes", i, sp)
 			}
 		}
 	}
@@ -337,8 +370,9 @@ func searchShard(ctx context.Context, tc *Trajectories, labelPairs, startPairs [
 
 // Search runs the adversary over the given space and returns the worst
 // time and cost found. Every execution must achieve rendezvous for
-// AllMet to hold; executions that never meet are still counted (with
-// their full schedule costs) so the caller can detect the violation.
+// AllMet to hold; executions that never meet are still counted in Runs
+// so the caller can detect the violation, but contribute to neither
+// witness (both measures are defined until the meeting).
 //
 // Search is the serial entry point kept for existing callers; it is
 // SearchWith with zero options.

@@ -153,6 +153,9 @@ func (t Trajectory) Concat(next Trajectory) Trajectory {
 // explorations follow ex.Plan from the current node. The returned
 // trajectory has exactly len(sched)·E rounds.
 func CompileTrajectory(g *graph.Graph, ex explore.Explorer, start int, sched Schedule) (Trajectory, error) {
+	if start < 0 || start >= g.N() {
+		return Trajectory{}, fmt.Errorf("sim: start node %d out of range [0,%d)", start, g.N())
+	}
 	e := ex.Duration(g)
 	pos := make([]int, 1, len(sched)*e+1)
 	moves := make([]int, 1, len(sched)*e+1)

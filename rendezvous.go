@@ -94,6 +94,7 @@ func Ring(n int, rng *rand.Rand) *Graph       { return graph.Ring(n, rng) }
 func Path(n int) *Graph                       { return graph.Path(n) }
 func Star(n int) *Graph                       { return graph.Star(n) }
 func Complete(n int) *Graph                   { return graph.Complete(n) }
+func CirculantComplete(n int) *Graph          { return graph.CirculantComplete(n) }
 func Grid(rows, cols int) *Graph              { return graph.Grid(rows, cols) }
 func Torus(rows, cols int) *Graph             { return graph.Torus(rows, cols) }
 func Hypercube(d int) *Graph                  { return graph.Hypercube(d) }
@@ -147,13 +148,25 @@ type (
 	// witnesses, the number of executions, and whether all met.
 	WorstCase = sim.WorstCase
 	// SearchOptions tunes execution: worker count, cancellation context,
-	// dispatch tier and meeting-table memory budget. The zero value is
-	// serial with automatic tier dispatch.
+	// dispatch tier, meeting-table memory budget and symmetry
+	// reduction. The zero value is serial with automatic tier dispatch
+	// and automatic symmetry reduction.
 	SearchOptions = adversary.Options
 	// SearchTier identifies an execution tier of the engine (generic
 	// trajectory scan, meeting tables, segment-level ring); TierAuto
 	// picks the fastest eligible one, the others force it.
 	SearchTier = adversary.Tier
+	// Symmetry selects the engine's start-pair orbit reduction: before
+	// dispatch, start pairs are quotiented by the graph's
+	// port-preserving automorphism group and only one representative
+	// per orbit executes. Values, witnesses and AllMet are bit-for-bit
+	// unchanged; only Runs (and wall-clock time) shrink — by a factor
+	// of n on vertex-transitive families such as oriented rings and
+	// tori, hypercubes and circulant complete graphs.
+	Symmetry = adversary.Symmetry
+	// GraphAutomorphism is a port-preserving automorphism of a Graph —
+	// the node bijections the symmetry reduction quotients by.
+	GraphAutomorphism = graph.Automorphism
 )
 
 // The engine's execution tiers, for SearchOptions.Tier. Forcing a tier
@@ -164,6 +177,26 @@ const (
 	TierTable   = adversary.TierTable
 	TierRing    = adversary.TierRing
 )
+
+// The symmetry-reduction modes, for SearchOptions.Symmetry.
+const (
+	// SymmetryAuto (the zero value) reduces whenever the graph's
+	// automorphism group permits.
+	SymmetryAuto = adversary.SymmetryAuto
+	// SymmetryOff runs every listed start pair — the unreduced
+	// reference for equivalence tests and benchmarks.
+	SymmetryOff = adversary.SymmetryOff
+	// SymmetryForced always applies the reduction machinery and makes
+	// inapplicable spaces an error.
+	SymmetryForced = adversary.SymmetryForced
+)
+
+// Automorphisms returns every port-preserving automorphism of g — the
+// exact symmetry group the search engine's reduction quotients start
+// pairs by. The identity is always present; on consistently-labeled
+// transitive families (OrientedRing, Torus, Hypercube,
+// CirculantComplete) the group has n elements.
+func Automorphisms(g *Graph) []GraphAutomorphism { return graph.Automorphisms(g) }
 
 // Search runs the adversary serially over the space for the algorithm
 // given as a label → schedule function. On the canonical oriented ring

@@ -217,6 +217,45 @@ func TestFacadeSearch(t *testing.T) {
 	}
 }
 
+// TestFacadeSymmetry exercises the symmetry-reduction surface: on a
+// vertex-transitive torus the default (automatic) reduction returns
+// the identical worst case as the explicitly unreduced search while
+// executing n times fewer configurations, and Automorphisms exposes
+// the translation group the quotient is taken by.
+func TestFacadeSymmetry(t *testing.T) {
+	g := rendezvous.Torus(3, 3)
+	ex := rendezvous.DFSExplorer()
+	params := rendezvous.Params{L: 4}
+	scheduleFor := func(l int) rendezvous.Schedule { return rendezvous.Fast{}.Schedule(l, params) }
+	space := rendezvous.SearchSpace{L: 4, Delays: []int{0, 1}}
+
+	auts := rendezvous.Automorphisms(g)
+	if len(auts) != g.N() {
+		t.Fatalf("torus automorphisms = %d, want n = %d translations", len(auts), g.N())
+	}
+	off, err := rendezvous.SearchWith(g, ex, scheduleFor, space,
+		rendezvous.SearchOptions{Symmetry: rendezvous.SymmetryOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := rendezvous.SearchWith(g, ex, scheduleFor, space, rendezvous.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Runs*g.N() != off.Runs {
+		t.Errorf("Runs = %d, want %d/%d", auto.Runs, off.Runs, g.N())
+	}
+	auto.Runs = off.Runs
+	if auto != off {
+		t.Errorf("reduced search changed results:\noff:  %+v\nauto: %+v", off, auto)
+	}
+	if _, err := rendezvous.SearchWith(g, ex, scheduleFor,
+		rendezvous.SearchSpace{L: 4, StartPairs: [][2]int{{2, 2}}},
+		rendezvous.SearchOptions{}); err == nil {
+		t.Error("equal start pair must be rejected")
+	}
+}
+
 // TestFacadeMeetOracle exercises the meeting-table surface: the oracle
 // replays a scenario bit-for-bit, and SearchWith is invariant under
 // every forced tier.
