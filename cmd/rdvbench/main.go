@@ -13,14 +13,20 @@
 //	rdvbench -timeout 10m    # abort (non-zero exit) if not done in time
 //	rdvbench -tablemem 128   # meeting-table memory budget, MiB (0 = default 64, -1 disables)
 //	rdvbench -symmetry off   # start-pair orbit reduction: auto (default), off, forced
+//	rdvbench -cache DIR      # serve repeated sweeps from a result store at DIR
+//	rdvbench -resume DIR     # checkpoint sweeps into DIR; a cancelled run resumes
 //
 // Tables are identical for every -workers, -tablemem and -symmetry
 // value; parallelism, the meeting-table tier and the symmetry-orbit
 // reduction only change wall-clock time (and, for -symmetry, how many
-// configurations execute). Flag values are validated up front: -workers
-// below -1, -tablemem below -1 and unknown -symmetry modes are usage
-// errors. The process exits non-zero if any bound check fails or the
-// timeout expires.
+// configurations execute). -cache and -resume are persistence options
+// with the same property: a store hit returns the exact WorstCase a
+// cold sweep would compute, and a resumed sweep merges to bit-for-bit
+// the same output as an uninterrupted one. Flag values are validated
+// up front: -workers below -1, -tablemem below -1, unknown -symmetry
+// modes and an unusable -cache/-resume directory are usage errors.
+// The process exits non-zero if any bound check fails or the timeout
+// expires.
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 
 	"rendezvous/internal/adversary"
 	"rendezvous/internal/bench"
+	"rendezvous/internal/resultstore"
 )
 
 func main() {
@@ -49,6 +56,8 @@ type jsonReport struct {
 		Workers     int    `json:"workers"`
 		TableMemMiB int64  `json:"tablememMiB"`
 		Symmetry    string `json:"symmetry"`
+		Cache       string `json:"cache,omitempty"`
+		Resume      string `json:"resume,omitempty"`
 	} `json:"options"`
 	Experiments []*bench.Table `json:"experiments"`
 	Failures    int            `json:"failures"`
@@ -68,6 +77,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		timeout  = fs.Duration("timeout", 0, "overall deadline, e.g. 10m (0 = none)")
 		tablemem = fs.Int64("tablemem", 0, "meeting-table memory budget in MiB (0 = engine default, -1 disables the tier)")
 		symmetry = fs.String("symmetry", "auto", "start-pair orbit reduction: auto, off or forced")
+		cacheDir = fs.String("cache", "", "result-store directory for sweep caching (empty = no cache)")
+		resume   = fs.String("resume", "", "checkpoint directory for resumable sweeps (empty = no checkpoints)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -92,6 +103,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *markdown && *jsonOut {
 		return usageErr("-markdown and -json are mutually exclusive")
+	}
+	var store *resultstore.Store
+	if *cacheDir != "" {
+		var err error
+		if store, err = resultstore.Open(*cacheDir); err != nil {
+			return usageErr("-cache %s: %v", *cacheDir, err)
+		}
+	}
+	if *resume != "" {
+		if err := os.MkdirAll(*resume, 0o755); err != nil {
+			return usageErr("-resume %s: %v", *resume, err)
+		}
 	}
 
 	if *list {
@@ -124,12 +147,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *tablemem < 0 {
 		budget = -1
 	}
-	opts := bench.Options{Workers: *workers, Context: ctx, TableBudget: budget, Symmetry: sym}
+	opts := bench.Options{Workers: *workers, Context: ctx, TableBudget: budget, Symmetry: sym, Store: store, CheckpointDir: *resume}
 
 	report := jsonReport{Experiments: []*bench.Table{}}
 	report.Options.Workers = *workers
 	report.Options.TableMemMiB = *tablemem
 	report.Options.Symmetry = sym.String()
+	report.Options.Cache = *cacheDir
+	report.Options.Resume = *resume
 
 	failures := 0
 	for _, exp := range experiments {

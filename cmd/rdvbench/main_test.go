@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -127,6 +129,58 @@ func TestJSONReport(t *testing.T) {
 	for _, c := range report.Experiments[0].Checks {
 		if !c.Pass {
 			t.Errorf("check %q failed in JSON report", c.Name)
+		}
+	}
+}
+
+// TestCacheAndResume: a -cache run populates the result store and a
+// rerun serves from it with identical output; -resume leaves sweep
+// checkpoints behind. Both must not change any table.
+func TestCacheAndResume(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "store")
+	ckpt := filepath.Join(t.TempDir(), "ckpt")
+
+	var cold, warm, plain, stderr strings.Builder
+	if code := run([]string{"-run", "E1"}, &plain, &stderr); code != 0 {
+		t.Fatalf("plain run: exit %d, stderr: %s", code, stderr.String())
+	}
+	stderr.Reset()
+	if code := run([]string{"-run", "E1", "-cache", cache, "-resume", ckpt}, &cold, &stderr); code != 0 {
+		t.Fatalf("cold cached run: exit %d, stderr: %s", code, stderr.String())
+	}
+	records, err := filepath.Glob(filepath.Join(cache, "objects", "*", "*.json"))
+	if err != nil || len(records) == 0 {
+		t.Fatalf("cache store is empty after a cold run (err %v)", err)
+	}
+	// Checkpoints are crash recovery, not a cache: a sweep that ran to
+	// completion must clean its file up (the store carries reruns).
+	ckpts, err := filepath.Glob(filepath.Join(ckpt, "*.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ckpts) != 0 {
+		t.Fatalf("completed sweeps left %d stale checkpoint(s) behind", len(ckpts))
+	}
+	stderr.Reset()
+	if code := run([]string{"-run", "E1", "-cache", cache}, &warm, &stderr); code != 0 {
+		t.Fatalf("warm cached run: exit %d, stderr: %s", code, stderr.String())
+	}
+	if cold.String() != plain.String() || warm.String() != plain.String() {
+		t.Error("cached/resumed output differs from the plain run")
+	}
+}
+
+// TestBadPersistenceFlags: an unusable -cache or -resume location is a
+// usage error, caught before any experiment runs.
+func TestBadPersistenceFlags(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, flag := range []string{"-cache", "-resume"} {
+		var stdout, stderr strings.Builder
+		if code := run([]string{"-run", "E8", flag, file}, &stdout, &stderr); code != 2 {
+			t.Errorf("%s over a file: exit %d, want 2 (stderr: %s)", flag, code, stderr.String())
 		}
 	}
 }

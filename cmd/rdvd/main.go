@@ -1,0 +1,161 @@
+// Command rdvd is the rendezvous search service daemon: a
+// long-running HTTP JSON front end over the adversary-search engine
+// and the content-addressed result store.
+//
+// Usage:
+//
+//	rdvd -addr 127.0.0.1:8377 -store rdvd-store   # serve
+//	rdvd -store rdvd-store -index                 # print the store index (JSON) and exit
+//	rdvd -store rdvd-store -gc -gc-max 1000       # drop corrupt + oldest records and exit
+//
+// Serving endpoints:
+//
+//	POST /search   run (or fetch) an adversary search; body example:
+//	               {"graph":{"family":"ring","n":12},"algorithm":"fast","L":8,"delays":[0,1]}
+//	               Repeating an identical request is answered from the
+//	               store without invoking the engine ("cached": true);
+//	               concurrent identical requests share one engine run
+//	               ("shared": true). Add "stream": true for NDJSON
+//	               shard-level progress events.
+//	GET  /healthz  liveness probe
+//	GET  /index    the store's index (what -index prints)
+//
+// Searches run on a bounded worker pool (-max-concurrent engine runs
+// at once, each sharded across -search-workers goroutines) and are
+// cancelled when every client waiting on them disconnects.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rendezvous/internal/resultstore"
+	"rendezvous/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args with a private flag
+// set and writes to the given streams.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rdvd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr          = fs.String("addr", "127.0.0.1:8377", "listen address")
+		storeDir      = fs.String("store", "rdvd-store", "result store directory")
+		maxConcurrent = fs.Int("max-concurrent", 0, "engine searches running at once (0 = GOMAXPROCS)")
+		searchWorkers = fs.Int("search-workers", -1, "goroutines per search (-1 = GOMAXPROCS)")
+		searchTimeout = fs.Duration("search-timeout", 0, "server-side deadline per engine search (0 = 10m default, negative disables)")
+		index         = fs.Bool("index", false, "print the store index as JSON and exit")
+		gc            = fs.Bool("gc", false, "garbage-collect the store and exit")
+		gcMax         = fs.Int("gc-max", 0, "with -gc: keep at most this many newest records (0 = only drop corrupt ones)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	usageErr := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "rdvd: "+format+"\n", args...)
+		fs.Usage()
+		return 2
+	}
+	if *maxConcurrent < 0 {
+		return usageErr("-max-concurrent %d: want 0 (GOMAXPROCS) or a positive count", *maxConcurrent)
+	}
+	if *searchWorkers < -1 {
+		return usageErr("-search-workers %d: want -1 (GOMAXPROCS) or a count >= 0", *searchWorkers)
+	}
+	if *gcMax < 0 {
+		return usageErr("-gc-max %d: want >= 0", *gcMax)
+	}
+	if *index && *gc {
+		return usageErr("-index and -gc are mutually exclusive")
+	}
+
+	store, err := resultstore.Open(*storeDir)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+
+	switch {
+	case *index:
+		entries, err := store.Index()
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(entries); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
+	case *gc:
+		removed, err := store.GC(resultstore.GCOptions{MaxEntries: *gcMax})
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "rdvd: gc removed %d record(s)\n", removed)
+		return 0
+	}
+
+	srv := serve.New(serve.Config{
+		Store:         store,
+		MaxConcurrent: *maxConcurrent,
+		Workers:       *searchWorkers,
+		SearchTimeout: *searchTimeout,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "rdvd: listening on %s (store %s)\n", ln.Addr(), store.Dir())
+
+	// Header/body reads and idle keep-alives are time-bounded so a
+	// stalled client cannot pin connections (slowloris); there is
+	// deliberately no WriteTimeout, because a cold search may take
+	// arbitrarily long before (and while) the response streams.
+	httpServer := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpServer.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpServer.Shutdown(shutdownCtx); err != nil {
+			httpServer.Close()
+		}
+		fmt.Fprintln(stdout, "rdvd: shut down")
+	}
+	return 0
+}

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rendezvous/internal/resultstore"
+	"rendezvous/internal/sim"
+)
+
+func runCmd(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"bad-max-concurrent", []string{"-max-concurrent", "-2"}, "-max-concurrent"},
+		{"bad-search-workers", []string{"-search-workers", "-5"}, "-search-workers"},
+		{"bad-gc-max", []string{"-gc", "-gc-max", "-1"}, "-gc-max"},
+		{"index-and-gc", []string{"-index", "-gc"}, "mutually exclusive"},
+		{"unknown-flag", []string{"-bogus"}, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runCmd(t, append(tc.args, "-store", t.TempDir())...)
+			if code != 2 {
+				t.Errorf("exit %d, want 2", code)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Errorf("stderr %q does not mention %q", stderr, tc.want)
+			}
+		})
+	}
+}
+
+func TestIndexAndGCModes(t *testing.T) {
+	dir := t.TempDir()
+	store, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := strings.Repeat("ab", 32)
+	if err := store.Put(fp, sim.WorstCase{Runs: 7, AllMet: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	code, stdout, stderr := runCmd(t, "-store", dir, "-index")
+	if code != 0 {
+		t.Fatalf("index: exit %d, stderr %q", code, stderr)
+	}
+	var entries []resultstore.Entry
+	if err := json.Unmarshal([]byte(stdout), &entries); err != nil {
+		t.Fatalf("index output is not JSON: %v\n%s", err, stdout)
+	}
+	if len(entries) != 1 || !entries[0].Valid || entries[0].Runs != 7 {
+		t.Errorf("index entries: %+v", entries)
+	}
+
+	code, stdout, stderr = runCmd(t, "-store", dir, "-gc")
+	if code != 0 {
+		t.Fatalf("gc: exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "removed 0") {
+		t.Errorf("gc over a clean store: %q, want removed 0", stdout)
+	}
+
+	// -index creates the store directory if absent (fresh deploys).
+	code, stdout, _ = runCmd(t, "-store", filepath.Join(t.TempDir(), "fresh"), "-index")
+	if code != 0 || strings.TrimSpace(stdout) != "[]" {
+		t.Errorf("fresh index: exit %d out %q, want exit 0 and []", code, stdout)
+	}
+}
+
+func TestListenFailure(t *testing.T) {
+	code, _, stderr := runCmd(t, "-store", t.TempDir(), "-addr", "256.256.256.256:0")
+	if code != 1 {
+		t.Errorf("exit %d, want 1", code)
+	}
+	if stderr == "" {
+		t.Error("no error output for an unlistenable address")
+	}
+}
+
+// TestServeSmoke boots the daemon on an ephemeral port, issues a cold
+// search, and asserts the identical repeat is a cache hit — the same
+// exchange the CI smoke step performs against the built binary.
+func TestServeSmoke(t *testing.T) {
+	dir := t.TempDir()
+	var stdout lockedBuffer
+	var stderr bytes.Buffer
+	go run([]string{"-addr", "127.0.0.1:0", "-store", dir, "-search-workers", "1"}, &stdout, &stderr)
+
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; stderr: %s", stderr.String())
+		}
+		for _, line := range strings.Split(stdout.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "rdvd: listening on "); ok {
+				base = "http://" + strings.Fields(rest)[0]
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	req := `{"graph":{"family":"ring","n":6},"algorithm":"cheap","L":3}`
+	post := func() map[string]any {
+		resp, err := http.Post(base+"/search", "application/json", strings.NewReader(req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %v", resp.StatusCode, out)
+		}
+		return out
+	}
+	if cold := post(); cold["cached"] != false {
+		t.Errorf("cold request: cached = %v, want false", cold["cached"])
+	}
+	if warm := post(); warm["cached"] != true {
+		t.Errorf("repeat request: cached = %v, want true", warm["cached"])
+	}
+}
+
+// lockedBuffer makes the daemon's stdout safe to poll from the test
+// goroutine.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

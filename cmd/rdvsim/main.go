@@ -10,18 +10,24 @@
 //	-graph   ring | path | star | tree | grid | torus | hypercube | complete
 //	-n       graph size parameter (nodes; dimension for hypercube)
 //	-algo    cheap | cheap-sim | fast | fwr1 | fwr2 | fwr3 | oracle
-//	-L       label space size
+//	-L       label space size (>= 2)
 //	-a,-b    the two agents' labels (distinct, in 1..L)
-//	-sa,-sb  starting nodes (distinct)
-//	-delay   wake-up delay of agent B in rounds (agent A wakes in round 1)
+//	-sa,-sb  starting nodes (distinct, in range; -sb -1 defaults to n/2)
+//	-delay   wake-up delay of agent B in rounds (>= 0; agent A wakes in round 1)
 //	-explorer auto | dfs | ring-sweep | eulerian | hamiltonian
 //	-parachuted  agent B absent before its wake-up round (Conclusion's model)
 //	-seed    seed for randomized generators (tree)
+//
+// Flag values are validated up front: a negative -delay, -L below 2,
+// labels outside 1..L or equal, and start nodes out of range or equal
+// are usage errors (exit 2) rather than deep-engine errors.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
@@ -32,44 +38,86 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+// run is the testable entry point: it parses args with a private flag
+// set and writes to the given streams.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rdvsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		graphKind  = flag.String("graph", "ring", "graph family")
-		n          = flag.Int("n", 24, "graph size parameter")
-		algoName   = flag.String("algo", "fast", "algorithm")
-		labelSpace = flag.Int("L", 16, "label space size")
-		labelA     = flag.Int("a", 3, "label of agent A")
-		labelB     = flag.Int("b", 7, "label of agent B")
-		startA     = flag.Int("sa", 0, "start node of agent A")
-		startB     = flag.Int("sb", -1, "start node of agent B (default n/2)")
-		delay      = flag.Int("delay", 0, "wake-up delay of agent B")
-		expName    = flag.String("explorer", "auto", "exploration procedure")
-		parachuted = flag.Bool("parachuted", false, "agent B absent before wake-up")
-		seed       = flag.Int64("seed", 1, "seed for randomized generators")
-		trace      = flag.Bool("trace", false, "print a round-by-round timeline")
+		graphKind  = fs.String("graph", "ring", "graph family")
+		n          = fs.Int("n", 24, "graph size parameter")
+		algoName   = fs.String("algo", "fast", "algorithm")
+		labelSpace = fs.Int("L", 16, "label space size")
+		labelA     = fs.Int("a", 3, "label of agent A")
+		labelB     = fs.Int("b", 7, "label of agent B")
+		startA     = fs.Int("sa", 0, "start node of agent A")
+		startB     = fs.Int("sb", -1, "start node of agent B (-1 = n/2)")
+		delay      = fs.Int("delay", 0, "wake-up delay of agent B")
+		expName    = fs.String("explorer", "auto", "exploration procedure")
+		parachuted = fs.Bool("parachuted", false, "agent B absent before wake-up")
+		seed       = fs.Int64("seed", 1, "seed for randomized generators")
+		trace      = fs.Bool("trace", false, "print a round-by-round timeline")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	usageErr := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "rdvsim: "+format+"\n", args...)
+		fs.Usage()
+		return 2
+	}
+
+	// Model-level flag validation, before anything touches the engine:
+	// these are user mistakes, not execution outcomes.
+	if *delay < 0 {
+		return usageErr("-delay %d: want >= 0 (agent B cannot wake before agent A)", *delay)
+	}
+	if *labelSpace < 2 {
+		return usageErr("-L %d: want >= 2 (two agents need two distinct labels)", *labelSpace)
+	}
+	if *labelA < 1 || *labelA > *labelSpace {
+		return usageErr("-a %d: want a label in 1..%d", *labelA, *labelSpace)
+	}
+	if *labelB < 1 || *labelB > *labelSpace {
+		return usageErr("-b %d: want a label in 1..%d", *labelB, *labelSpace)
+	}
+	if *labelA == *labelB {
+		return usageErr("-a and -b are both %d: the model requires distinct labels", *labelA)
+	}
 
 	g, err := buildGraph(*graphKind, *n, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 	ex, err := pickExplorer(*expName, g)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 	algo, err := pickAlgorithm(*algoName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	if *startB < 0 {
+	if *startB == -1 {
 		*startB = g.N() / 2
+	}
+	// Start validation needs the built graph for its range.
+	if *startA < 0 || *startA >= g.N() {
+		return usageErr("-sa %d: want a node in 0..%d", *startA, g.N()-1)
+	}
+	if *startB < 0 || *startB >= g.N() {
+		return usageErr("-sb %d: want -1 (default n/2) or a node in 0..%d", *startB, g.N()-1)
+	}
+	if *startA == *startB {
+		return usageErr("-sa and -sb are both %d: the model requires distinct start nodes", *startA)
 	}
 
 	params := core.Params{L: *labelSpace}
@@ -82,30 +130,30 @@ func run() int {
 	}
 	res, err := sim.Run(sc)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 	if *trace {
-		if err := sim.Trace(os.Stdout, sc, 48); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+		if err := sim.Trace(stdout, sc, 48); err != nil {
+			fmt.Fprintln(stderr, err)
 			return 2
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 
 	e := ex.Duration(g)
-	fmt.Printf("graph       %s (n=%d, m=%d)\n", *graphKind, g.N(), g.M())
-	fmt.Printf("explorer    %s (E=%d)\n", ex.Name(), e)
-	fmt.Printf("algorithm   %s (L=%d)\n", algo.Name(), *labelSpace)
-	fmt.Printf("agents      A: label %d at node %d (wake 1)   B: label %d at node %d (wake %d)\n",
+	fmt.Fprintf(stdout, "graph       %s (n=%d, m=%d)\n", *graphKind, g.N(), g.M())
+	fmt.Fprintf(stdout, "explorer    %s (E=%d)\n", ex.Name(), e)
+	fmt.Fprintf(stdout, "algorithm   %s (L=%d)\n", algo.Name(), *labelSpace)
+	fmt.Fprintf(stdout, "agents      A: label %d at node %d (wake 1)   B: label %d at node %d (wake %d)\n",
 		*labelA, *startA, *labelB, *startB, 1+*delay)
 	if !res.Met {
-		fmt.Println("result      NO MEETING (schedules exhausted)")
+		fmt.Fprintln(stdout, "result      NO MEETING (schedules exhausted)")
 		return 1
 	}
-	fmt.Printf("result      met at node %d in round %d\n", res.Node, res.Round)
-	fmt.Printf("time        %d rounds (%.2f·E)\n", res.Time(), float64(res.Time())/float64(e))
-	fmt.Printf("cost        %d traversals (%.2f·E); A moved %d, B moved %d\n",
+	fmt.Fprintf(stdout, "result      met at node %d in round %d\n", res.Node, res.Round)
+	fmt.Fprintf(stdout, "time        %d rounds (%.2f·E)\n", res.Time(), float64(res.Time())/float64(e))
+	fmt.Fprintf(stdout, "cost        %d traversals (%.2f·E); A moved %d, B moved %d\n",
 		res.Cost(), float64(res.Cost())/float64(e), res.CostA, res.CostB)
 	return 0
 }
@@ -113,70 +161,73 @@ func run() int {
 func buildGraph(kind string, n int, seed int64) (*graph.Graph, error) {
 	switch kind {
 	case "ring":
+		if n < 3 {
+			return nil, fmt.Errorf("rdvsim: -graph ring: need -n >= 3 (got %d)", n)
+		}
 		return graph.OrientedRing(n), nil
 	case "path":
+		if n < 2 {
+			return nil, fmt.Errorf("rdvsim: -graph path: need -n >= 2 (got %d)", n)
+		}
 		return graph.Path(n), nil
 	case "star":
+		if n < 2 {
+			return nil, fmt.Errorf("rdvsim: -graph star: need -n >= 2 (got %d)", n)
+		}
 		return graph.Star(n), nil
 	case "tree":
+		if n < 2 {
+			return nil, fmt.Errorf("rdvsim: -graph tree: need -n >= 2 (got %d)", n)
+		}
 		return graph.RandomTree(n, rand.New(rand.NewSource(seed))), nil
 	case "grid":
+		if n < 2 {
+			return nil, fmt.Errorf("rdvsim: -graph grid: need -n >= 2 (got %d)", n)
+		}
 		side := 1
 		for side*side < n {
 			side++
 		}
 		return graph.Grid(side, side), nil
 	case "torus":
+		if n < 2 {
+			return nil, fmt.Errorf("rdvsim: -graph torus: need -n >= 2 (got %d)", n)
+		}
 		side := 3
 		for side*side < n {
 			side++
 		}
 		return graph.Torus(side, side), nil
 	case "hypercube":
+		if n < 1 || n > 20 {
+			return nil, fmt.Errorf("rdvsim: -graph hypercube: need 1 <= -n <= 20 (got %d)", n)
+		}
 		return graph.Hypercube(n), nil
 	case "complete":
+		if n < 2 {
+			return nil, fmt.Errorf("rdvsim: -graph complete: need -n >= 2 (got %d)", n)
+		}
 		return graph.Complete(n), nil
 	default:
 		return nil, fmt.Errorf("rdvsim: unknown graph %q", kind)
 	}
 }
 
+// pickExplorer and pickAlgorithm resolve names through the shared
+// registries (internal/explore, internal/core), so the CLI and the
+// rdvd service always support the same set.
 func pickExplorer(name string, g *graph.Graph) (explore.Explorer, error) {
-	switch name {
-	case "auto":
-		return explore.Best(g, 16), nil
-	case "dfs":
-		return explore.DFS{}, nil
-	case "ring-sweep":
-		return explore.OrientedRingSweep{}, nil
-	case "eulerian":
-		return explore.Eulerian{}, nil
-	case "hamiltonian":
-		return explore.Hamiltonian{}, nil
-	case "unmarked-dfs":
-		return explore.UnmarkedDFS{}, nil
-	default:
-		return nil, fmt.Errorf("rdvsim: unknown explorer %q", name)
+	ex, err := explore.ByName(name, g, 16)
+	if err != nil {
+		return nil, fmt.Errorf("rdvsim: %w", err)
 	}
+	return ex, nil
 }
 
 func pickAlgorithm(name string) (core.Algorithm, error) {
-	switch name {
-	case "cheap":
-		return core.Cheap{}, nil
-	case "cheap-sim":
-		return core.CheapSimultaneous{}, nil
-	case "fast":
-		return core.Fast{}, nil
-	case "fwr1":
-		return core.NewFastWithRelabeling(1), nil
-	case "fwr2":
-		return core.NewFastWithRelabeling(2), nil
-	case "fwr3":
-		return core.NewFastWithRelabeling(3), nil
-	case "oracle":
-		return core.WaitForMate{}, nil
-	default:
-		return nil, fmt.Errorf("rdvsim: unknown algorithm %q", name)
+	algo, err := core.AlgorithmByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("rdvsim: %w", err)
 	}
+	return algo, nil
 }

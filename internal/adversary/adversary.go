@@ -247,33 +247,17 @@ func (s Spec) FastPathEligible() bool {
 // enumeration order (labelPairs × startPairs × delays) achieving the
 // maxima, and every such first configuration is its orbit's
 // representative.
+//
+// Search is newSearchPlan (the one tier-dispatch implementation,
+// shared with SearchCheckpointed) driven through the engine's shared
+// fan-out scaffolding: the plan's sweep on worker-count shards, folded
+// in shard order.
 func Search(spec Spec, space sim.SearchSpace, opts Options) (sim.WorstCase, error) {
-	space, err := reduceSpace(spec, space, opts.Symmetry)
+	plan, err := newSearchPlan(spec, space, opts)
 	if err != nil {
 		return sim.WorstCase{}, err
 	}
-	tier := opts.Tier
-	if tier == TierAuto && opts.NoFastPath {
-		tier = TierGeneric
-	}
-	switch tier {
-	case TierGeneric:
-		return genericSearch(spec, space, opts)
-	case TierRing:
-		if !spec.FastPathEligible() {
-			return sim.WorstCase{}, fmt.Errorf("adversary: TierRing forced but the spec is not ring-eligible (graph %v, explorer %s)", spec.Graph, spec.Explorer.Name())
-		}
-		return ringSearch(spec, space, opts)
-	case TierTable:
-		return tableSearch(spec, space, opts)
-	case TierAuto:
-		if spec.FastPathEligible() {
-			return ringSearch(spec, space, opts)
-		}
-		return autoSearch(spec, space, opts)
-	default:
-		return sim.WorstCase{}, fmt.Errorf("adversary: unknown tier %v", tier)
-	}
+	return sim.Sharded(opts.simOptions(), plan.labelPairs, plan.sweep, (*sim.WorstCase).Merge)
 }
 
 // reduceSpace is the symmetry-reduction step: it replaces the space's
@@ -322,13 +306,6 @@ func reduceSpace(spec Spec, space sim.SearchSpace, sym Symmetry) (sim.SearchSpac
 	return sim.SearchSpace{LabelPairs: labelPairs, StartPairs: reps, Delays: delays}, nil
 }
 
-// genericSearch is the reference tier: the trajectory executor of
-// package sim, with per-worker trajectory caches.
-func genericSearch(spec Spec, space sim.SearchSpace, opts Options) (sim.WorstCase, error) {
-	tc := sim.NewTrajectories(spec.Graph, spec.Explorer, spec.ScheduleFor)
-	return sim.SearchWith(tc, space, opts.simOptions())
-}
-
 // tableDegenerate reports whether the expanded space contains
 // configurations the meeting-table executor does not encode: negative
 // delays (the generic path reports them through Meet's clamping
@@ -347,69 +324,6 @@ func tableDegenerate(n int, startPairs [][2]int, delays []int) bool {
 		}
 	}
 	return false
-}
-
-// autoSearch is TierAuto off the ring: it takes the meeting-table tier
-// when the space is non-degenerate and the tables fit the budget, and
-// the generic executor otherwise. All checks that can route to the
-// generic tier — degeneracy, the budget (using the exact slab count,
-// which needs no oracle), and the explorer rejecting the graph — run
-// before the oracle's walk tables are built, so a fallback never pays
-// for precomputation it will not use.
-func autoSearch(spec Spec, space sim.SearchSpace, opts Options) (sim.WorstCase, error) {
-	n := spec.Graph.N()
-	labelPairs, startPairs, delays, err := space.Expand(n)
-	if err != nil {
-		return sim.WorstCase{}, err
-	}
-	budget := opts.tableBudget()
-	e := spec.Explorer.Duration(spec.Graph)
-	if budget < 0 || n <= 0 || e <= 0 ||
-		tableDegenerate(n, startPairs, delays) ||
-		meetoracle.EstimateBytes(n, e, len(meetoracle.Phases(e, delays))) > budget {
-		return genericSearch(spec, space, opts)
-	}
-	oracle, err := meetoracle.New(spec.Graph, spec.Explorer)
-	if err != nil {
-		// The explorer rejects the graph; the generic executor reproduces
-		// the error per execution (or the lack of one, for schedules that
-		// never explore).
-		return genericSearch(spec, space, opts)
-	}
-	return tableRun(spec, opts, oracle, labelPairs, startPairs, delays)
-}
-
-// tableSearch is the forced meeting-table tier: it ignores the memory
-// budget but still routes degenerate spaces to the generic executor
-// (before paying for the oracle's walk tables), so that dispatch can
-// never change what the caller observes. Forcing the tier on a spec
-// whose explorer rejects the graph is an error.
-func tableSearch(spec Spec, space sim.SearchSpace, opts Options) (sim.WorstCase, error) {
-	n := spec.Graph.N()
-	labelPairs, startPairs, delays, err := space.Expand(n)
-	if err != nil {
-		return sim.WorstCase{}, err
-	}
-	if tableDegenerate(n, startPairs, delays) {
-		return genericSearch(spec, space, opts)
-	}
-	oracle, err := meetoracle.New(spec.Graph, spec.Explorer)
-	if err != nil {
-		return sim.WorstCase{}, fmt.Errorf("adversary: TierTable forced: %w", err)
-	}
-	return tableRun(spec, opts, oracle, labelPairs, startPairs, delays)
-}
-
-// tableRun executes the expanded space through the meeting-table
-// executor in O(|schedule|) table lookups per execution. The oracle's
-// slabs are prepared up front, then shared read-only by every shard
-// worker; each worker keeps a private compiled-schedule cache, so the
-// hot path takes no locks.
-func tableRun(spec Spec, opts Options, oracle *meetoracle.Oracle, labelPairs, startPairs [][2]int, delays []int) (sim.WorstCase, error) {
-	oracle.Prepare(delays)
-	return sim.Sharded(opts.simOptions(), labelPairs, func(ctx context.Context, shard [][2]int) (sim.WorstCase, error) {
-		return tableShard(ctx, oracle, spec.ScheduleFor, shard, startPairs, delays)
-	}, (*sim.WorstCase).Merge)
 }
 
 // tableShard sweeps one contiguous slice of label pairs through the
@@ -449,26 +363,6 @@ func tableShard(ctx context.Context, oracle *meetoracle.Oracle, scheduleFor func
 		}
 	}
 	return wc, nil
-}
-
-// ringSearch is the ring tier: the same enumeration as sim.SearchWith,
-// with every execution handled by ringsim.Run in O(|schedule|) time.
-func ringSearch(spec Spec, space sim.SearchSpace, opts Options) (sim.WorstCase, error) {
-	n := spec.Graph.N()
-	labelPairs, startPairs, delays, err := space.Expand(n)
-	if err != nil {
-		return sim.WorstCase{}, err
-	}
-	// The ring executor shares the table tier's notion of a degenerate
-	// space (equal start pairs, which ringsim.Run would reject, no
-	// longer reach any executor: Expand errors on them first).
-	if tableDegenerate(n, startPairs, delays) {
-		return genericSearch(spec, space, opts)
-	}
-
-	return sim.Sharded(opts.simOptions(), labelPairs, func(ctx context.Context, shard [][2]int) (sim.WorstCase, error) {
-		return ringShard(ctx, n, spec.ScheduleFor, shard, startPairs, delays)
-	}, (*sim.WorstCase).Merge)
 }
 
 // ringShard sweeps one contiguous slice of label pairs through the

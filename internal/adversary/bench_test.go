@@ -6,6 +6,7 @@ import (
 	"rendezvous/internal/core"
 	"rendezvous/internal/explore"
 	"rendezvous/internal/graph"
+	"rendezvous/internal/resultstore"
 	"rendezvous/internal/sim"
 )
 
@@ -226,4 +227,56 @@ func BenchmarkTorusSweepSymmetryOffGeneric(b *testing.B) {
 
 func BenchmarkTorusSweepSymmetryAutoGeneric(b *testing.B) {
 	runTorusSweep(b, Options{Workers: 1, Tier: TierGeneric})
+}
+
+// The store pair is the acceptance benchmark for the persistence
+// layer: the same 4x4-grid table-tier sweep, cold through the engine
+// versus answered from a warm result store (SearchCached hit: one
+// fingerprint computation plus one small-file read — no engine work).
+// The measured gap (recorded in DESIGN.md "persistence" section) is
+// what makes the rdvd daemon's repeated-traffic path nearly free. Run
+// with
+//
+//	go test ./internal/adversary -bench BenchmarkStoreHitVsColdSearch
+
+func BenchmarkStoreHitVsColdSearch(b *testing.B) {
+	spec, space := gridSpec(), gridSpace()
+	opts := Options{Workers: 1, Tier: TierTable}
+
+	b.Run("ColdTableSweep", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			wc, err := Search(spec, space, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !wc.AllMet {
+				b.Fatal("executions failed to meet")
+			}
+		}
+	})
+	b.Run("StoreHit", func(b *testing.B) {
+		store, err := resultstore.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Warm the store once, outside the timed loop.
+		if _, _, err := SearchCached(store, spec, space, opts); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			wc, cached, err := SearchCached(store, spec, space, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !cached {
+				b.Fatal("store miss inside the hit benchmark")
+			}
+			if !wc.AllMet {
+				b.Fatal("stored result lost AllMet")
+			}
+		}
+	})
 }

@@ -1,0 +1,490 @@
+package adversary
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"rendezvous/internal/meetoracle"
+	"rendezvous/internal/sim"
+)
+
+// This file adds checkpoint/resume to the engine. The key to resuming
+// with bit-for-bit identical output is that the shard decomposition is
+// fixed by the space alone — never by the worker count — and that the
+// per-shard results are folded in shard order with the same
+// strictly-greater Merge the parallel engine has always used: a merge
+// over any contiguous in-order partition of the enumeration yields
+// exactly the serial scan's witnesses, so it cannot matter which
+// shards were replayed from the checkpoint file and which were
+// recomputed (or by which tier, since all tiers are bit-for-bit
+// equivalent).
+
+// DefaultCheckpointShards is the shard count a checkpointed search
+// aims for when CheckpointConfig.Shards is zero: granular enough that
+// an interrupted sweep loses at most a few percent of its work, small
+// enough that the checkpoint file stays tiny.
+const DefaultCheckpointShards = 32
+
+// checkpointVersion versions the checkpoint file format.
+const checkpointVersion = 1
+
+// CheckpointConfig tunes SearchCheckpointed. The zero value runs a
+// plain (unpersisted) sharded search with optional progress reporting.
+type CheckpointConfig struct {
+	// Path is the checkpoint file. Completed shards are appended to it
+	// as they finish, and a later run with the same search resumes from
+	// them. Empty disables persistence (Progress still fires).
+	Path string
+	// Shards overrides the shard count (0 = DefaultCheckpointShards,
+	// clamped to the number of label pairs). A checkpoint written with
+	// a different shard count is discarded on resume, never misread.
+	Shards int
+	// Fingerprint, when non-empty, is the search's precomputed content
+	// address (Fingerprint(spec, space, opts)), saving the
+	// recomputation when the caller already derived it (e.g. to name
+	// the checkpoint file). It must be the fingerprint of this very
+	// search: a wrong value would make resume discard or, worse,
+	// restore a foreign checkpoint. Empty means compute it here.
+	Fingerprint string
+	// Progress, when non-nil, is called after every completed shard
+	// with the number of completed shards (including ones restored from
+	// the checkpoint, reported once up front) and the total. Calls are
+	// serialized; the callback must not block for long.
+	Progress func(completed, total int)
+}
+
+// searchPlan is a search lowered to shard form: the expanded
+// (symmetry-reduced) enumeration plus a sweep function that executes
+// one contiguous slice of label pairs on the tier Search would have
+// dispatched to. sweep is safe for concurrent calls on disjoint
+// shards.
+type searchPlan struct {
+	labelPairs [][2]int
+	startPairs [][2]int
+	delays     []int
+	sweep      func(ctx context.Context, shard [][2]int) (sim.WorstCase, error)
+}
+
+// newSearchPlan is the engine's one tier-dispatch implementation:
+// symmetry reduction, then ring/table/generic tier selection with the
+// degenerate-space fallbacks, returning the per-shard executor instead
+// of running it. Search drives the plan through sim.Sharded;
+// SearchCheckpointed drives it through the fixed checkpoint shards —
+// both therefore dispatch identically by construction (and the
+// checkpointed equivalence tests pin the two entry points to each
+// other bit for bit).
+func newSearchPlan(spec Spec, space sim.SearchSpace, opts Options) (*searchPlan, error) {
+	reduced, err := reduceSpace(spec, space, opts.Symmetry)
+	if err != nil {
+		return nil, err
+	}
+	tier := opts.Tier
+	if tier == TierAuto && opts.NoFastPath {
+		tier = TierGeneric
+	}
+	switch tier {
+	case TierAuto, TierGeneric, TierTable, TierRing:
+	default:
+		return nil, fmt.Errorf("adversary: unknown tier %v", tier)
+	}
+	// Forced-ring eligibility errors take precedence over space
+	// expansion errors.
+	if tier == TierRing && !spec.FastPathEligible() {
+		return nil, fmt.Errorf("adversary: TierRing forced but the spec is not ring-eligible (graph %v, explorer %s)", spec.Graph, spec.Explorer.Name())
+	}
+	n := spec.Graph.N()
+	labelPairs, startPairs, delays, err := reduced.Expand(n)
+	if err != nil {
+		return nil, err
+	}
+	plan := &searchPlan{labelPairs: labelPairs, startPairs: startPairs, delays: delays}
+
+	if tier == TierAuto {
+		if spec.FastPathEligible() {
+			tier = TierRing
+		} else {
+			// The auto table-vs-generic decision of autoSearch.
+			budget := opts.tableBudget()
+			e := spec.Explorer.Duration(spec.Graph)
+			if budget < 0 || n <= 0 || e <= 0 ||
+				tableDegenerate(n, startPairs, delays) ||
+				meetoracle.EstimateBytes(n, e, len(meetoracle.Phases(e, delays))) > budget {
+				tier = TierGeneric
+			} else if oracle, oerr := meetoracle.New(spec.Graph, spec.Explorer); oerr != nil {
+				tier = TierGeneric
+			} else {
+				oracle.Prepare(delays)
+				plan.sweep = tableSweep(spec, oracle, startPairs, delays)
+				return plan, nil
+			}
+		}
+	}
+	switch tier {
+	case TierRing:
+		if tableDegenerate(n, startPairs, delays) {
+			tier = TierGeneric
+			break
+		}
+		plan.sweep = func(ctx context.Context, shard [][2]int) (sim.WorstCase, error) {
+			return ringShard(ctx, n, spec.ScheduleFor, shard, startPairs, delays)
+		}
+		return plan, nil
+	case TierTable:
+		if tableDegenerate(n, startPairs, delays) {
+			tier = TierGeneric
+			break
+		}
+		oracle, oerr := meetoracle.New(spec.Graph, spec.Explorer)
+		if oerr != nil {
+			return nil, fmt.Errorf("adversary: TierTable forced: %w", oerr)
+		}
+		oracle.Prepare(delays)
+		plan.sweep = tableSweep(spec, oracle, startPairs, delays)
+		return plan, nil
+	}
+	// TierGeneric (explicit or by fallback): every shard gets its own
+	// trajectory cache, as in the parallel generic search.
+	tc := sim.NewTrajectories(spec.Graph, spec.Explorer, spec.ScheduleFor)
+	plan.sweep = func(ctx context.Context, shard [][2]int) (sim.WorstCase, error) {
+		return sim.SearchWith(tc.Clone(), sim.SearchSpace{LabelPairs: shard, StartPairs: startPairs, Delays: delays},
+			sim.SearchOptions{Workers: 1, Context: ctx})
+	}
+	return plan, nil
+}
+
+// tableSweep wraps the meeting-table shard executor over a prepared,
+// read-only shared oracle.
+func tableSweep(spec Spec, oracle *meetoracle.Oracle, startPairs [][2]int, delays []int) func(context.Context, [][2]int) (sim.WorstCase, error) {
+	return func(ctx context.Context, shard [][2]int) (sim.WorstCase, error) {
+		return tableShard(ctx, oracle, spec.ScheduleFor, shard, startPairs, delays)
+	}
+}
+
+// resolveShardCount clamps the configured shard count to [1, pairs]
+// (with at least one shard so an empty space still sweeps once, like
+// the plain search).
+func resolveShardCount(pairs, requested int) int {
+	shards := requested
+	if shards <= 0 {
+		shards = DefaultCheckpointShards
+	}
+	if shards > pairs {
+		shards = pairs
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	return shards
+}
+
+// shardBounds returns the half-open label-pair range of shard i of
+// num, using the same contiguous split formula as sim.Sharded.
+func shardBounds(pairs, num, i int) (lo, hi int) {
+	return i * pairs / num, (i + 1) * pairs / num
+}
+
+// ckptHeader is the first line of a checkpoint file. Fingerprint
+// binds the file to one search configuration (via the resultstore's
+// canonical fingerprint) and Shards to one shard decomposition; a
+// mismatch on either discards the file, so a checkpoint can never
+// leak results into a different search.
+type ckptHeader struct {
+	Version     int    `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+	Shards      int    `json:"shards"`
+}
+
+// ckptShard is one completed-shard line of a checkpoint file.
+// Checksum guards the record the same way resultstore guards its
+// records: a bit-rotted line that still parses as JSON must not be
+// restored, or the resumed merge would silently diverge from an
+// uninterrupted run.
+type ckptShard struct {
+	Shard    int           `json:"shard"`
+	Result   sim.WorstCase `json:"result"`
+	Checksum string        `json:"checksum"`
+}
+
+// checksum returns the record's integrity hash: SHA-256 over the
+// canonical JSON encoding with the Checksum field blanked.
+func (r ckptShard) checksum() string {
+	r.Checksum = ""
+	data, err := json.Marshal(r)
+	if err != nil {
+		// ckptShard contains only marshalable fields; this cannot happen.
+		panic(fmt.Sprintf("adversary: marshal checkpoint record: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// stamped returns the record with its checksum filled in.
+func (r ckptShard) stamped() ckptShard {
+	r.Checksum = r.checksum()
+	return r
+}
+
+// loadCheckpoint reads the completed-shard records of a checkpoint
+// file. Every failure mode — missing file, foreign header, truncated
+// or garbled line (a crash mid-append) — degrades to fewer restored
+// shards, never an error; a torn trailing line drops only itself and
+// anything after it.
+func loadCheckpoint(path, fingerprint string, shards int) map[int]sim.WorstCase {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	if len(lines) == 0 {
+		return nil
+	}
+	var hdr ckptHeader
+	if err := json.Unmarshal(lines[0], &hdr); err != nil {
+		return nil
+	}
+	if hdr.Version != checkpointVersion || hdr.Fingerprint != fingerprint || hdr.Shards != shards {
+		return nil
+	}
+	done := make(map[int]sim.WorstCase)
+	for _, line := range lines[1:] {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec ckptShard
+		if err := json.Unmarshal(line, &rec); err != nil {
+			break // torn write: drop this line and everything after it
+		}
+		if rec.Checksum == "" || rec.Checksum != rec.checksum() {
+			break // bit rot: a damaged record must recompute, not restore
+		}
+		if rec.Shard >= 0 && rec.Shard < shards {
+			done[rec.Shard] = rec.Result
+		}
+	}
+	return done
+}
+
+// checkpointWriter appends completed-shard records to the checkpoint
+// file, syncing after every record so a crash loses at most the shard
+// being written (whose torn line the loader drops).
+type checkpointWriter struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// newCheckpointWriter (re)initializes the checkpoint file: it writes
+// a fresh header plus the restored shard records to a temp file,
+// renames it into place (dropping any garbage the old file carried),
+// and returns a writer appending to it.
+func newCheckpointWriter(path, fingerprint string, shards int, done map[int]sim.WorstCase) (*checkpointWriter, error) {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("adversary: checkpoint: %w", err)
+		}
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".ckpt-*")
+	if err != nil {
+		return nil, fmt.Errorf("adversary: checkpoint: %w", err)
+	}
+	enc := json.NewEncoder(tmp)
+	werr := enc.Encode(ckptHeader{Version: checkpointVersion, Fingerprint: fingerprint, Shards: shards})
+	idxs := make([]int, 0, len(done))
+	for i := range done {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		if werr == nil {
+			werr = enc.Encode(ckptShard{Shard: i, Result: done[i]}.stamped())
+		}
+	}
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), path)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("adversary: checkpoint %s: %w", path, werr)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("adversary: checkpoint %s: %w", path, err)
+	}
+	return &checkpointWriter{f: f}, nil
+}
+
+func (w *checkpointWriter) record(shard int, wc sim.WorstCase) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := json.NewEncoder(w.f).Encode(ckptShard{Shard: shard, Result: wc}.stamped()); err != nil {
+		return fmt.Errorf("adversary: checkpoint: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("adversary: checkpoint: %w", err)
+	}
+	return nil
+}
+
+func (w *checkpointWriter) close() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.f.Close()
+}
+
+// SearchCheckpointed is Search with shard-granular checkpoint/resume:
+// the label-pair space is split into a fixed number of contiguous
+// shards (independent of the worker count), each completed shard's
+// result is appended to cfg.Path as it finishes, and a rerun of the
+// same search resumes from the completed shards. The merged output —
+// values, witnesses, Runs, AllMet — is bit-for-bit identical to an
+// uninterrupted Search for every worker count, every interruption
+// point, and every tier/symmetry combination (a resumed shard may even
+// be replayed by a different tier than the one that computed it, since
+// all tiers are equivalent). A checkpoint file whose fingerprint,
+// shard count or format does not match the current search is
+// discarded, not misread.
+//
+// On cancellation the search returns the context's error and the
+// checkpoint keeps every completed shard; the caller retries with the
+// same arguments to resume. A search that cannot be fingerprinted
+// (its explorer rejects the graph, so there is no content address to
+// bind a checkpoint to) runs without persistence, exactly as Search
+// would run it.
+func SearchCheckpointed(spec Spec, space sim.SearchSpace, opts Options, cfg CheckpointConfig) (sim.WorstCase, error) {
+	plan, err := newSearchPlan(spec, space, opts)
+	if err != nil {
+		return sim.WorstCase{}, err
+	}
+	num := resolveShardCount(len(plan.labelPairs), cfg.Shards)
+
+	var done map[int]sim.WorstCase
+	var writer *checkpointWriter
+	if cfg.Path != "" {
+		fp := cfg.Fingerprint
+		if fp == "" {
+			if fp, err = Fingerprint(spec, space, opts); err != nil {
+				// Unfingerprintable searches (an explorer that rejects the
+				// graph) cannot be bound to a checkpoint file, but the
+				// generic tier may still execute them (schedules that never
+				// explore); run without persistence, exactly as SearchCached
+				// runs them without the store.
+				cfg.Path = ""
+				fp = ""
+			}
+		}
+		if cfg.Path != "" {
+			done = loadCheckpoint(cfg.Path, fp, num)
+			writer, err = newCheckpointWriter(cfg.Path, fp, num, done)
+			if err != nil {
+				return sim.WorstCase{}, err
+			}
+			defer writer.close()
+		}
+	}
+
+	results := make([]sim.WorstCase, num)
+	var todo []int
+	for i := 0; i < num; i++ {
+		if wc, ok := done[i]; ok {
+			results[i] = wc
+		} else {
+			todo = append(todo, i)
+		}
+	}
+	completed := num - len(todo)
+	if cfg.Progress != nil {
+		cfg.Progress(completed, num)
+	}
+
+	if len(todo) > 0 {
+		parent := opts.Context
+		if parent == nil {
+			parent = context.Background()
+		}
+		ctx, cancel := context.WithCancel(parent)
+		defer cancel()
+
+		workers := sim.SearchOptions{Workers: opts.Workers}.ResolveWorkers(len(todo))
+		var (
+			mu   sync.Mutex
+			next int
+			errs = make(map[int]error)
+			wg   sync.WaitGroup
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					mu.Lock()
+					if next >= len(todo) {
+						mu.Unlock()
+						return
+					}
+					i := todo[next]
+					next++
+					mu.Unlock()
+
+					lo, hi := shardBounds(len(plan.labelPairs), num, i)
+					wc, err := plan.sweep(ctx, plan.labelPairs[lo:hi])
+					if err == nil && writer != nil {
+						err = writer.record(i, wc)
+					}
+					mu.Lock()
+					if err != nil {
+						errs[i] = err
+						cancel() // stop sibling shards; theirs report ctx.Canceled
+					} else {
+						results[i] = wc
+						completed++
+						if cfg.Progress != nil {
+							cfg.Progress(completed, num)
+						}
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+
+		if err := parent.Err(); err != nil {
+			return sim.WorstCase{}, err
+		}
+		if len(errs) > 0 {
+			// Deterministic error choice: the lowest-indexed shard that
+			// failed for a real reason (sibling shards cancelled by our
+			// internal cancel() only report context.Canceled).
+			idxs := make([]int, 0, len(errs))
+			for i := range errs {
+				idxs = append(idxs, i)
+			}
+			sort.Ints(idxs)
+			for _, i := range idxs {
+				if !errors.Is(errs[i], context.Canceled) {
+					return sim.WorstCase{}, errs[i]
+				}
+			}
+			return sim.WorstCase{}, errs[idxs[0]]
+		}
+	}
+
+	merged := results[0]
+	for _, r := range results[1:] {
+		merged.Merge(r)
+	}
+	return merged, nil
+}

@@ -10,10 +10,13 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
 	"rendezvous/internal/adversary"
+	"rendezvous/internal/resultstore"
 	"rendezvous/internal/sim"
 )
 
@@ -36,11 +39,66 @@ type Options struct {
 	// Values, witnesses and every bound check are identical for every
 	// setting; only the execution count and wall-clock time change.
 	Symmetry adversary.Symmetry
+	// Store, when non-nil, caches every engine-backed sweep in the
+	// content-addressed result store: a rerun of the same experiment
+	// serves its sweeps from disk instead of recomputing them. Results
+	// are identical with or without the store (a hit returns the very
+	// WorstCase a cold run would compute).
+	Store *resultstore.Store
+	// CheckpointDir, when non-empty, checkpoints every engine-backed
+	// sweep into this directory (one file per sweep fingerprint): a
+	// cancelled run resumes from completed shards with bit-for-bit
+	// identical merged output.
+	CheckpointDir string
 }
 
 // search lowers the experiment options onto the adversary engine.
 func (o Options) search() adversary.Options {
 	return adversary.Options{Workers: o.Workers, Context: o.Context, TableBudget: o.TableBudget, Symmetry: o.Symmetry}
+}
+
+// searchRun executes one engine-backed sweep under the experiment's
+// persistence options: a store hit short-circuits the engine, a
+// checkpoint directory makes the sweep resumable, and a plain run
+// falls through to adversary.Search. Results are identical on every
+// path.
+func (o Options) searchRun(spec adversary.Spec, space sim.SearchSpace) (sim.WorstCase, error) {
+	opts := o.search()
+	if o.CheckpointDir == "" {
+		// SearchCached handles the nil-store case as a plain Search.
+		wc, _, err := adversary.SearchCached(o.Store, spec, space, opts)
+		return wc, err
+	}
+	fp, err := adversary.Fingerprint(spec, space, opts)
+	if err != nil {
+		// Unfingerprintable sweeps (the engine would reject them) run
+		// uncheckpointed so the caller sees the engine's own error.
+		return adversary.Search(spec, space, opts)
+	}
+	// This store-front may skip forced-tier validation because Options
+	// deliberately has no Tier knob (sweeps always dispatch TierAuto);
+	// if one is ever added, route through adversary.SearchCached like
+	// the branch above, whose up-front check keeps a store hit from
+	// masking a forced-tier error.
+	if o.Store != nil {
+		if wc, ok := o.Store.Get(fp); ok {
+			return wc, nil
+		}
+	}
+	ckpt := filepath.Join(o.CheckpointDir, fp+".ckpt")
+	wc, err := adversary.SearchCheckpointed(spec, space, opts,
+		adversary.CheckpointConfig{Path: ckpt, Fingerprint: fp})
+	if err != nil {
+		return sim.WorstCase{}, err
+	}
+	if o.Store != nil {
+		_ = o.Store.Put(fp, wc) // best-effort: a miss next time recomputes
+	}
+	// The checkpoint is crash recovery, not a cache (that is the
+	// store's job): once the sweep completed, drop it so the resume
+	// directory does not accumulate one stale file per configuration.
+	os.Remove(ckpt)
+	return wc, nil
 }
 
 // ringsimSearch lowers the experiment options onto the segment-level

@@ -105,11 +105,11 @@ func E13Ablations(opts Options) (*Table, error) {
 	params := core.Params{L: L}
 
 	search := func(algo core.Algorithm, delays []int) (sim.WorstCase, error) {
-		return adversary.Search(adversary.Spec{
+		return opts.searchRun(adversary.Spec{
 			Graph:       g,
 			Explorer:    explore.OrientedRingSweep{},
 			ScheduleFor: func(l int) sim.Schedule { return algo.Schedule(l, params) },
-		}, sim.SearchSpace{L: L, StartPairs: ringOffsets(n), Delays: delays}, opts.search())
+		}, sim.SearchSpace{L: L, StartPairs: ringOffsets(n), Delays: delays})
 	}
 
 	allDelays := make([]int, 0, e+1)

@@ -174,14 +174,14 @@ func E10TradeoffCurve(opts Options) (*Table, error) {
 	}
 	var points []point
 
-	oracleWC, err := adversary.Search(adversary.Spec{
+	oracleWC, err := opts.searchRun(adversary.Spec{
 		Graph:       graph.OrientedRing(n),
 		Explorer:    explore.OrientedRingSweep{},
 		ScheduleFor: func(l int) sim.Schedule { return core.WaitForMate{}.Schedule(l, core.Params{L: L}) },
 	}, sim.SearchSpace{
 		LabelPairs: [][2]int{{1, 2}, {2, 1}},
 		StartPairs: ringOffsets(n),
-	}, opts.search())
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -81,7 +81,7 @@ func sampledLabelPairs(L, count int, seed int64) [][2]int {
 func ringWorst(opts Options, n, L int, algo core.Algorithm, labelPairs [][2]int, delays []int) (sim.WorstCase, error) {
 	g := graph.OrientedRing(n)
 	params := core.Params{L: L}
-	wc, err := adversary.Search(adversary.Spec{
+	wc, err := opts.searchRun(adversary.Spec{
 		Graph:       g,
 		Explorer:    explore.OrientedRingSweep{},
 		ScheduleFor: func(l int) sim.Schedule { return algo.Schedule(l, params) },
@@ -89,7 +89,7 @@ func ringWorst(opts Options, n, L int, algo core.Algorithm, labelPairs [][2]int,
 		LabelPairs: labelPairs,
 		StartPairs: ringOffsets(n),
 		Delays:     delays,
-	}, opts.search())
+	})
 	if err != nil {
 		return sim.WorstCase{}, fmt.Errorf("bench: %s on ring-%d: %w", algo.Name(), n, err)
 	}
@@ -104,14 +104,14 @@ func ringWorst(opts Options, n, L int, algo core.Algorithm, labelPairs [][2]int,
 // all ordered start pairs, and the given delays.
 func graphWorst(opts Options, g *graph.Graph, ex explore.Explorer, L int, algo core.Algorithm, labelPairs [][2]int, delays []int) (sim.WorstCase, error) {
 	params := core.Params{L: L}
-	wc, err := adversary.Search(adversary.Spec{
+	wc, err := opts.searchRun(adversary.Spec{
 		Graph:       g,
 		Explorer:    ex,
 		ScheduleFor: func(l int) sim.Schedule { return algo.Schedule(l, params) },
 	}, sim.SearchSpace{
 		LabelPairs: labelPairs,
 		Delays:     delays,
-	}, opts.search())
+	})
 	if err != nil {
 		return sim.WorstCase{}, fmt.Errorf("bench: %s on %v: %w", algo.Name(), g, err)
 	}

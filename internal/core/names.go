@@ -1,0 +1,29 @@
+package core
+
+import "fmt"
+
+// AlgorithmByName resolves the textual algorithm names shared by every
+// front end (cmd/rdvsim, the rdvd service, and any future CLI): one
+// registry, so the supported set cannot drift between surfaces.
+func AlgorithmByName(name string) (Algorithm, error) {
+	switch name {
+	case "cheap":
+		return Cheap{}, nil
+	case "cheap-sim":
+		return CheapSimultaneous{}, nil
+	case "fast":
+		return Fast{}, nil
+	case "fwr1":
+		return NewFastWithRelabeling(1), nil
+	case "fwr2":
+		return NewFastWithRelabeling(2), nil
+	case "fwr3":
+		return NewFastWithRelabeling(3), nil
+	case "oracle":
+		return WaitForMate{}, nil
+	case "":
+		return nil, fmt.Errorf("core: algorithm name is required (want cheap, cheap-sim, fast, fwr1, fwr2, fwr3 or oracle)")
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %q (want cheap, cheap-sim, fast, fwr1, fwr2, fwr3 or oracle)", name)
+	}
+}

@@ -1,0 +1,31 @@
+package explore
+
+import (
+	"fmt"
+
+	"rendezvous/internal/graph"
+)
+
+// ByName resolves the textual explorer names shared by every front end
+// (cmd/rdvsim, the rdvd service): one registry, so the supported set
+// cannot drift between surfaces. "auto" (or "") picks the cheapest
+// applicable explorer via Best with the given Hamiltonian search
+// budget.
+func ByName(name string, g *graph.Graph, hamiltonianBudget int) (Explorer, error) {
+	switch name {
+	case "", "auto":
+		return Best(g, hamiltonianBudget), nil
+	case "dfs":
+		return DFS{}, nil
+	case "unmarked-dfs":
+		return UnmarkedDFS{}, nil
+	case "ring-sweep":
+		return OrientedRingSweep{}, nil
+	case "eulerian":
+		return Eulerian{}, nil
+	case "hamiltonian":
+		return Hamiltonian{}, nil
+	default:
+		return nil, fmt.Errorf("explore: unknown explorer %q (want auto, dfs, unmarked-dfs, ring-sweep, eulerian or hamiltonian)", name)
+	}
+}

@@ -1,0 +1,191 @@
+// Package resultstore is the persistence layer of the adversary-search
+// stack: a content-addressed, on-disk cache of WorstCase results.
+//
+// A worst-case value over a (graph, explorer, algorithm, search space)
+// configuration is immutable once computed — the engine is
+// deterministic and every execution tier is bit-for-bit equivalent —
+// so results are keyed by a canonical fingerprint of the configuration
+// and cached forever. The store is deliberately dumb: it maps
+// fingerprints to versioned JSON records with a checksum, written
+// atomically (temp file + rename), and treats every form of damage —
+// a missing file, a truncated record, a garbled checksum, a foreign
+// version — as a cache miss, never an error. Callers recompute on a
+// miss and rewrite, so a corrupted store heals itself.
+//
+// # Fingerprint canonicalization
+//
+// Two requests that denote the same computation must hash identically,
+// however they were spelled. The fingerprint therefore hashes the
+// *semantics* of the request, not its syntax:
+//
+//   - The search space is expanded first (sim.SearchSpace.Expand), so
+//     {L: 4} and an explicit list of all ordered distinct label pairs
+//     in {1..4} produce the same bytes, and defaulted start pairs and
+//     delays hash the same as their explicit spellings.
+//   - The graph is hashed as its full port-labeled adjacency structure
+//     (per node, per port: neighbor and entry port), so any two Graph
+//     values with identical structure hash the same regardless of how
+//     they were built.
+//   - The explorer is hashed by behaviour — its duration and the plan
+//     it produces from every start node — not by name, so two
+//     implementations of the same walk are interchangeable.
+//   - The algorithm is hashed by the schedules of exactly the labels
+//     the expanded space can reach, so algorithms that agree on those
+//     labels share cache entries.
+//
+// Options that are proven output-invariant (Workers, Tier,
+// TableBudget) are excluded from the key: the engine guarantees
+// bit-for-bit identical results for every value of them. The symmetry
+// mode is included, because it changes WorstCase.Runs (values and
+// witnesses are unchanged, but the record stores the full struct).
+package resultstore
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"io"
+	"sort"
+
+	"rendezvous/internal/explore"
+	"rendezvous/internal/graph"
+	"rendezvous/internal/sim"
+)
+
+// fingerprintVersion salts the hash; bump it whenever the encoding or
+// the semantics of any hashed component changes, so stale records can
+// never be confused with current ones.
+const fingerprintVersion = "rendezvous/resultstore/v1"
+
+// Key identifies one adversary-search computation for caching: the
+// model under attack, the configuration space, and the one
+// engine-relevant option (the symmetry mode, which changes Runs).
+type Key struct {
+	// Graph is the port-labeled graph; its full structure is hashed.
+	Graph *graph.Graph
+	// Explorer is the EXPLORE procedure; its behaviour (duration and
+	// per-start plans) is hashed, not its name.
+	Explorer explore.Explorer
+	// ScheduleFor maps labels to schedules; the schedules of exactly
+	// the labels reachable from the expanded space are hashed.
+	ScheduleFor func(label int) sim.Schedule
+	// Space is the configuration space as the caller spelled it; it is
+	// expanded before hashing so equivalent spellings hash identically.
+	Space sim.SearchSpace
+	// Symmetry is the engine's symmetry mode in textual form ("auto",
+	// "off", "forced"). It is part of the key because the reduction
+	// changes WorstCase.Runs.
+	Symmetry string
+}
+
+// hasher wraps a hash.Hash with fixed-width integer and string
+// encoders, so every component of the key contributes an unambiguous
+// byte sequence (variable-length sequences are always length-prefixed).
+type hasher struct {
+	h hash.Hash
+}
+
+func (hw hasher) ints(vals ...int) {
+	for _, v := range vals {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		hw.h.Write(buf[:])
+	}
+}
+
+func (hw hasher) str(s string) {
+	hw.ints(len(s))
+	io.WriteString(hw.h, s)
+}
+
+// Fingerprint returns the canonical content address of the key as a
+// 64-character hex string. It fails only when the key cannot denote a
+// cacheable computation at all: an invalid search space (Expand
+// rejects it) or an explorer that rejects the graph — exactly the
+// cases in which the search itself errors and there is no result to
+// store.
+func Fingerprint(k Key) (string, error) {
+	if k.Graph == nil || k.Explorer == nil || k.ScheduleFor == nil {
+		return "", fmt.Errorf("resultstore: Fingerprint: Graph, Explorer and ScheduleFor are all required")
+	}
+	n := k.Graph.N()
+	labelPairs, startPairs, delays, err := k.Space.Expand(n)
+	if err != nil {
+		return "", fmt.Errorf("resultstore: Fingerprint: %w", err)
+	}
+
+	hw := hasher{h: sha256.New()}
+	hw.str(fingerprintVersion)
+
+	// Graph: full port-labeled adjacency structure.
+	hw.str("graph")
+	hw.ints(n)
+	for v := 0; v < n; v++ {
+		deg := k.Graph.Degree(v)
+		hw.ints(deg)
+		for p := 0; p < deg; p++ {
+			to, entry := k.Graph.Neighbor(v, p)
+			hw.ints(to, entry)
+		}
+	}
+
+	// Explorer: behaviour, not name — duration plus the plan from every
+	// start node.
+	hw.str("explorer")
+	e := k.Explorer.Duration(k.Graph)
+	hw.ints(e)
+	for start := 0; start < n; start++ {
+		plan, err := k.Explorer.Plan(k.Graph, start)
+		if err != nil {
+			return "", fmt.Errorf("resultstore: Fingerprint: explorer %s rejects start %d: %w", k.Explorer.Name(), start, err)
+		}
+		hw.ints(len(plan))
+		for _, step := range plan {
+			hw.ints(step)
+		}
+	}
+
+	// Algorithm: the schedules of exactly the labels the space reaches,
+	// in sorted label order.
+	hw.str("schedules")
+	seen := make(map[int]bool)
+	var labels []int
+	for _, lp := range labelPairs {
+		for _, l := range lp[:] {
+			if !seen[l] {
+				seen[l] = true
+				labels = append(labels, l)
+			}
+		}
+	}
+	sort.Ints(labels)
+	hw.ints(len(labels))
+	for _, l := range labels {
+		sched := k.ScheduleFor(l)
+		hw.ints(l, len(sched))
+		for _, seg := range sched {
+			hw.ints(int(seg))
+		}
+	}
+
+	// Space: the expanded (canonical) enumeration.
+	hw.str("space")
+	hw.ints(len(labelPairs))
+	for _, lp := range labelPairs {
+		hw.ints(lp[0], lp[1])
+	}
+	hw.ints(len(startPairs))
+	for _, sp := range startPairs {
+		hw.ints(sp[0], sp[1])
+	}
+	hw.ints(len(delays))
+	hw.ints(delays...)
+
+	// Engine options that change the stored record.
+	hw.str("symmetry")
+	hw.str(k.Symmetry)
+
+	return hex.EncodeToString(hw.h.Sum(nil)), nil
+}

@@ -1,0 +1,164 @@
+package resultstore
+
+import (
+	"testing"
+
+	"rendezvous/internal/core"
+	"rendezvous/internal/explore"
+	"rendezvous/internal/graph"
+	"rendezvous/internal/sim"
+)
+
+// renamedExplorer wraps an explorer under a different name, to pin
+// down that fingerprints hash explorer behaviour, not identity.
+type renamedExplorer struct {
+	explore.Explorer
+}
+
+func (renamedExplorer) Name() string { return "totally-different-name" }
+
+// allOrderedPairs spells out the default expansion of {1..L} label
+// pairs (or 0..n-1 start pairs with base 0) explicitly.
+func allOrderedPairs(lo, hi int) [][2]int {
+	var pairs [][2]int
+	for a := lo; a <= hi; a++ {
+		for b := lo; b <= hi; b++ {
+			if a != b {
+				pairs = append(pairs, [2]int{a, b})
+			}
+		}
+	}
+	return pairs
+}
+
+// TestFingerprintCanonicalization is the "two spellings, one hash"
+// contract the serving layer depends on: every pair of requests that
+// denotes the same computation must collide, however it was written.
+func TestFingerprintCanonicalization(t *testing.T) {
+	base := testKey(t, sim.SearchSpace{L: 4})
+	baseFP := mustFingerprint(t, base)
+
+	t.Run("L-vs-explicit-label-pairs", func(t *testing.T) {
+		k := base
+		k.Space = sim.SearchSpace{LabelPairs: allOrderedPairs(1, 4)}
+		if got := mustFingerprint(t, k); got != baseFP {
+			t.Errorf("explicit label pairs hash differently from L: %s != %s", got, baseFP)
+		}
+	})
+	t.Run("default-vs-explicit-start-pairs", func(t *testing.T) {
+		k := base
+		k.Space = sim.SearchSpace{L: 4, StartPairs: allOrderedPairs(0, 5)}
+		if got := mustFingerprint(t, k); got != baseFP {
+			t.Errorf("explicit start pairs hash differently from the default: %s != %s", got, baseFP)
+		}
+	})
+	t.Run("default-vs-explicit-delays", func(t *testing.T) {
+		k := base
+		k.Space = sim.SearchSpace{L: 4, Delays: []int{0}}
+		if got := mustFingerprint(t, k); got != baseFP {
+			t.Errorf("explicit {0} delays hash differently from the default: %s != %s", got, baseFP)
+		}
+	})
+	t.Run("explorer-by-behaviour-not-name", func(t *testing.T) {
+		k := base
+		k.Explorer = renamedExplorer{explore.OrientedRingSweep{}}
+		if got := mustFingerprint(t, k); got != baseFP {
+			t.Errorf("renamed explorer with identical plans hashes differently: %s != %s", got, baseFP)
+		}
+	})
+	t.Run("graph-by-structure-not-construction", func(t *testing.T) {
+		k := base
+		// Rebuild the canonical oriented ring by hand, edge by edge.
+		b := graph.NewBuilder(6)
+		for v := 0; v < 6; v++ {
+			b.AddEdgePorts(v, 0, (v+1)%6, 1)
+		}
+		k.Graph = b.MustBuild()
+		if got := mustFingerprint(t, k); got != baseFP {
+			t.Errorf("structurally identical graph hashes differently: %s != %s", got, baseFP)
+		}
+	})
+	t.Run("deterministic", func(t *testing.T) {
+		if got := mustFingerprint(t, base); got != baseFP {
+			t.Errorf("same key hashed twice diverged: %s != %s", got, baseFP)
+		}
+	})
+}
+
+// TestFingerprintSeparation checks the other direction: every
+// engine-relevant difference must change the hash.
+func TestFingerprintSeparation(t *testing.T) {
+	base := testKey(t, sim.SearchSpace{L: 4})
+	baseFP := mustFingerprint(t, base)
+	params := core.Params{L: 4}
+
+	mutations := map[string]func(*Key){
+		"graph-size":   func(k *Key) { k.Graph = graph.OrientedRing(7) },
+		"graph-family": func(k *Key) { k.Graph = graph.Path(6); k.Explorer = explore.DFS{} },
+		"explorer": func(k *Key) {
+			k.Explorer = explore.DFS{}
+		},
+		"algorithm": func(k *Key) {
+			k.ScheduleFor = func(l int) sim.Schedule { return core.Fast{}.Schedule(l, params) }
+		},
+		"label-space": func(k *Key) { k.Space = sim.SearchSpace{L: 3} },
+		"delays":      func(k *Key) { k.Space = sim.SearchSpace{L: 4, Delays: []int{0, 1}} },
+		"start-pairs": func(k *Key) { k.Space = sim.SearchSpace{L: 4, StartPairs: [][2]int{{0, 3}}} },
+		"symmetry":    func(k *Key) { k.Symmetry = "off" },
+	}
+	for name, mutate := range mutations {
+		t.Run(name, func(t *testing.T) {
+			k := base
+			mutate(&k)
+			if got := mustFingerprint(t, k); got == baseFP {
+				t.Errorf("%s mutation did not change the fingerprint", name)
+			}
+		})
+	}
+
+	// Explorer differences must separate even for explorers sharing a
+	// duration formula: DFS and UnmarkedDFS differ on every family.
+	k1, k2 := base, base
+	k1.Explorer = explore.DFS{}
+	k2.Explorer = explore.UnmarkedDFS{}
+	if mustFingerprint(t, k1) == mustFingerprint(t, k2) {
+		t.Error("DFS and UnmarkedDFS hash identically")
+	}
+}
+
+func TestFingerprintErrors(t *testing.T) {
+	base := testKey(t, sim.SearchSpace{L: 4})
+
+	t.Run("nil-components", func(t *testing.T) {
+		for name, mutate := range map[string]func(*Key){
+			"graph":    func(k *Key) { k.Graph = nil },
+			"explorer": func(k *Key) { k.Explorer = nil },
+			"schedule": func(k *Key) { k.ScheduleFor = nil },
+		} {
+			k := base
+			mutate(&k)
+			if _, err := Fingerprint(k); err == nil {
+				t.Errorf("nil %s: want error", name)
+			}
+		}
+	})
+	t.Run("invalid-space", func(t *testing.T) {
+		k := base
+		k.Space = sim.SearchSpace{L: 1}
+		if _, err := Fingerprint(k); err == nil {
+			t.Error("L=1 space: want error")
+		}
+		k.Space = sim.SearchSpace{L: 4, StartPairs: [][2]int{{2, 2}}}
+		if _, err := Fingerprint(k); err == nil {
+			t.Error("equal start pair: want error")
+		}
+	})
+	t.Run("explorer-rejects-graph", func(t *testing.T) {
+		k := base
+		k.Graph = graph.Path(4) // odd-degree nodes: no Eulerian circuit
+		k.Explorer = explore.Eulerian{}
+		if _, err := Fingerprint(k); err == nil {
+			t.Error("Eulerian on a path: want error")
+		}
+	})
+}

@@ -1,0 +1,675 @@
+// Package serve implements the HTTP JSON search service behind
+// cmd/rdvd: a thin always-on layer in front of the adversary-search
+// engine and the result store.
+//
+// The request path is ordered so that repeated traffic is as cheap as
+// possible:
+//
+//  1. Parse and validate the request; compile it to an engine spec.
+//     Every malformed request dies here with a 400 — nothing below
+//     this line can panic the daemon.
+//  2. Fingerprint the compiled search (resultstore canonicalization:
+//     equivalent request spellings collide) and look it up in the
+//     store. A hit is answered immediately without touching the
+//     engine.
+//  3. Deduplicate identical in-flight searches: concurrent requests
+//     with the same fingerprint join one engine run (single-flight)
+//     and all receive its result.
+//  4. Run the search on a bounded worker pool (at most MaxConcurrent
+//     engine runs at once) under a context that is cancelled when
+//     every request waiting on the flight has gone away, and write
+//     the result back to the store.
+//
+// Progress streaming: a request with "stream": true receives
+// newline-delimited JSON — one {"type":"progress"} event per
+// completed shard, then a final {"type":"result"} (or
+// {"type":"error"}) line.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"rendezvous/internal/adversary"
+	"rendezvous/internal/core"
+	"rendezvous/internal/explore"
+	"rendezvous/internal/graph"
+	"rendezvous/internal/resultstore"
+	"rendezvous/internal/sim"
+)
+
+// Request size caps. The daemon is a shared process: one oversized
+// request must not be able to allocate it to death (a Go out-of-memory
+// is a fatal throw no middleware can recover), so graph and label
+// sizes are bounded far above every experiment in the repository but
+// far below anything that could hurt. Oversized requests are 400s.
+const (
+	// MaxNodes caps the served graph size (nodes).
+	MaxNodes = 512
+	// MaxL caps the served label-space size.
+	MaxL = 512
+	// MaxDelay caps each wake delay. An unbounded delay would drive the
+	// generic executor's meeting scan to a horizon of wakeB + |schedule|
+	// rounds — an effectively infinite, per-execution-uncancellable
+	// loop.
+	MaxDelay = 1 << 20
+	// MaxListLen caps each explicit enumeration list (labelPairs,
+	// startPairs, delays).
+	MaxListLen = 1 << 16
+	// MaxBodyBytes caps the request body read off the wire, so a
+	// multi-gigabyte JSON document dies at the decoder, not in the
+	// allocator.
+	MaxBodyBytes = 8 << 20
+)
+
+// GraphSpec names a graph family and its parameters. Only
+// deterministic families are served (no seeded random generators), so
+// a spec denotes exactly one graph. Sizes are capped at MaxNodes.
+type GraphSpec struct {
+	// Family is one of ring, path, star, complete, circulant, grid,
+	// torus, hypercube.
+	Family string `json:"family"`
+	// N is the node count (the dimension for hypercube).
+	N int `json:"n,omitempty"`
+	// Rows and Cols parameterize grid and torus.
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
+}
+
+// nodes returns the node count the spec denotes, for the size cap.
+// Each dimension is bounds-checked before any multiplication so a
+// crafted huge Rows/Cols pair cannot overflow past the cap.
+func (gs GraphSpec) nodes() int {
+	switch gs.Family {
+	case "grid", "torus":
+		if gs.Rows < 0 || gs.Rows > MaxNodes || gs.Cols < 0 || gs.Cols > MaxNodes {
+			return MaxNodes + 1
+		}
+		return gs.Rows * gs.Cols
+	case "hypercube":
+		if gs.N < 1 || gs.N > 20 {
+			return -1
+		}
+		return 1 << gs.N
+	default:
+		return gs.N
+	}
+}
+
+// Build validates the spec and constructs the graph. It never panics:
+// every parameter the generators would reject is caught here first.
+func (gs GraphSpec) Build() (*graph.Graph, error) {
+	if n := gs.nodes(); n > MaxNodes {
+		return nil, fmt.Errorf("serve: graph %s: size exceeds the served maximum of %d nodes", gs.Family, MaxNodes)
+	}
+	switch gs.Family {
+	case "ring":
+		if gs.N < 3 {
+			return nil, fmt.Errorf("serve: graph ring: need n >= 3 (got %d)", gs.N)
+		}
+		return graph.OrientedRing(gs.N), nil
+	case "path":
+		if gs.N < 2 {
+			return nil, fmt.Errorf("serve: graph path: need n >= 2 (got %d)", gs.N)
+		}
+		return graph.Path(gs.N), nil
+	case "star":
+		if gs.N < 2 {
+			return nil, fmt.Errorf("serve: graph star: need n >= 2 (got %d)", gs.N)
+		}
+		return graph.Star(gs.N), nil
+	case "complete":
+		if gs.N < 2 {
+			return nil, fmt.Errorf("serve: graph complete: need n >= 2 (got %d)", gs.N)
+		}
+		return graph.Complete(gs.N), nil
+	case "circulant":
+		if gs.N < 2 {
+			return nil, fmt.Errorf("serve: graph circulant: need n >= 2 (got %d)", gs.N)
+		}
+		return graph.CirculantComplete(gs.N), nil
+	case "grid":
+		if gs.Rows < 1 || gs.Cols < 1 || gs.Rows*gs.Cols < 2 {
+			return nil, fmt.Errorf("serve: graph grid: need rows,cols >= 1 and >= 2 nodes (got %dx%d)", gs.Rows, gs.Cols)
+		}
+		return graph.Grid(gs.Rows, gs.Cols), nil
+	case "torus":
+		if gs.Rows < 3 || gs.Cols < 3 {
+			return nil, fmt.Errorf("serve: graph torus: need rows,cols >= 3 (got %dx%d)", gs.Rows, gs.Cols)
+		}
+		return graph.Torus(gs.Rows, gs.Cols), nil
+	case "hypercube":
+		if gs.N < 1 || gs.N > 20 {
+			return nil, fmt.Errorf("serve: graph hypercube: need 1 <= n <= 20 (got %d)", gs.N)
+		}
+		return graph.Hypercube(gs.N), nil
+	case "":
+		return nil, fmt.Errorf("serve: graph family is required")
+	default:
+		return nil, fmt.Errorf("serve: unknown graph family %q", gs.Family)
+	}
+}
+
+// Request is the body of POST /search.
+type Request struct {
+	Graph GraphSpec `json:"graph"`
+	// Explorer is auto (default), dfs, unmarked-dfs, ring-sweep,
+	// eulerian or hamiltonian.
+	Explorer string `json:"explorer,omitempty"`
+	// Algorithm is cheap, cheap-sim, fast, fwr1, fwr2, fwr3 or oracle.
+	Algorithm string `json:"algorithm"`
+	// L is the label-space size. Required when LabelPairs is omitted;
+	// when LabelPairs is given, defaults to the largest label listed.
+	L int `json:"L,omitempty"`
+	// LabelPairs, StartPairs and Delays select the configuration
+	// space; empty fields default to exhaustive enumeration exactly as
+	// in sim.SearchSpace.
+	LabelPairs [][2]int `json:"labelPairs,omitempty"`
+	StartPairs [][2]int `json:"startPairs,omitempty"`
+	Delays     []int    `json:"delays,omitempty"`
+	// Symmetry is auto (default), off or forced.
+	Symmetry string `json:"symmetry,omitempty"`
+	// Workers overrides the per-search worker count (0 = server
+	// default, negative = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// Stream selects the NDJSON progress-streaming response.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// compile validates the request and lowers it onto the engine's
+// types. defaultWorkers is the server-wide per-search worker count
+// used when the request does not override it.
+func (r Request) compile(defaultWorkers int) (adversary.Spec, sim.SearchSpace, adversary.Options, error) {
+	var (
+		spec  adversary.Spec
+		space sim.SearchSpace
+		opts  adversary.Options
+	)
+	// JSON [] decodes to a non-nil empty slice, but the engine defaults
+	// (exhaustive enumeration) fire only on nil; normalize so an
+	// explicitly empty list means "default", as documented, instead of
+	// a zero-execution sweep that would be cached forever.
+	if len(r.LabelPairs) == 0 {
+		r.LabelPairs = nil
+	}
+	if len(r.StartPairs) == 0 {
+		r.StartPairs = nil
+	}
+	if len(r.Delays) == 0 {
+		r.Delays = nil
+	}
+	g, err := r.Graph.Build()
+	if err != nil {
+		return spec, space, opts, err
+	}
+	ex, err := explore.ByName(r.Explorer, g, 16)
+	if err != nil {
+		return spec, space, opts, fmt.Errorf("serve: %w", err)
+	}
+	algo, err := core.AlgorithmByName(r.Algorithm)
+	if err != nil {
+		return spec, space, opts, fmt.Errorf("serve: %w", err)
+	}
+	L := r.L
+	if L == 0 && r.LabelPairs != nil {
+		// L omitted: the smallest label space containing every listed
+		// label.
+		for _, lp := range r.LabelPairs {
+			L = max(L, lp[0], lp[1])
+		}
+	}
+	if L < 2 {
+		return spec, space, opts, fmt.Errorf("serve: need L >= 2 (got %d)", L)
+	}
+	if L > MaxL {
+		return spec, space, opts, fmt.Errorf("serve: L %d exceeds the served maximum %d", L, MaxL)
+	}
+	if r.LabelPairs != nil {
+		for i, lp := range r.LabelPairs {
+			if lp[0] < 1 || lp[1] < 1 || lp[0] > L || lp[1] > L {
+				return spec, space, opts, fmt.Errorf("serve: labelPairs[%d] = %v: labels must be in 1..%d", i, lp, L)
+			}
+		}
+	}
+	// Start pairs and delays are validated here rather than left to the
+	// engine, so every malformed request is a 400 before a flight or a
+	// pool slot exists (sim.SearchSpace.Expand checks neither start
+	// ranges nor delay signs; the daemon does not serve the degenerate
+	// spaces the generic tier tolerates for library callers). List
+	// lengths and delay magnitudes are capped for the same reason the
+	// graph size is: one request must not be able to hurt the shared
+	// process.
+	if len(r.LabelPairs) > MaxListLen || len(r.StartPairs) > MaxListLen || len(r.Delays) > MaxListLen {
+		return spec, space, opts, fmt.Errorf("serve: enumeration lists are capped at %d entries", MaxListLen)
+	}
+	for i, sp := range r.StartPairs {
+		if sp[0] < 0 || sp[0] >= g.N() || sp[1] < 0 || sp[1] >= g.N() {
+			return spec, space, opts, fmt.Errorf("serve: startPairs[%d] = %v: nodes must be in 0..%d", i, sp, g.N()-1)
+		}
+		if sp[0] == sp[1] {
+			return spec, space, opts, fmt.Errorf("serve: startPairs[%d] = %v: the model requires distinct start nodes", i, sp)
+		}
+	}
+	for i, d := range r.Delays {
+		if d < 0 || d > MaxDelay {
+			return spec, space, opts, fmt.Errorf("serve: delays[%d] = %d: want 0..%d", i, d, MaxDelay)
+		}
+	}
+	sym := adversary.SymmetryAuto
+	if r.Symmetry != "" {
+		sym, err = adversary.ParseSymmetry(r.Symmetry)
+		if err != nil {
+			return spec, space, opts, fmt.Errorf("serve: %w", err)
+		}
+	}
+	workers := r.Workers
+	if workers == 0 {
+		workers = defaultWorkers
+	}
+	params := core.Params{L: L}
+	spec = adversary.Spec{
+		Graph:       g,
+		Explorer:    ex,
+		ScheduleFor: func(l int) sim.Schedule { return algo.Schedule(l, params) },
+	}
+	space = sim.SearchSpace{L: L, LabelPairs: r.LabelPairs, StartPairs: r.StartPairs, Delays: r.Delays}
+	opts = adversary.Options{Workers: workers, Symmetry: sym}
+	return spec, space, opts, nil
+}
+
+// Response is the body of a non-streaming POST /search answer.
+type Response struct {
+	// Fingerprint is the search's content address in the store.
+	Fingerprint string `json:"fingerprint"`
+	// Cached reports that the result was served from the store without
+	// invoking the engine.
+	Cached bool `json:"cached"`
+	// Shared reports that the request joined an identical in-flight
+	// search instead of starting its own engine run.
+	Shared bool `json:"shared,omitempty"`
+	// Result is the search outcome (absent on error).
+	Result *sim.WorstCase `json:"result,omitempty"`
+	// Error is the failure description (absent on success).
+	Error string `json:"error,omitempty"`
+}
+
+// StreamEvent is one NDJSON line of a streaming answer.
+type StreamEvent struct {
+	// Type is progress, result or error.
+	Type string `json:"type"`
+	// Completed and Total report shard progress (Type == progress).
+	Completed int `json:"completed,omitempty"`
+	Total     int `json:"total,omitempty"`
+	// The remaining fields mirror Response (Type == result / error).
+	Fingerprint string         `json:"fingerprint,omitempty"`
+	Cached      bool           `json:"cached,omitempty"`
+	Shared      bool           `json:"shared,omitempty"`
+	Result      *sim.WorstCase `json:"result,omitempty"`
+	Error       string         `json:"error,omitempty"`
+}
+
+// searchFunc is the engine entry point, injectable in tests. progress
+// may be nil.
+type searchFunc func(ctx context.Context, spec adversary.Spec, space sim.SearchSpace, opts adversary.Options, progress func(completed, total int)) (sim.WorstCase, error)
+
+// engineSearch is the production searchFunc: the checkpointed engine
+// driven for shard-level progress (without a checkpoint file — the
+// store persists finished results; the daemon's unit of recovery is
+// the request).
+func engineSearch(ctx context.Context, spec adversary.Spec, space sim.SearchSpace, opts adversary.Options, progress func(completed, total int)) (sim.WorstCase, error) {
+	opts.Context = ctx
+	return adversary.SearchCheckpointed(spec, space, opts, adversary.CheckpointConfig{Progress: progress})
+}
+
+// Config tunes a Server.
+type Config struct {
+	// Store caches results; nil disables caching (every request runs
+	// the engine).
+	Store *resultstore.Store
+	// MaxConcurrent bounds how many engine searches run at once
+	// (further requests queue). 0 means GOMAXPROCS.
+	MaxConcurrent int
+	// Workers is the per-search default worker count when a request
+	// does not set one, following the engine convention: 0 and 1 run
+	// serially, negative selects GOMAXPROCS.
+	Workers int
+	// SearchTimeout bounds each engine run server-side, so requests
+	// near the size caps cannot pin pool slots for days while their
+	// clients hold the connection open. 0 means DefaultSearchTimeout;
+	// negative disables the bound.
+	SearchTimeout time.Duration
+}
+
+// DefaultSearchTimeout is the per-search deadline when
+// Config.SearchTimeout is zero — generous for every experiment-scale
+// sweep, small enough that stuck maximal requests release their pool
+// slots the same hour they took them.
+const DefaultSearchTimeout = 10 * time.Minute
+
+// flight is one in-flight engine run, shared by every concurrent
+// request with the same fingerprint.
+type flight struct {
+	fp     string
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{} // closed when wc/err are final
+
+	mu        sync.Mutex
+	subs      map[chan StreamEvent]struct{}
+	completed int
+	total     int
+
+	// Guarded by the server's mu:
+	refs     int
+	finished bool
+
+	wc  sim.WorstCase
+	err error
+}
+
+// subscribe registers a progress listener and returns the latest
+// progress snapshot so late joiners start from the current state.
+func (f *flight) subscribe() (ch chan StreamEvent, completed, total int) {
+	ch = make(chan StreamEvent, 64)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.subs[ch] = struct{}{}
+	return ch, f.completed, f.total
+}
+
+func (f *flight) unsubscribe(ch chan StreamEvent) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.subs, ch)
+}
+
+// broadcast fans a progress event out to every subscriber without
+// blocking the engine: a subscriber that cannot keep up misses
+// intermediate events (the final result is delivered via done, never
+// dropped).
+func (f *flight) broadcast(completed, total int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.completed, f.total = completed, total
+	ev := StreamEvent{Type: "progress", Completed: completed, Total: total}
+	for ch := range f.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// Server is the HTTP search service.
+type Server struct {
+	store         *resultstore.Store
+	sem           chan struct{}
+	fpSem         chan struct{}
+	workers       int
+	searchTimeout time.Duration
+	search        searchFunc
+
+	mu       sync.Mutex
+	inflight map[string]*flight
+}
+
+// New returns a server over the given configuration.
+func New(cfg Config) *Server {
+	maxConcurrent := cfg.MaxConcurrent
+	if maxConcurrent <= 0 {
+		maxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	searchTimeout := cfg.SearchTimeout
+	if searchTimeout == 0 {
+		searchTimeout = DefaultSearchTimeout
+	}
+	if searchTimeout < 0 {
+		searchTimeout = 0 // no bound
+	}
+	return &Server{
+		store:         cfg.Store,
+		searchTimeout: searchTimeout,
+		sem:           make(chan struct{}, maxConcurrent),
+		// Fingerprinting must run before the store lookup (a hit needs
+		// the address), so it cannot sit behind the engine pool; it
+		// gets its own CPU-sized bound instead, so a burst of maximal
+		// requests cannot saturate the process with pre-pool hashing.
+		fpSem:    make(chan struct{}, runtime.GOMAXPROCS(0)),
+		workers:  cfg.Workers,
+		search:   engineSearch,
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Handler returns the service's HTTP routes: POST /search, GET
+// /healthz, GET /index.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/index", s.handleIndex)
+	return recoverMiddleware(mux)
+}
+
+// recoverMiddleware turns a handler panic into a 500 instead of
+// killing the daemon's connection handler silently.
+func recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				writeJSON(w, http.StatusInternalServerError, Response{Error: fmt.Sprintf("internal error: %v", v)})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeJSON(w, http.StatusOK, []resultstore.Entry{})
+		return
+	}
+	entries, err := s.store.Index()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, Response{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, entries)
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, Response{Error: "POST only"})
+		return
+	}
+	// Bound the body before decoding: an oversized document must fail
+	// at the reader, not after the allocator has swallowed it.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, Response{Error: fmt.Sprintf("serve: malformed request: %v", err)})
+		return
+	}
+	spec, space, opts, err := req.compile(s.workers)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, Response{Error: err.Error()})
+		return
+	}
+	s.fpSem <- struct{}{}
+	fp, err := adversary.Fingerprint(spec, space, opts)
+	<-s.fpSem
+	if err != nil {
+		// Unfingerprintable means the engine itself would reject the
+		// search (invalid space, explorer rejecting the graph).
+		writeJSON(w, http.StatusBadRequest, Response{Error: err.Error()})
+		return
+	}
+
+	// Cache hit: answered without touching the engine or the pool.
+	if s.store != nil {
+		if wc, ok := s.store.Get(fp); ok {
+			if req.Stream {
+				s.streamFinal(w, StreamEvent{Type: "result", Fingerprint: fp, Cached: true, Result: &wc})
+				return
+			}
+			writeJSON(w, http.StatusOK, Response{Fingerprint: fp, Cached: true, Result: &wc})
+			return
+		}
+	}
+
+	f, created := s.join(fp)
+	defer s.leave(f)
+	if created {
+		go s.run(f, spec, space, opts)
+	}
+
+	if req.Stream {
+		s.streamFlight(w, r, f, created)
+		return
+	}
+	select {
+	case <-f.done:
+		if f.err != nil {
+			writeJSON(w, http.StatusInternalServerError, Response{Fingerprint: fp, Shared: !created, Error: f.err.Error()})
+			return
+		}
+		wc := f.wc
+		writeJSON(w, http.StatusOK, Response{Fingerprint: fp, Shared: !created, Result: &wc})
+	case <-r.Context().Done():
+		// The client is gone; leave() cancels the engine if no other
+		// request still waits on this flight.
+	}
+}
+
+// join returns the in-flight search for the fingerprint, creating it
+// if absent, and takes a reference on it.
+func (s *Server) join(fp string) (*flight, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.inflight[fp]; ok {
+		f.refs++
+		return f, false
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	f := &flight{
+		fp:     fp,
+		ctx:    ctx,
+		cancel: cancel,
+		done:   make(chan struct{}),
+		subs:   make(map[chan StreamEvent]struct{}),
+		refs:   1,
+	}
+	s.inflight[fp] = f
+	return f, true
+}
+
+// leave drops a reference; when the last waiting request abandons an
+// unfinished flight, the engine run is cancelled and the flight
+// unpublished so a later identical request starts fresh.
+func (s *Server) leave(f *flight) {
+	s.mu.Lock()
+	f.refs--
+	abandoned := f.refs == 0 && !f.finished
+	if abandoned && s.inflight[f.fp] == f {
+		delete(s.inflight, f.fp)
+	}
+	s.mu.Unlock()
+	if abandoned {
+		f.cancel()
+	}
+}
+
+// run executes the flight's search on the bounded pool and publishes
+// the result.
+func (s *Server) run(f *flight, spec adversary.Spec, space sim.SearchSpace, opts adversary.Options) {
+	var wc sim.WorstCase
+	var err error
+	select {
+	case s.sem <- struct{}{}:
+		ctx := f.ctx
+		if s.searchTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.searchTimeout)
+			defer cancel()
+		}
+		wc, err = s.search(ctx, spec, space, opts, f.broadcast)
+		<-s.sem
+	case <-f.ctx.Done():
+		err = f.ctx.Err()
+	}
+	if err == nil && s.store != nil {
+		_ = s.store.Put(f.fp, wc) // best-effort write-back
+	}
+	s.mu.Lock()
+	f.wc, f.err = wc, err
+	f.finished = true
+	if s.inflight[f.fp] == f {
+		delete(s.inflight, f.fp)
+	}
+	s.mu.Unlock()
+	f.cancel() // release the context's resources
+	close(f.done)
+}
+
+// streamFinal writes a one-event NDJSON stream (used for cache hits).
+func (s *Server) streamFinal(w http.ResponseWriter, ev StreamEvent) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	json.NewEncoder(w).Encode(ev)
+}
+
+// streamFlight streams shard progress and the final result of a
+// flight as NDJSON.
+func (s *Server) streamFlight(w http.ResponseWriter, r *http.Request, f *flight, created bool) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	ch, completed, total := f.subscribe()
+	defer f.unsubscribe(ch)
+	if total > 0 {
+		enc.Encode(StreamEvent{Type: "progress", Completed: completed, Total: total})
+		flush()
+	}
+	for {
+		select {
+		case ev := <-ch:
+			enc.Encode(ev)
+			flush()
+		case <-f.done:
+			if f.err != nil {
+				enc.Encode(StreamEvent{Type: "error", Fingerprint: f.fp, Shared: !created, Error: f.err.Error()})
+			} else {
+				wc := f.wc
+				enc.Encode(StreamEvent{Type: "result", Fingerprint: f.fp, Shared: !created, Result: &wc})
+			}
+			flush()
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"rendezvous/internal/graph"
 	"rendezvous/internal/lowerbound"
 	"rendezvous/internal/meetoracle"
+	"rendezvous/internal/resultstore"
 	"rendezvous/internal/ringsim"
 	"rendezvous/internal/sim"
 	"rendezvous/internal/uxs"
@@ -228,6 +229,52 @@ func SearchParallel(ctx context.Context, g *Graph, ex Explorer, scheduleFor func
 // need full control (e.g. disabling the ring fast path).
 func SearchWith(g *Graph, ex Explorer, scheduleFor func(label int) Schedule, space SearchSpace, opts SearchOptions) (WorstCase, error) {
 	return adversary.Search(adversary.Spec{Graph: g, Explorer: ex, ScheduleFor: scheduleFor}, space, opts)
+}
+
+// Persistence (internal/resultstore): worst-case values are immutable
+// once computed, so searches are cached on disk under a canonical
+// content fingerprint and long sweeps checkpoint per shard. cmd/rdvd
+// serves this store over HTTP.
+type (
+	// Store is the content-addressed on-disk cache of WorstCase
+	// results: versioned, checksummed JSON records written atomically;
+	// corruption reads as a miss, never an error.
+	Store = resultstore.Store
+	// StoreEntry is one record in a Store's index.
+	StoreEntry = resultstore.Entry
+	// CheckpointConfig tunes SearchCheckpointed: the checkpoint file,
+	// the shard granularity, and an optional progress callback.
+	CheckpointConfig = adversary.CheckpointConfig
+)
+
+// OpenStore opens (creating if needed) a result store rooted at dir.
+func OpenStore(dir string) (*Store, error) { return resultstore.Open(dir) }
+
+// SearchFingerprint returns the canonical content address of a search:
+// requests that denote the same computation fingerprint identically
+// however they are spelled (spaces are expanded, graphs hashed by
+// structure, explorers by behaviour), and output-invariant options
+// (Workers, Tier, TableBudget) do not contribute.
+func SearchFingerprint(g *Graph, ex Explorer, scheduleFor func(label int) Schedule, space SearchSpace, opts SearchOptions) (string, error) {
+	return adversary.Fingerprint(adversary.Spec{Graph: g, Explorer: ex, ScheduleFor: scheduleFor}, space, opts)
+}
+
+// SearchCached is Search fronted by a result store: a fingerprint hit
+// returns the stored WorstCase without running the engine; a miss
+// (including one caused by a corrupt record) computes the result and
+// writes it back. cached reports which path answered.
+func SearchCached(store *Store, g *Graph, ex Explorer, scheduleFor func(label int) Schedule, space SearchSpace, opts SearchOptions) (wc WorstCase, cached bool, err error) {
+	return adversary.SearchCached(store, adversary.Spec{Graph: g, Explorer: ex, ScheduleFor: scheduleFor}, space, opts)
+}
+
+// SearchCheckpointed is Search with shard-granular checkpoint/resume:
+// completed shards are appended to cfg.Path as they finish, and a
+// rerun of the same search resumes from them with bit-for-bit
+// identical merged output (for every worker count, interruption point
+// and tier). With an empty cfg.Path it degrades to a plain sharded
+// search that reports shard-level progress via cfg.Progress.
+func SearchCheckpointed(g *Graph, ex Explorer, scheduleFor func(label int) Schedule, space SearchSpace, opts SearchOptions, cfg CheckpointConfig) (WorstCase, error) {
+	return adversary.SearchCheckpointed(adversary.Spec{Graph: g, Explorer: ex, ScheduleFor: scheduleFor}, space, opts, cfg)
 }
 
 // Unknown-size support (Conclusion): the EXPLORE_i doubling hierarchy.

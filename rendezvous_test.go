@@ -304,3 +304,77 @@ func TestFacadeMeetOracle(t *testing.T) {
 		}
 	}
 }
+
+// TestFacadePersistence exercises the store + checkpoint surface:
+// SearchCached round-trips through a store (hit on the second call,
+// canonically-equivalent spellings included), and SearchCheckpointed
+// resumes to bit-for-bit the Search output.
+func TestFacadePersistence(t *testing.T) {
+	g := rendezvous.OrientedRing(8)
+	ex := rendezvous.RingSweepExplorer()
+	params := rendezvous.Params{L: 4}
+	algo := rendezvous.Cheap{}
+	scheduleFor := func(l int) rendezvous.Schedule { return algo.Schedule(l, params) }
+	space := rendezvous.SearchSpace{L: 4, Delays: []int{0, 1}}
+
+	want, err := rendezvous.Search(g, ex, scheduleFor, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := rendezvous.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, cached, err := rendezvous.SearchCached(store, g, ex, scheduleFor, space, rendezvous.SearchOptions{})
+	if err != nil || cached {
+		t.Fatalf("cold SearchCached: cached=%v err=%v", cached, err)
+	}
+	if got != want {
+		t.Errorf("cold result diverged: %+v != %+v", got, want)
+	}
+	got, cached, err = rendezvous.SearchCached(store, g, ex, scheduleFor, space, rendezvous.SearchOptions{})
+	if err != nil || !cached {
+		t.Fatalf("warm SearchCached: cached=%v err=%v", cached, err)
+	}
+	if got != want {
+		t.Errorf("warm result diverged: %+v != %+v", got, want)
+	}
+
+	// Canonicalization: an equivalent explicit spelling of the same
+	// space produces the same fingerprint, hence a hit.
+	explicit := rendezvous.SearchSpace{Delays: []int{0, 1}}
+	explicit.LabelPairs = [][2]int{}
+	for a := 1; a <= 4; a++ {
+		for b := 1; b <= 4; b++ {
+			if a != b {
+				explicit.LabelPairs = append(explicit.LabelPairs, [2]int{a, b})
+			}
+		}
+	}
+	fp1, err := rendezvous.SearchFingerprint(g, ex, scheduleFor, space, rendezvous.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := rendezvous.SearchFingerprint(g, ex, scheduleFor, explicit, rendezvous.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 {
+		t.Errorf("equivalent spellings fingerprinted differently:\n%s\n%s", fp1, fp2)
+	}
+
+	// Checkpointed search with progress, no file: same output.
+	events := 0
+	got, err = rendezvous.SearchCheckpointed(g, ex, scheduleFor, space, rendezvous.SearchOptions{Workers: 2},
+		rendezvous.CheckpointConfig{Progress: func(completed, total int) { events++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("SearchCheckpointed diverged: %+v != %+v", got, want)
+	}
+	if events == 0 {
+		t.Error("no progress events reported")
+	}
+}
