@@ -1,10 +1,14 @@
 // Command rdvd is the rendezvous search service daemon: a
 // long-running HTTP JSON front end over the adversary-search engine
-// and the content-addressed result store.
+// and the content-addressed result store — standalone, or as one node
+// of a cluster.
 //
 // Usage:
 //
-//	rdvd -addr 127.0.0.1:8377 -store rdvd-store   # serve
+//	rdvd -addr 127.0.0.1:8377 -store rdvd-store   # serve standalone
+//	rdvd -role worker -addr :8378 -store w1-store # serve as a cluster worker
+//	rdvd -role coordinator -peers http://hostA:8378,http://hostB:8378 \
+//	     -addr :8377 -store coord-store           # fan /search out to the workers
 //	rdvd -store rdvd-store -index                 # print the store index (JSON) and exit
 //	rdvd -store rdvd-store -gc -gc-max 1000       # drop corrupt + oldest records and exit
 //
@@ -17,8 +21,20 @@
 //	               concurrent identical requests share one engine run
 //	               ("shared": true). Add "stream": true for NDJSON
 //	               shard-level progress events.
-//	GET  /healthz  liveness probe
+//	POST /shard    one shard of a search's fixed decomposition (what a
+//	               coordinator sends its workers; same validation and
+//	               caps as /search)
+//	GET  /healthz  liveness probe (also the coordinator's peer probe)
 //	GET  /index    the store's index (what -index prints)
+//
+// Roles: every daemon serves /shard, so any daemon can be a worker;
+// -role worker merely names that deployment. -role coordinator (which
+// requires -peers) makes /search compile the search into its fixed,
+// worker-count-independent shard plan, dispatch the shards to the
+// peers with per-shard retry/requeue and health probing, and merge
+// the results bit-for-bit identically to a single-node search, with
+// the same NDJSON progress streaming. Shard results are cached in the
+// stores on both sides under a fingerprint + shard id key.
 //
 // Searches run on a bounded worker pool (-max-concurrent engine runs
 // at once, each sharded across -search-workers goroutines) and are
@@ -36,6 +52,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -58,6 +75,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxConcurrent = fs.Int("max-concurrent", 0, "engine searches running at once (0 = GOMAXPROCS)")
 		searchWorkers = fs.Int("search-workers", -1, "goroutines per search (-1 = GOMAXPROCS)")
 		searchTimeout = fs.Duration("search-timeout", 0, "server-side deadline per engine search (0 = 10m default, negative disables)")
+		role          = fs.String("role", "standalone", "standalone | worker | coordinator")
+		peers         = fs.String("peers", "", "comma-separated worker base URLs (coordinator role), e.g. http://hostA:8377,http://hostB:8377")
+		shards        = fs.Int("shards", 0, "fixed shard count for distributed searches (0 = engine default)")
+		shardTimeout  = fs.Duration("shard-timeout", 0, "per-shard dispatch deadline on each peer (0 = 2m default)")
+		shardAttempts = fs.Int("shard-attempts", 0, "attempts per shard across peers before a distributed search fails (0 = 3)")
+		shardInflight = fs.Int("shard-inflight", 0, "shards kept in flight on each peer at once (0 = 1; raise toward the workers' -max-concurrent)")
 		index         = fs.Bool("index", false, "print the store index as JSON and exit")
 		gc            = fs.Bool("gc", false, "garbage-collect the store and exit")
 		gcMax         = fs.Int("gc-max", 0, "with -gc: keep at most this many newest records (0 = only drop corrupt ones)")
@@ -84,6 +107,56 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *index && *gc {
 		return usageErr("-index and -gc are mutually exclusive")
+	}
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+	}
+	switch *role {
+	case "standalone", "worker":
+		// The cluster-dispatch flags configure the coordinator's
+		// dispatcher only; accepting them here would silently do
+		// nothing.
+		if len(peerList) > 0 {
+			return usageErr("-peers is only meaningful with -role coordinator (got role %q)", *role)
+		}
+		if *shards != 0 {
+			return usageErr("-shards is only meaningful with -role coordinator (got role %q)", *role)
+		}
+		if *shardTimeout != 0 {
+			return usageErr("-shard-timeout is only meaningful with -role coordinator (got role %q)", *role)
+		}
+		if *shardAttempts != 0 {
+			return usageErr("-shard-attempts is only meaningful with -role coordinator (got role %q)", *role)
+		}
+		if *shardInflight != 0 {
+			return usageErr("-shard-inflight is only meaningful with -role coordinator (got role %q)", *role)
+		}
+	case "coordinator":
+		if len(peerList) == 0 {
+			return usageErr("-role coordinator requires -peers")
+		}
+	default:
+		return usageErr("-role %q: want standalone, worker or coordinator", *role)
+	}
+	if *shards < 0 {
+		return usageErr("-shards %d: want 0 (engine default) or a positive count", *shards)
+	}
+	if *shardTimeout < 0 {
+		// The library's negative-disables escape hatch is not exposed as
+		// a flag: a typo must not silently remove the per-shard failure
+		// deadline the requeue policy depends on.
+		return usageErr("-shard-timeout %v: want 0 (2m default) or a positive duration", *shardTimeout)
+	}
+	if *shardAttempts < 0 {
+		return usageErr("-shard-attempts %d: want 0 (default) or a positive count", *shardAttempts)
+	}
+	if *shardInflight < 0 {
+		return usageErr("-shard-inflight %d: want 0 (1 per peer) or a positive count", *shardInflight)
 	}
 
 	store, err := resultstore.Open(*storeDir)
@@ -116,18 +189,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	srv := serve.New(serve.Config{
+	srv, err := serve.New(serve.Config{
 		Store:         store,
 		MaxConcurrent: *maxConcurrent,
 		Workers:       *searchWorkers,
 		SearchTimeout: *searchTimeout,
+		Peers:         peerList,
+		Shards:        *shards,
+		ShardTimeout:  *shardTimeout,
+		ShardAttempts: *shardAttempts,
+		ShardInflight: *shardInflight,
 	})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "rdvd: listening on %s (store %s)\n", ln.Addr(), store.Dir())
+	fmt.Fprintf(stdout, "rdvd: listening on %s (store %s, role %s)\n", ln.Addr(), store.Dir(), *role)
+	if d := srv.Cluster(); d != nil {
+		if failures := d.Probe(context.Background()); len(failures) > 0 {
+			for peer, perr := range failures {
+				fmt.Fprintf(stderr, "rdvd: peer %s unhealthy: %v\n", peer, perr)
+			}
+			fmt.Fprintf(stdout, "rdvd: coordinating %d peer(s), %d currently unhealthy (shards will requeue around them)\n", len(d.Peers()), len(failures))
+		} else {
+			fmt.Fprintf(stdout, "rdvd: coordinating %d healthy peer(s)\n", len(d.Peers()))
+		}
+	}
 
 	// Header/body reads and idle keep-alives are time-bounded so a
 	// stalled client cannot pin connections (slowloris); there is

@@ -32,6 +32,17 @@ func TestFlagValidation(t *testing.T) {
 		{"bad-gc-max", []string{"-gc", "-gc-max", "-1"}, "-gc-max"},
 		{"index-and-gc", []string{"-index", "-gc"}, "mutually exclusive"},
 		{"unknown-flag", []string{"-bogus"}, "flag provided but not defined"},
+		{"unknown-role", []string{"-role", "leader"}, "-role"},
+		{"coordinator-needs-peers", []string{"-role", "coordinator"}, "requires -peers"},
+		{"peers-need-coordinator", []string{"-peers", "http://127.0.0.1:1"}, "only meaningful with -role coordinator"},
+		{"worker-rejects-peers", []string{"-role", "worker", "-peers", "http://127.0.0.1:1"}, "only meaningful with -role coordinator"},
+		{"shards-without-coordinator", []string{"-shards", "4"}, "-shards"},
+		{"shard-timeout-without-coordinator", []string{"-role", "worker", "-shard-timeout", "30s"}, "-shard-timeout"},
+		{"shard-attempts-without-coordinator", []string{"-shard-attempts", "2"}, "-shard-attempts"},
+		{"coord-bad-shards", []string{"-role", "coordinator", "-peers", "http://127.0.0.1:1", "-shards", "-1"}, "-shards"},
+		{"coord-bad-shard-timeout", []string{"-role", "coordinator", "-peers", "http://127.0.0.1:1", "-shard-timeout", "-2m"}, "-shard-timeout"},
+		{"coord-bad-shard-attempts", []string{"-role", "coordinator", "-peers", "http://127.0.0.1:1", "-shard-attempts", "-1"}, "-shard-attempts"},
+		{"bad-peer-url", []string{"-role", "coordinator", "-peers", "not a url"}, "peer"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

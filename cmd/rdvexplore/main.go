@@ -6,11 +6,18 @@
 //
 //	rdvexplore -graph torus -n 12 -explorer eulerian -start 3
 //	rdvexplore -graph tree -n 9 -explorer dfs -verify
+//
+// Flag values are validated up front, matching rdvsim and rdvbench: a
+// graph size outside its family's range, a start node out of range,
+// or an unknown graph/explorer name is a usage error (exit 2), never
+// a panic or a deep-engine error.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"strings"
@@ -20,66 +27,71 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+// run is the testable entry point: it parses args with a private flag
+// set and writes to the given streams.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rdvexplore", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		graphKind = flag.String("graph", "ring", "ring | path | star | tree | grid | torus | hypercube | complete")
-		n         = flag.Int("n", 12, "graph size parameter")
-		expName   = flag.String("explorer", "auto", "auto | dfs | unmarked-dfs | ring-sweep | eulerian | hamiltonian")
-		start     = flag.Int("start", 0, "starting node for the printed walk")
-		verify    = flag.Bool("verify", false, "verify the contract from every start")
-		seed      = flag.Int64("seed", 1, "seed for randomized generators")
+		graphKind = fs.String("graph", "ring", "ring | path | star | tree | grid | torus | hypercube | complete")
+		n         = fs.Int("n", 12, "graph size parameter")
+		expName   = fs.String("explorer", "auto", "auto | dfs | unmarked-dfs | ring-sweep | eulerian | hamiltonian")
+		start     = fs.Int("start", 0, "starting node for the printed walk")
+		verify    = fs.Bool("verify", false, "verify the contract from every start")
+		seed      = fs.Int64("seed", 1, "seed for randomized generators")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	usageErr := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "rdvexplore: "+format+"\n", args...)
+		fs.Usage()
+		return 2
+	}
 
 	g, err := buildGraph(*graphKind, *n, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 2
+		return usageErr("%v", err)
 	}
-	var ex explore.Explorer
-	switch *expName {
-	case "auto":
-		ex = explore.Best(g, 16)
-	case "dfs":
-		ex = explore.DFS{}
-	case "unmarked-dfs":
-		ex = explore.UnmarkedDFS{}
-	case "ring-sweep":
-		ex = explore.OrientedRingSweep{}
-	case "eulerian":
-		ex = explore.Eulerian{}
-	case "hamiltonian":
-		ex = explore.Hamiltonian{}
-	default:
-		fmt.Fprintf(os.Stderr, "rdvexplore: unknown explorer %q\n", *expName)
-		return 2
+	// The shared registry (also used by rdvsim and the rdvd service),
+	// so the supported set cannot drift between surfaces.
+	ex, err := explore.ByName(*expName, g, 16)
+	if err != nil {
+		return usageErr("%v", err)
+	}
+	// Start validation needs the built graph for its range.
+	if *start < 0 || *start >= g.N() {
+		return usageErr("-start %d: want a node in 0..%d", *start, g.N()-1)
 	}
 
-	fmt.Printf("graph    %s: %v (diameter %d, eulerian %v)\n", *graphKind, g, g.Diameter(), g.IsEulerian())
-	fmt.Printf("explorer %s, E = %d\n", ex.Name(), ex.Duration(g))
+	fmt.Fprintf(stdout, "graph    %s: %v (diameter %d, eulerian %v)\n", *graphKind, g, g.Diameter(), g.IsEulerian())
+	fmt.Fprintf(stdout, "explorer %s, E = %d\n", ex.Name(), ex.Duration(g))
 
 	plan, err := ex.Plan(g, *start)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "rdvexplore: plan: %v\n", err)
+		fmt.Fprintf(stderr, "rdvexplore: plan: %v\n", err)
 		return 1
 	}
 	nodes, err := plan.Apply(g, *start)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "rdvexplore: apply: %v\n", err)
+		fmt.Fprintf(stderr, "rdvexplore: apply: %v\n", err)
 		return 1
 	}
-	fmt.Printf("plan     %d steps (%d moves, %d waits)\n", len(plan), plan.Moves(), len(plan)-plan.Moves())
-	fmt.Printf("walk     %s\n", renderWalk(nodes, 30))
+	fmt.Fprintf(stdout, "plan     %d steps (%d moves, %d waits)\n", len(plan), plan.Moves(), len(plan)-plan.Moves())
+	fmt.Fprintf(stdout, "walk     %s\n", renderWalk(nodes, 30))
 
 	if *verify {
 		if err := explore.Verify(ex, g); err != nil {
-			fmt.Fprintf(os.Stderr, "rdvexplore: VERIFY FAILED: %v\n", err)
+			fmt.Fprintf(stderr, "rdvexplore: VERIFY FAILED: %v\n", err)
 			return 1
 		}
-		fmt.Println("verify   contract holds from every start")
+		fmt.Fprintln(stdout, "verify   contract holds from every start")
 	}
 	return 0
 }
@@ -96,33 +108,59 @@ func renderWalk(nodes []int, limit int) string {
 	return strings.Join(parts, "→")
 }
 
+// buildGraph range-checks -n per family before calling the generators
+// (which panic on out-of-range sizes), exactly as rdvsim does.
 func buildGraph(kind string, n int, seed int64) (*graph.Graph, error) {
 	switch kind {
 	case "ring":
+		if n < 3 {
+			return nil, fmt.Errorf("-graph ring: need -n >= 3 (got %d)", n)
+		}
 		return graph.OrientedRing(n), nil
 	case "path":
+		if n < 2 {
+			return nil, fmt.Errorf("-graph path: need -n >= 2 (got %d)", n)
+		}
 		return graph.Path(n), nil
 	case "star":
+		if n < 2 {
+			return nil, fmt.Errorf("-graph star: need -n >= 2 (got %d)", n)
+		}
 		return graph.Star(n), nil
 	case "tree":
+		if n < 2 {
+			return nil, fmt.Errorf("-graph tree: need -n >= 2 (got %d)", n)
+		}
 		return graph.RandomTree(n, rand.New(rand.NewSource(seed))), nil
 	case "grid":
+		if n < 2 {
+			return nil, fmt.Errorf("-graph grid: need -n >= 2 (got %d)", n)
+		}
 		side := 1
 		for side*side < n {
 			side++
 		}
 		return graph.Grid(side, side), nil
 	case "torus":
+		if n < 2 {
+			return nil, fmt.Errorf("-graph torus: need -n >= 2 (got %d)", n)
+		}
 		side := 3
 		for side*side < n {
 			side++
 		}
 		return graph.Torus(side, side), nil
 	case "hypercube":
+		if n < 1 || n > 20 {
+			return nil, fmt.Errorf("-graph hypercube: need 1 <= -n <= 20 (got %d)", n)
+		}
 		return graph.Hypercube(n), nil
 	case "complete":
+		if n < 2 {
+			return nil, fmt.Errorf("-graph complete: need -n >= 2 (got %d)", n)
+		}
 		return graph.Complete(n), nil
 	default:
-		return nil, fmt.Errorf("rdvexplore: unknown graph %q", kind)
+		return nil, fmt.Errorf("unknown graph %q", kind)
 	}
 }

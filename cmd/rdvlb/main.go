@@ -8,6 +8,12 @@
 //
 //	rdvlb -theorem 1 -algo cheap-sim -n 24 -L 16
 //	rdvlb -theorem 2 -algo fast -n 24 -L 32
+//
+// Flag values are validated up front, matching rdvsim and rdvbench: a
+// theorem other than 1 or 2, a ring size below 4 (or, for Theorem 3.2,
+// not divisible by 6), a label space below the pipeline's minimum, or
+// an unknown algorithm is a usage error (exit 2) before any pipeline
+// machinery runs.
 package main
 
 import (
@@ -37,7 +43,7 @@ func pickAlgorithm(name string) (core.Algorithm, error) {
 	case "fwr2":
 		return core.NewFastWithRelabeling(2), nil
 	default:
-		return nil, fmt.Errorf("rdvlb: unknown algorithm %q", name)
+		return nil, fmt.Errorf("unknown algorithm %q (want cheap, cheap-sim, fast or fwr2)", name)
 	}
 }
 
@@ -58,11 +64,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 2
 	}
+	usageErr := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "rdvlb: "+format+"\n", args...)
+		fs.Usage()
+		return 2
+	}
 
+	// Model-level flag validation, before any pipeline machinery runs:
+	// these are user mistakes, not construction outcomes. The ranges
+	// mirror the pipelines' own preconditions (NewRing needs n >= 4;
+	// Theorem 3.1 needs L >= 4, Theorem 3.2 needs n divisible by 6 and
+	// L >= 2).
+	if *theorem != 1 && *theorem != 2 {
+		return usageErr("-theorem %d: want 1 (time bound) or 2 (cost bound)", *theorem)
+	}
+	if *n < 4 {
+		return usageErr("-n %d: want a ring size >= 4", *n)
+	}
+	if *theorem == 1 && *labels < 4 {
+		return usageErr("-L %d: Theorem 3.1 needs a label space >= 4", *labels)
+	}
+	if *theorem == 2 {
+		if *n%6 != 0 {
+			return usageErr("-n %d: Theorem 3.2 cuts the ring into 6 sectors, so -n must be divisible by 6", *n)
+		}
+		if *labels < 2 {
+			return usageErr("-L %d: Theorem 3.2 needs a label space >= 2", *labels)
+		}
+	}
 	algo, err := pickAlgorithm(*algoName)
 	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 2
+		return usageErr("%v", err)
 	}
 
 	switch *theorem {
@@ -107,9 +139,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if len(rep.Violations) > 0 {
 			return 1
 		}
-	default:
-		fmt.Fprintf(stderr, "rdvlb: unknown theorem %d\n", *theorem)
-		return 2
 	}
 	return 0
 }

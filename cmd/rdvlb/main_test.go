@@ -55,17 +55,36 @@ func TestTheorem2Smoke(t *testing.T) {
 	}
 }
 
-// TestBadInputs covers the error exits.
+// TestBadInputs pins the flag-validation parity with rdvsim and
+// rdvbench: out-of-range theorem numbers, ring sizes and label spaces
+// are usage errors (exit 2 with the offending flag named) before any
+// pipeline machinery runs, never a panic or a deep-engine error.
 func TestBadInputs(t *testing.T) {
-	var stdout, stderr strings.Builder
-	if code := run([]string{"-algo", "bogus"}, &stdout, &stderr); code != 2 {
-		t.Errorf("bogus algorithm: exit = %d, want 2", code)
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"bogus-algo", []string{"-algo", "bogus"}, "unknown algorithm"},
+		{"theorem-zero", []string{"-theorem", "0"}, "-theorem"},
+		{"theorem-three", []string{"-theorem", "3"}, "-theorem"},
+		{"n-too-small", []string{"-n", "3"}, "-n"},
+		{"n-negative", []string{"-n", "-6"}, "-n"},
+		{"t1-L-too-small", []string{"-theorem", "1", "-L", "3"}, "-L"},
+		{"t2-n-not-divisible", []string{"-theorem", "2", "-n", "16"}, "divisible by 6"},
+		{"t2-L-too-small", []string{"-theorem", "2", "-n", "12", "-L", "1"}, "-L"},
+		{"unknown-flag", []string{"-not-a-flag"}, "flag provided but not defined"},
 	}
-	if code := run([]string{"-theorem", "3"}, &stdout, &stderr); code != 2 {
-		t.Errorf("unknown theorem: exit = %d, want 2", code)
-	}
-	if code := run([]string{"-not-a-flag"}, &stdout, &stderr); code != 2 {
-		t.Errorf("unknown flag: exit = %d, want 2", code)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			if code := run(tc.args, &stdout, &stderr); code != 2 {
+				t.Errorf("exit = %d, want 2; stderr: %s", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.want) {
+				t.Errorf("stderr %q does not mention %q", stderr.String(), tc.want)
+			}
+		})
 	}
 }
 

@@ -365,11 +365,11 @@ func (w *checkpointWriter) close() {
 // bind a checkpoint to) runs without persistence, exactly as Search
 // would run it.
 func SearchCheckpointed(spec Spec, space sim.SearchSpace, opts Options, cfg CheckpointConfig) (sim.WorstCase, error) {
-	plan, err := newSearchPlan(spec, space, opts)
+	plan, err := NewPlan(spec, space, opts, cfg.Shards)
 	if err != nil {
 		return sim.WorstCase{}, err
 	}
-	num := resolveShardCount(len(plan.labelPairs), cfg.Shards)
+	num := plan.Shards()
 
 	var done map[int]sim.WorstCase
 	var writer *checkpointWriter
@@ -439,8 +439,7 @@ func SearchCheckpointed(spec Spec, space sim.SearchSpace, opts Options, cfg Chec
 					next++
 					mu.Unlock()
 
-					lo, hi := shardBounds(len(plan.labelPairs), num, i)
-					wc, err := plan.sweep(ctx, plan.labelPairs[lo:hi])
+					wc, err := plan.RunShard(ctx, i)
 					if err == nil && writer != nil {
 						err = writer.record(i, wc)
 					}
@@ -482,9 +481,5 @@ func SearchCheckpointed(spec Spec, space sim.SearchSpace, opts Options, cfg Chec
 		}
 	}
 
-	merged := results[0]
-	for _, r := range results[1:] {
-		merged.Merge(r)
-	}
-	return merged, nil
+	return MergeShards(results), nil
 }

@@ -1,0 +1,112 @@
+package adversary
+
+import (
+	"context"
+	"testing"
+
+	"rendezvous/internal/core"
+	"rendezvous/internal/explore"
+	"rendezvous/internal/graph"
+	"rendezvous/internal/sim"
+)
+
+// planSpecs returns a small spec per dispatch tier (ring fast path,
+// meeting tables, generic), the same mix the checkpoint tests sweep.
+func planSpecs() map[string]Spec {
+	params := core.Params{L: 4}
+	ringSched := func(l int) sim.Schedule { return core.Cheap{}.Schedule(l, params) }
+	return map[string]Spec{
+		"ring":  {Graph: graph.OrientedRing(6), Explorer: explore.OrientedRingSweep{}, ScheduleFor: ringSched},
+		"grid":  {Graph: graph.Grid(2, 3), Explorer: explore.DFS{}, ScheduleFor: ringSched},
+		"torus": {Graph: graph.Torus(3, 3), Explorer: explore.DFS{}, ScheduleFor: ringSched},
+	}
+}
+
+// TestPlanMatchesSearch: running every shard of a Plan (in any split)
+// and folding with MergeShards reproduces Search bit for bit — the
+// determinism contract the cluster dispatcher distributes on.
+func TestPlanMatchesSearch(t *testing.T) {
+	space := sim.SearchSpace{L: 4, Delays: []int{0, 1}}
+	for name, spec := range planSpecs() {
+		for _, sym := range []Symmetry{SymmetryAuto, SymmetryOff} {
+			opts := Options{Symmetry: sym}
+			want, err := Search(spec, space, opts)
+			if err != nil {
+				t.Fatalf("%s/%v: Search: %v", name, sym, err)
+			}
+			for _, shards := range []int{1, 3, 7, 1000} {
+				plan, err := NewPlan(spec, space, opts, shards)
+				if err != nil {
+					t.Fatalf("%s/%v/%d: NewPlan: %v", name, sym, shards, err)
+				}
+				results := make([]sim.WorstCase, plan.Shards())
+				for i := range results {
+					wc, err := plan.RunShard(context.Background(), i)
+					if err != nil {
+						t.Fatalf("%s/%v/%d: RunShard(%d): %v", name, sym, shards, i, err)
+					}
+					results[i] = wc
+				}
+				if got := MergeShards(results); got != want {
+					t.Errorf("%s/%v/%d shards: merged %+v != Search %+v", name, sym, shards, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanShardsAgreesWithNewPlan: the cheap shard-count derivation
+// coordinators use matches the count NewPlan fixes, for every
+// requested value — two processes agreeing on (search, requested)
+// always agree on the decomposition.
+func TestPlanShardsAgreesWithNewPlan(t *testing.T) {
+	space := sim.SearchSpace{L: 4, Delays: []int{0}}
+	for name, spec := range planSpecs() {
+		for _, requested := range []int{0, 1, 5, 12, 9999} {
+			want, err := PlanShards(spec, space, requested)
+			if err != nil {
+				t.Fatalf("%s/%d: PlanShards: %v", name, requested, err)
+			}
+			plan, err := NewPlan(spec, space, Options{}, requested)
+			if err != nil {
+				t.Fatalf("%s/%d: NewPlan: %v", name, requested, err)
+			}
+			if plan.Shards() != want {
+				t.Errorf("%s/%d: PlanShards %d != NewPlan %d", name, requested, want, plan.Shards())
+			}
+			if requested == 0 && want != min(DefaultCheckpointShards, plan.LabelPairs()) {
+				t.Errorf("%s: default shards %d, want min(%d, %d)", name, want, DefaultCheckpointShards, plan.LabelPairs())
+			}
+		}
+	}
+}
+
+// TestRunShardBounds: out-of-range shard indices are errors, not
+// silent empty sweeps.
+func TestRunShardBounds(t *testing.T) {
+	spec := planSpecs()["ring"]
+	plan, err := NewPlan(spec, sim.SearchSpace{L: 3}, Options{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shard := range []int{-1, plan.Shards()} {
+		if _, err := plan.RunShard(context.Background(), shard); err == nil {
+			t.Errorf("RunShard(%d): want error", shard)
+		}
+	}
+}
+
+// TestPlanErrors: an invalid space and a forced-inapplicable tier fail
+// at NewPlan, exactly as they fail at Search.
+func TestPlanErrors(t *testing.T) {
+	spec := planSpecs()["grid"]
+	if _, err := NewPlan(spec, sim.SearchSpace{L: 1}, Options{}, 0); err == nil {
+		t.Error("L=1: want error")
+	}
+	if _, err := NewPlan(spec, sim.SearchSpace{L: 3}, Options{Tier: TierRing}, 0); err == nil {
+		t.Error("TierRing on a grid: want error")
+	}
+	if _, err := PlanShards(spec, sim.SearchSpace{L: 1}, 0); err == nil {
+		t.Error("PlanShards L=1: want error")
+	}
+}

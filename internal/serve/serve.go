@@ -24,9 +24,20 @@
 // newline-delimited JSON — one {"type":"progress"} event per
 // completed shard, then a final {"type":"result"} (or
 // {"type":"error"}) line.
+//
+// Cluster roles: every server additionally serves POST /shard — one
+// shard of a search's fixed decomposition, with exactly the same
+// request validation and caps as /search, cached per shard in the
+// store — which makes any daemon usable as a cluster worker. A server
+// configured with Peers becomes a coordinator: /search keeps its whole
+// pipeline (validation, cache-first answering, single-flight,
+// streaming), but instead of running the engine locally it fans the
+// shard plan out to the peers through internal/cluster and merges the
+// results bit-for-bit identically to a local run.
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -36,6 +47,7 @@ import (
 	"time"
 
 	"rendezvous/internal/adversary"
+	"rendezvous/internal/cluster"
 	"rendezvous/internal/core"
 	"rendezvous/internal/explore"
 	"rendezvous/internal/graph"
@@ -343,6 +355,23 @@ type Config struct {
 	// clients hold the connection open. 0 means DefaultSearchTimeout;
 	// negative disables the bound.
 	SearchTimeout time.Duration
+	// Peers lists worker daemon base URLs. Non-empty turns the server
+	// into a cluster coordinator: /search dispatches the shard plan to
+	// the peers instead of running the engine locally.
+	Peers []string
+	// Shards fixes the shard count of distributed searches
+	// (0 = the engine's DefaultCheckpointShards, clamped per search).
+	Shards int
+	// ShardTimeout bounds each shard attempt on each peer
+	// (0 = cluster.DefaultShardTimeout).
+	ShardTimeout time.Duration
+	// ShardAttempts bounds the attempts per shard across peers before
+	// a distributed search fails (0 = cluster.DefaultMaxAttempts).
+	ShardAttempts int
+	// ShardInflight is how many shards the coordinator keeps in flight
+	// on each peer at once (0 = 1); raise it toward the workers'
+	// -max-concurrent to keep multi-core workers busy.
+	ShardInflight int
 }
 
 // DefaultSearchTimeout is the per-search deadline when
@@ -413,13 +442,62 @@ type Server struct {
 	workers       int
 	searchTimeout time.Duration
 	search        searchFunc
+	cluster       *cluster.Dispatcher // nil = run searches locally
+	shards        int                 // requested shard count for distributed searches
 
 	mu       sync.Mutex
 	inflight map[string]*flight
+
+	// planMu guards a tiny MRU cache of compiled shard plans, so the N
+	// /shard requests of one search share one plan (meeting tables,
+	// trajectory caches) instead of rebuilding it N times. Plans are
+	// read-only and safe for concurrent RunShard. The cap is small
+	// because a cached table-tier plan can hold up to TableBudget of
+	// tables: one active search plus one predecessor is the working set
+	// of a worker behind a coordinator.
+	planMu sync.Mutex
+	plans  []cachedPlan // newest last, at most maxCachedPlans
 }
 
-// New returns a server over the given configuration.
-func New(cfg Config) *Server {
+// cachedPlan is one entry of the worker's shard-plan cache, keyed by
+// fingerprint + shard count (everything RunShard's output depends on).
+type cachedPlan struct {
+	key  string
+	plan *adversary.Plan
+}
+
+// maxCachedPlans bounds the shard-plan cache.
+const maxCachedPlans = 2
+
+// planFor returns the cached plan for the key, refreshing its MRU
+// position, or nil.
+func (s *Server) planFor(key string) *adversary.Plan {
+	s.planMu.Lock()
+	defer s.planMu.Unlock()
+	for i, e := range s.plans {
+		if e.key == key {
+			s.plans = append(append(s.plans[:i], s.plans[i+1:]...), e)
+			return e.plan
+		}
+	}
+	return nil
+}
+
+// storePlan inserts a plan, evicting the least recently used entry
+// beyond the cap. Two racing builders of the same key just insert
+// twice; the duplicate ages out.
+func (s *Server) storePlan(key string, p *adversary.Plan) {
+	s.planMu.Lock()
+	defer s.planMu.Unlock()
+	s.plans = append(s.plans, cachedPlan{key: key, plan: p})
+	if len(s.plans) > maxCachedPlans {
+		s.plans = append(s.plans[:0:0], s.plans[len(s.plans)-maxCachedPlans:]...)
+	}
+}
+
+// New returns a server over the given configuration. It errors only
+// on an unusable cluster configuration (a malformed peer URL).
+func New(cfg Config) (*Server, error) {
 	maxConcurrent := cfg.MaxConcurrent
 	if maxConcurrent <= 0 {
 		maxConcurrent = runtime.GOMAXPROCS(0)
@@ -431,7 +509,7 @@ func New(cfg Config) *Server {
 	if searchTimeout < 0 {
 		searchTimeout = 0 // no bound
 	}
-	return &Server{
+	s := &Server{
 		store:         cfg.Store,
 		searchTimeout: searchTimeout,
 		sem:           make(chan struct{}, maxConcurrent),
@@ -442,15 +520,35 @@ func New(cfg Config) *Server {
 		fpSem:    make(chan struct{}, runtime.GOMAXPROCS(0)),
 		workers:  cfg.Workers,
 		search:   engineSearch,
+		shards:   cfg.Shards,
 		inflight: make(map[string]*flight),
 	}
+	if len(cfg.Peers) > 0 {
+		d, err := cluster.New(cluster.Config{
+			Peers:           cfg.Peers,
+			ShardTimeout:    cfg.ShardTimeout,
+			MaxAttempts:     cfg.ShardAttempts,
+			PerPeerInflight: cfg.ShardInflight,
+			Store:           cfg.Store,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		s.cluster = d
+	}
+	return s, nil
 }
 
-// Handler returns the service's HTTP routes: POST /search, GET
-// /healthz, GET /index.
+// Cluster returns the coordinator's dispatcher (nil when the server
+// runs searches locally).
+func (s *Server) Cluster() *cluster.Dispatcher { return s.cluster }
+
+// Handler returns the service's HTTP routes: POST /search, POST
+// /shard, GET /healthz, GET /index.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/shard", s.handleShard)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/index", s.handleIndex)
 	return recoverMiddleware(mux)
@@ -478,10 +576,21 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// Read-only endpoints answer GET only, mirroring the POST-only
+	// check on /search: a POST /healthz or /index looks like a
+	// mutation and must not be served as if it were one.
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, Response{Error: "GET only"})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, Response{Error: "GET only"})
+		return
+	}
 	if s.store == nil {
 		writeJSON(w, http.StatusOK, []resultstore.Entry{})
 		return
@@ -492,6 +601,28 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, entries)
+}
+
+// compileAndFingerprint lowers a decoded request onto the engine and
+// derives its canonical content address, with fingerprint hashing
+// bounded by the CPU-sized fpSem. It is the one validation prologue
+// shared by /search and /shard, so a cap or validation change can
+// never apply to one path and silently miss the other. A non-nil
+// error is always a client error (400): an unfingerprintable search
+// is one the engine itself would reject (invalid space, explorer
+// rejecting the graph).
+func (s *Server) compileAndFingerprint(req Request) (adversary.Spec, sim.SearchSpace, adversary.Options, string, error) {
+	spec, space, opts, err := req.compile(s.workers)
+	if err != nil {
+		return spec, space, opts, "", err
+	}
+	s.fpSem <- struct{}{}
+	fp, err := adversary.Fingerprint(spec, space, opts)
+	<-s.fpSem
+	if err != nil {
+		return spec, space, opts, "", err
+	}
+	return spec, space, opts, fp, nil
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -508,17 +639,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, Response{Error: fmt.Sprintf("serve: malformed request: %v", err)})
 		return
 	}
-	spec, space, opts, err := req.compile(s.workers)
+	spec, space, opts, fp, err := s.compileAndFingerprint(req)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, Response{Error: err.Error()})
-		return
-	}
-	s.fpSem <- struct{}{}
-	fp, err := adversary.Fingerprint(spec, space, opts)
-	<-s.fpSem
-	if err != nil {
-		// Unfingerprintable means the engine itself would reject the
-		// search (invalid space, explorer rejecting the graph).
 		writeJSON(w, http.StatusBadRequest, Response{Error: err.Error()})
 		return
 	}
@@ -538,24 +660,45 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	f, created := s.join(fp)
 	defer s.leave(f)
 	if created {
-		go s.run(f, spec, space, opts)
+		go s.run(f, req, spec, space, opts)
 	}
 
 	if req.Stream {
 		s.streamFlight(w, r, f, created)
 		return
 	}
-	select {
-	case <-f.done:
+	s.respondFlight(w, r, f, created)
+}
+
+// respondFlight writes the non-streaming /search answer once the
+// flight finishes. A completed result is always written when
+// available: when the client's context fires, f.done is re-checked
+// first, because with both channels ready the select picks at random —
+// a client that disconnected a moment after the flight finished (or a
+// context cancelled between the engine completing and this select
+// running) would otherwise sometimes get an empty body for a search
+// that succeeded.
+func (s *Server) respondFlight(w http.ResponseWriter, r *http.Request, f *flight, created bool) {
+	finish := func() {
 		if f.err != nil {
-			writeJSON(w, http.StatusInternalServerError, Response{Fingerprint: fp, Shared: !created, Error: f.err.Error()})
+			writeJSON(w, http.StatusInternalServerError, Response{Fingerprint: f.fp, Shared: !created, Error: f.err.Error()})
 			return
 		}
 		wc := f.wc
-		writeJSON(w, http.StatusOK, Response{Fingerprint: fp, Shared: !created, Result: &wc})
+		writeJSON(w, http.StatusOK, Response{Fingerprint: f.fp, Shared: !created, Result: &wc})
+	}
+	select {
+	case <-f.done:
+		finish()
 	case <-r.Context().Done():
-		// The client is gone; leave() cancels the engine if no other
-		// request still waits on this flight.
+		select {
+		case <-f.done:
+			finish()
+		default:
+			// The client is gone and the flight is still running;
+			// leave() cancels the engine if no other request waits on
+			// this flight.
+		}
 	}
 }
 
@@ -597,23 +740,38 @@ func (s *Server) leave(f *flight) {
 	}
 }
 
-// run executes the flight's search on the bounded pool and publishes
-// the result.
-func (s *Server) run(f *flight, spec adversary.Spec, space sim.SearchSpace, opts adversary.Options) {
+// run executes the flight's search — locally on the bounded pool, or
+// fanned out across the cluster when the server is a coordinator —
+// and publishes the result.
+func (s *Server) run(f *flight, req Request, spec adversary.Spec, space sim.SearchSpace, opts adversary.Options) {
 	var wc sim.WorstCase
 	var err error
-	select {
-	case s.sem <- struct{}{}:
+	if s.cluster != nil {
+		// Dispatch is network-bound: the compute happens on the peers,
+		// so it does not take a local engine-pool slot (a coordinator's
+		// throughput is its worker fleet, not its core count). The
+		// per-search timeout still bounds it.
 		ctx := f.ctx
 		if s.searchTimeout > 0 {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, s.searchTimeout)
 			defer cancel()
 		}
-		wc, err = s.search(ctx, spec, space, opts, f.broadcast)
-		<-s.sem
-	case <-f.ctx.Done():
-		err = f.ctx.Err()
+		wc, err = dispatch(ctx, s.cluster, req, spec, space, f.fp, s.shards, f.broadcast)
+	} else {
+		select {
+		case s.sem <- struct{}{}:
+			ctx := f.ctx
+			if s.searchTimeout > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, s.searchTimeout)
+				defer cancel()
+			}
+			wc, err = s.search(ctx, spec, space, opts, f.broadcast)
+			<-s.sem
+		case <-f.ctx.Done():
+			err = f.ctx.Err()
+		}
 	}
 	if err == nil && s.store != nil {
 		_ = s.store.Put(f.fp, wc) // best-effort write-back
@@ -627,6 +785,150 @@ func (s *Server) run(f *flight, spec adversary.Spec, space sim.SearchSpace, opts
 	s.mu.Unlock()
 	f.cancel() // release the context's resources
 	close(f.done)
+}
+
+// dispatch fans an already-compiled search out through the cluster:
+// it fixes the shard count both sides will independently re-derive,
+// embeds the request as the shard protocol's search body, and merges
+// the peers' shard results bit-for-bit identically to a local Search.
+func dispatch(ctx context.Context, d *cluster.Dispatcher, req Request, spec adversary.Spec, space sim.SearchSpace, fp string, shards int, progress func(completed, total int)) (sim.WorstCase, error) {
+	req.Stream = false // stream is a transport option of /search, not part of the search
+	search, err := json.Marshal(req)
+	if err != nil {
+		return sim.WorstCase{}, fmt.Errorf("serve: marshal search for dispatch: %w", err)
+	}
+	num, err := adversary.PlanShards(spec, space, shards)
+	if err != nil {
+		return sim.WorstCase{}, err
+	}
+	return d.Search(ctx, search, fp, num, progress)
+}
+
+// Distribute compiles the request, fingerprints it, and fans its fixed
+// shard plan out through the dispatcher — the coordinator's /search
+// path without the HTTP front end, exported for library clients (the
+// rendezvous facade's SearchDistributed). shards <= 0 selects the
+// engine default. The merged result is bit-for-bit identical to a
+// single-node search of the same request.
+func Distribute(ctx context.Context, d *cluster.Dispatcher, req Request, shards int, progress func(completed, total int)) (sim.WorstCase, string, error) {
+	spec, space, opts, err := req.compile(0)
+	if err != nil {
+		return sim.WorstCase{}, "", err
+	}
+	fp, err := adversary.Fingerprint(spec, space, opts)
+	if err != nil {
+		return sim.WorstCase{}, "", err
+	}
+	wc, err := dispatch(ctx, d, req, spec, space, fp, shards, progress)
+	return wc, fp, err
+}
+
+// handleShard serves POST /shard: one shard of a search's fixed
+// decomposition, for a cluster coordinator. The embedded search is
+// recompiled with exactly the same validation and caps as /search
+// (nothing reaches the engine unvalidated on this path either), and
+// the coordinator's fingerprint and shard count must match the
+// locally derived ones — a mismatch is version skew and answers 409
+// rather than letting two disagreeing daemons merge different
+// searches. Shard results are cached in the store under their
+// ShardFingerprint.
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, Response{Error: "POST only"})
+		return
+	}
+	// The wrapper adds a fixed few hundred bytes around a /search body
+	// that is itself capped at MaxBodyBytes; allow it headroom so any
+	// body /search accepts remains dispatchable.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBodyBytes+(64<<10)))
+	dec.DisallowUnknownFields()
+	var sreq cluster.ShardRequest
+	if err := dec.Decode(&sreq); err != nil {
+		writeJSON(w, http.StatusBadRequest, cluster.ShardResponse{Error: fmt.Sprintf("serve: malformed shard request: %v", err)})
+		return
+	}
+	reqDec := json.NewDecoder(bytes.NewReader(sreq.Search))
+	reqDec.DisallowUnknownFields()
+	var req Request
+	if err := reqDec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, cluster.ShardResponse{Error: fmt.Sprintf("serve: malformed embedded search: %v", err)})
+		return
+	}
+	spec, space, opts, fp, err := s.compileAndFingerprint(req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, cluster.ShardResponse{Error: err.Error()})
+		return
+	}
+	if fp != sreq.Fingerprint {
+		writeJSON(w, http.StatusConflict, cluster.ShardResponse{Error: fmt.Sprintf("serve: fingerprint mismatch: coordinator %.12s…, worker %.12s… (version skew?)", sreq.Fingerprint, fp)})
+		return
+	}
+	// The shard-count agreement and range checks only need the cheap
+	// count derivation (PlanShards builds no executor state and is
+	// pinned to agree with NewPlan); the heavy plan — meeting tables,
+	// trajectory caches — is built inside the engine pool below, so a
+	// burst of shard requests cannot allocate unboundedly before the
+	// pool gates it.
+	num, err := adversary.PlanShards(spec, space, sreq.Shards)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, cluster.ShardResponse{Error: err.Error()})
+		return
+	}
+	if num != sreq.Shards {
+		writeJSON(w, http.StatusConflict, cluster.ShardResponse{Error: fmt.Sprintf("serve: shard-plan mismatch: coordinator wants %d shards, worker derives %d (version skew?)", sreq.Shards, num)})
+		return
+	}
+	if sreq.Shard < 0 || sreq.Shard >= num {
+		writeJSON(w, http.StatusBadRequest, cluster.ShardResponse{Error: fmt.Sprintf("serve: shard %d out of range [0,%d)", sreq.Shard, num)})
+		return
+	}
+
+	sfp := cluster.ShardFingerprint(fp, sreq.Shard, sreq.Shards)
+	if s.store != nil {
+		if wc, ok := s.store.Get(sfp); ok {
+			writeJSON(w, http.StatusOK, cluster.ShardResponse{Fingerprint: fp, Shard: sreq.Shard, Shards: sreq.Shards, Cached: true, Result: &wc})
+			return
+		}
+	}
+
+	// Shard execution — including plan construction — shares the engine
+	// pool with local searches, so a worker daemon bounds its compute
+	// the same way whichever role drives it. The slot is released by
+	// defer: a panic below unwinds through recoverMiddleware, and a
+	// leaked slot would wedge the pool permanently.
+	select {
+	case s.sem <- struct{}{}:
+	case <-r.Context().Done():
+		return
+	}
+	defer func() { <-s.sem }()
+	ctx := r.Context()
+	if s.searchTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.searchTimeout)
+		defer cancel()
+	}
+	wc, err := func() (sim.WorstCase, error) {
+		planKey := fmt.Sprintf("%s/%d", fp, sreq.Shards)
+		plan := s.planFor(planKey)
+		if plan == nil {
+			var perr error
+			plan, perr = adversary.NewPlan(spec, space, opts, sreq.Shards)
+			if perr != nil {
+				return sim.WorstCase{}, perr
+			}
+			s.storePlan(planKey, plan)
+		}
+		return plan.RunShard(ctx, sreq.Shard)
+	}()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, cluster.ShardResponse{Fingerprint: fp, Shard: sreq.Shard, Shards: sreq.Shards, Error: err.Error()})
+		return
+	}
+	if s.store != nil {
+		_ = s.store.Put(sfp, wc) // best-effort
+	}
+	writeJSON(w, http.StatusOK, cluster.ShardResponse{Fingerprint: fp, Shard: sreq.Shard, Shards: sreq.Shards, Result: &wc})
 }
 
 // streamFinal writes a one-event NDJSON stream (used for cache hits).
@@ -654,21 +956,34 @@ func (s *Server) streamFlight(w http.ResponseWriter, r *http.Request, f *flight,
 		enc.Encode(StreamEvent{Type: "progress", Completed: completed, Total: total})
 		flush()
 	}
+	final := func() {
+		if f.err != nil {
+			enc.Encode(StreamEvent{Type: "error", Fingerprint: f.fp, Shared: !created, Error: f.err.Error()})
+		} else {
+			wc := f.wc
+			enc.Encode(StreamEvent{Type: "result", Fingerprint: f.fp, Shared: !created, Result: &wc})
+		}
+		flush()
+	}
 	for {
 		select {
 		case ev := <-ch:
 			enc.Encode(ev)
 			flush()
 		case <-f.done:
-			if f.err != nil {
-				enc.Encode(StreamEvent{Type: "error", Fingerprint: f.fp, Shared: !created, Error: f.err.Error()})
-			} else {
-				wc := f.wc
-				enc.Encode(StreamEvent{Type: "result", Fingerprint: f.fp, Shared: !created, Result: &wc})
-			}
-			flush()
+			final()
 			return
 		case <-r.Context().Done():
+			// Same re-check as respondFlight: if the flight has already
+			// finished, the final line must still be written — with both
+			// channels ready the select picks at random, and a client
+			// whose context fired a moment after completion would
+			// otherwise sometimes get progress events but no result.
+			select {
+			case <-f.done:
+				final()
+			default:
+			}
 			return
 		}
 	}

@@ -26,7 +26,10 @@ func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := New(Config{Store: store, MaxConcurrent: 4, Workers: 1})
+	srv, err := New(Config{Store: store, MaxConcurrent: 4, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return srv, ts
@@ -423,7 +426,10 @@ func TestStreamProgress(t *testing.T) {
 // TestNoStoreServer: a server without a store still serves searches
 // (every request runs the engine) and an empty index.
 func TestNoStoreServer(t *testing.T) {
-	srv := New(Config{Workers: 1})
+	srv, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	want := ringWant(t)
@@ -503,5 +509,123 @@ func TestEngineSearchMatchesSearch(t *testing.T) {
 	}
 	if events == 0 {
 		t.Error("engineSearch reported no progress events")
+	}
+}
+
+// TestMethodNotAllowed: read-only endpoints answer GET only and the
+// mutating ones POST only, mirroring each other — a POST /index (which
+// looks like a mutation) must be a 405, not a happily served read.
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		method, path, want string
+	}{
+		{http.MethodPost, "/healthz", "GET only"},
+		{http.MethodPut, "/healthz", "GET only"},
+		{http.MethodDelete, "/healthz", "GET only"},
+		{http.MethodPost, "/index", "GET only"},
+		{http.MethodPut, "/index", "GET only"},
+		{http.MethodGet, "/search", "POST only"},
+		{http.MethodGet, "/shard", "POST only"},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out Response
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("%s %s: decoding body: %v", tc.method, tc.path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status %d, want 405", tc.method, tc.path, resp.StatusCode)
+		}
+		if !strings.Contains(out.Error, tc.want) {
+			t.Errorf("%s %s: error %q, want %q", tc.method, tc.path, out.Error, tc.want)
+		}
+	}
+	// The documented methods still work.
+	for _, path := range []string{"/healthz", "/index"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestDisconnectAfterFinishStillWrites pins the non-stream /search
+// disconnect fix: when the flight has already finished and the
+// client's context is cancelled, both select arms are ready and the
+// pick is random — the completed result must still be written every
+// time, not only when the select happens to favour f.done.
+func TestDisconnectAfterFinishStillWrites(t *testing.T) {
+	srv, _ := newTestServer(t)
+	want := sim.WorstCase{Runs: 5, AllMet: true}
+	f := &flight{fp: "test-fp", done: make(chan struct{}), subs: map[chan StreamEvent]struct{}{}}
+	f.wc = want
+	f.finished = true
+	close(f.done)
+
+	for i := 0; i < 200; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel() // the client is already gone
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/search", strings.NewReader("{}")).WithContext(ctx)
+		srv.respondFlight(rec, req, f, true)
+		if rec.Body.Len() == 0 {
+			t.Fatalf("iteration %d: empty body for a finished flight", i)
+		}
+		var out Response
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if out.Result == nil || *out.Result != want {
+			t.Fatalf("iteration %d: result %+v, want %+v", i, out.Result, want)
+		}
+	}
+}
+
+// TestStreamDisconnectAfterFinishStillWrites is the streaming twin of
+// TestDisconnectAfterFinishStillWrites: a finished flight must emit
+// its final NDJSON result line even when the client's context is
+// already cancelled when the stream loop's select runs.
+func TestStreamDisconnectAfterFinishStillWrites(t *testing.T) {
+	srv, _ := newTestServer(t)
+	want := sim.WorstCase{Runs: 9, AllMet: true}
+	f := &flight{fp: "test-fp", done: make(chan struct{}), subs: map[chan StreamEvent]struct{}{}}
+	f.wc = want
+	f.finished = true
+	close(f.done)
+
+	for i := 0; i < 200; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/search", strings.NewReader("{}")).WithContext(ctx)
+		srv.streamFlight(rec, req, f, true)
+		var final *StreamEvent
+		dec := json.NewDecoder(rec.Body)
+		for dec.More() {
+			var ev StreamEvent
+			if err := dec.Decode(&ev); err != nil {
+				t.Fatalf("iteration %d: %v", i, err)
+			}
+			if ev.Type == "result" || ev.Type == "error" {
+				e := ev
+				final = &e
+			}
+		}
+		if final == nil || final.Type != "result" || final.Result == nil || *final.Result != want {
+			t.Fatalf("iteration %d: stream ended without the final result (got %+v)", i, final)
+		}
 	}
 }

@@ -28,8 +28,10 @@ import (
 	"context"
 	"io"
 	"math/rand"
+	"time"
 
 	"rendezvous/internal/adversary"
+	"rendezvous/internal/cluster"
 	"rendezvous/internal/core"
 	"rendezvous/internal/explore"
 	"rendezvous/internal/graph"
@@ -37,6 +39,7 @@ import (
 	"rendezvous/internal/meetoracle"
 	"rendezvous/internal/resultstore"
 	"rendezvous/internal/ringsim"
+	"rendezvous/internal/serve"
 	"rendezvous/internal/sim"
 	"rendezvous/internal/uxs"
 )
@@ -275,6 +278,92 @@ func SearchCached(store *Store, g *Graph, ex Explorer, scheduleFor func(label in
 // search that reports shard-level progress via cfg.Progress.
 func SearchCheckpointed(g *Graph, ex Explorer, scheduleFor func(label int) Schedule, space SearchSpace, opts SearchOptions, cfg CheckpointConfig) (WorstCase, error) {
 	return adversary.SearchCheckpointed(adversary.Spec{Graph: g, Explorer: ex, ScheduleFor: scheduleFor}, space, opts, cfg)
+}
+
+// Distributed search (internal/cluster + internal/serve): the engine's
+// fixed, worker-count-independent shard decomposition — the same plan
+// checkpoint/resume is built on — dispatched across rdvd worker
+// daemons and merged bit-for-bit identically to a single-node Search.
+type (
+	// SearchRequest is the named (wire) form of a search — the JSON
+	// body POST /search and the cluster shard protocol carry. Unlike
+	// the Spec-based entry points it names the graph family, explorer
+	// and algorithm, because closures cannot cross machines.
+	SearchRequest = serve.Request
+	// SearchGraphSpec names a graph family and its parameters inside a
+	// SearchRequest.
+	SearchGraphSpec = serve.GraphSpec
+)
+
+// DistributedConfig tunes SearchDistributed.
+type DistributedConfig struct {
+	// Peers lists rdvd worker daemon base URLs (required), e.g.
+	// http://hostA:8377.
+	Peers []string
+	// Shards fixes the shard count (0 = the engine default, clamped to
+	// the label-pair space). The decomposition is a pure function of
+	// the search and this count, never of the peer count.
+	Shards int
+	// ShardTimeout bounds each shard attempt on each peer (0 = 2m).
+	ShardTimeout time.Duration
+	// ShardAttempts bounds the attempts per shard across peers before
+	// the search fails (0 = 3).
+	ShardAttempts int
+	// ShardInflight is how many shards are kept in flight on each peer
+	// at once (0 = 1); raise it toward the workers' engine-pool size to
+	// keep multi-core workers busy.
+	ShardInflight int
+	// SearchTimeout bounds the whole distributed search. The dispatcher
+	// deliberately keeps probing when every peer is down (so it rides
+	// out a rolling restart), which means an unreachable peer list
+	// would otherwise hang forever; this deadline is what fails it
+	// loudly. 0 means 10 minutes (the serving layer's default);
+	// negative disables the bound (the caller's ctx is then the only
+	// limit).
+	SearchTimeout time.Duration
+	// Store, when non-nil, caches shard results locally so a repeated
+	// or resumed distributed search re-dispatches only missing shards.
+	Store *Store
+	// Progress, when non-nil, is called after every completed shard
+	// with (completed, total); calls are serialized.
+	Progress func(completed, total int)
+}
+
+// SearchDistributed fans the search out across a pool of rdvd worker
+// daemons: the request is compiled and fingerprinted locally, split
+// into the engine's fixed shard plan, dispatched shard-by-shard over
+// POST /shard with per-shard retry/requeue on peer failure or timeout
+// (a failing peer must pass a /healthz probe before taking more work),
+// and merged in shard order with the engine's strictly-greater merge —
+// so the result is bit-for-bit identical to a single-node Search of
+// the same request for every peer count and every failure/recovery
+// interleaving that completes. A shard that exhausts its attempts
+// fails the whole search rather than merging a partial result.
+func SearchDistributed(ctx context.Context, req SearchRequest, cfg DistributedConfig) (WorstCase, error) {
+	d, err := cluster.New(cluster.Config{
+		Peers:           cfg.Peers,
+		ShardTimeout:    cfg.ShardTimeout,
+		MaxAttempts:     cfg.ShardAttempts,
+		PerPeerInflight: cfg.ShardInflight,
+		Store:           cfg.Store,
+	})
+	if err != nil {
+		return WorstCase{}, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	timeout := cfg.SearchTimeout
+	if timeout == 0 {
+		timeout = serve.DefaultSearchTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	wc, _, err := serve.Distribute(ctx, d, req, cfg.Shards, cfg.Progress)
+	return wc, err
 }
 
 // Unknown-size support (Conclusion): the EXPLORE_i doubling hierarchy.

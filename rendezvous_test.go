@@ -3,10 +3,16 @@ package rendezvous_test
 import (
 	"context"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"rendezvous"
+	"rendezvous/internal/serve"
 )
 
 // TestFacadeEndToEnd exercises the public API exactly as the README's
@@ -376,5 +382,102 @@ func TestFacadePersistence(t *testing.T) {
 	}
 	if events == 0 {
 		t.Error("no progress events reported")
+	}
+}
+
+// TestFacadeDistributed runs SearchDistributed against two in-process
+// worker daemons and checks the merged result is bit-for-bit equal to
+// the local Search of the same space — with a mid-search worker kill
+// requeueing shards onto the survivor.
+func TestFacadeDistributed(t *testing.T) {
+	newWorkerDaemon := func() *httptest.Server {
+		srv, err := serve.New(serve.Config{MaxConcurrent: 2, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		return ts
+	}
+
+	// The local reference: the same search through the Spec-based API.
+	g := rendezvous.OrientedRing(8)
+	params := rendezvous.Params{L: 4}
+	scheduleFor := func(l int) rendezvous.Schedule { return rendezvous.Cheap{}.Schedule(l, params) }
+	space := rendezvous.SearchSpace{L: 4, Delays: []int{0, 1}}
+	want, err := rendezvous.Search(g, rendezvous.RingSweepExplorer(), scheduleFor, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := rendezvous.SearchRequest{
+		Graph:     rendezvous.SearchGraphSpec{Family: "ring", N: 8},
+		Explorer:  "ring-sweep",
+		Algorithm: "cheap",
+		L:         4,
+		Delays:    []int{0, 1},
+	}
+	w1, w2 := newWorkerDaemon(), newWorkerDaemon()
+	var lastCompleted, total int
+	got, err := rendezvous.SearchDistributed(context.Background(), req, rendezvous.DistributedConfig{
+		Peers:  []string{w1.URL, w2.URL},
+		Shards: 8,
+		Progress: func(c, tot int) {
+			lastCompleted, total = c, tot
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("SearchDistributed %+v != Search %+v", got, want)
+	}
+	if lastCompleted != 8 || total != 8 {
+		t.Errorf("final progress %d/%d, want 8/8", lastCompleted, total)
+	}
+
+	// Kill one worker mid-search: the shards it held requeue onto the
+	// survivor and the merge is unchanged.
+	w3 := newWorkerDaemon()
+	var served atomic.Int32
+	var dead atomic.Bool
+	inner := newWorkerDaemon()
+	dying := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if (r.URL.Path == "/shard" && served.Add(1) > 1) || dead.Load() {
+			dead.Store(true)
+			if hj, ok := w.(http.Hijacker); ok {
+				if conn, _, err := hj.Hijack(); err == nil {
+					conn.Close()
+					return
+				}
+			}
+			panic("hijack failed")
+		}
+		resp, err := http.Post(inner.URL+r.URL.Path, "application/json", r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+	}))
+	t.Cleanup(dying.Close)
+	got, err = rendezvous.SearchDistributed(context.Background(), req, rendezvous.DistributedConfig{
+		Peers:         []string{w3.URL, dying.URL},
+		Shards:        8,
+		ShardTimeout:  30 * time.Second,
+		ShardAttempts: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("SearchDistributed with worker kill %+v != Search %+v", got, want)
+	}
+
+	// No usable peers: a loud error, never a partial result.
+	if _, err := rendezvous.SearchDistributed(context.Background(), req, rendezvous.DistributedConfig{}); err == nil {
+		t.Error("no peers: want error")
 	}
 }
