@@ -26,6 +26,16 @@
 //	               caps as /search)
 //	GET  /healthz  liveness probe (also the coordinator's peer probe)
 //	GET  /index    the store's index (what -index prints)
+//	GET  /metrics  Prometheus text metrics (queue depths, pool
+//	               utilization, cache hits, latency histograms)
+//
+// Multi-tenancy: -auth-tokens FILE enables bearer-token auth; each
+// line grants "token tenant weight [rate [burst]]". Tenants share the
+// engine pool by weighted fair queueing (one heavy tenant's backlog
+// cannot starve the others), are individually rate limited, and are
+// refused with 429 + Retry-After when their queue is full. /healthz
+// and /metrics stay unauthenticated. A coordinator authenticates to
+// its workers with -peer-token.
 //
 // Roles: every daemon serves /shard, so any daemon can be a worker;
 // -role worker merely names that deployment. -role coordinator (which
@@ -48,6 +58,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -56,6 +67,8 @@ import (
 	"syscall"
 	"time"
 
+	"rendezvous/internal/admission"
+	"rendezvous/internal/auth"
 	"rendezvous/internal/resultstore"
 	"rendezvous/internal/serve"
 )
@@ -81,6 +94,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		shardTimeout  = fs.Duration("shard-timeout", 0, "per-shard dispatch deadline on each peer (0 = 2m default)")
 		shardAttempts = fs.Int("shard-attempts", 0, "attempts per shard across peers before a distributed search fails (0 = 3)")
 		shardInflight = fs.Int("shard-inflight", 0, "shards kept in flight on each peer at once (0 = 1; raise toward the workers' -max-concurrent)")
+		authTokens    = fs.String("auth-tokens", "", "token file (token tenant weight [rate [burst]] per line); empty disables auth")
+		queueDepth    = fs.Int("queue-depth", 0, "admission queue depth per tenant before 429 (0 = 64)")
+		logRequests   = fs.Bool("log-requests", false, "log one structured line per request to stderr")
+		peerToken     = fs.String("peer-token", "", "bearer token presented to workers (coordinator role, when workers run with -auth-tokens)")
 		index         = fs.Bool("index", false, "print the store index as JSON and exit")
 		gc            = fs.Bool("gc", false, "garbage-collect the store and exit")
 		gcMax         = fs.Int("gc-max", 0, "with -gc: keep at most this many newest records (0 = only drop corrupt ones)")
@@ -136,6 +153,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *shardInflight != 0 {
 			return usageErr("-shard-inflight is only meaningful with -role coordinator (got role %q)", *role)
 		}
+		if *peerToken != "" {
+			return usageErr("-peer-token is only meaningful with -role coordinator (got role %q)", *role)
+		}
 	case "coordinator":
 		if len(peerList) == 0 {
 			return usageErr("-role coordinator requires -peers")
@@ -157,6 +177,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *shardInflight < 0 {
 		return usageErr("-shard-inflight %d: want 0 (1 per peer) or a positive count", *shardInflight)
+	}
+	if *queueDepth < 0 {
+		return usageErr("-queue-depth %d: want 0 (default %d) or a positive depth", *queueDepth, admission.DefaultQueueDepth)
+	}
+	var authenticator *auth.Authenticator
+	if *authTokens != "" {
+		a, err := auth.LoadTokens(*authTokens)
+		if err != nil {
+			fmt.Fprintf(stderr, "rdvd: %v\n", err)
+			return 2
+		}
+		authenticator = a
+	}
+	var reqLog *slog.Logger
+	if *logRequests {
+		reqLog = slog.New(slog.NewTextHandler(stderr, nil))
 	}
 
 	store, err := resultstore.Open(*storeDir)
@@ -199,6 +235,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ShardTimeout:  *shardTimeout,
 		ShardAttempts: *shardAttempts,
 		ShardInflight: *shardInflight,
+		Auth:          authenticator,
+		QueueDepth:    *queueDepth,
+		RequestLog:    reqLog,
+		PeerToken:     *peerToken,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -210,6 +250,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	fmt.Fprintf(stdout, "rdvd: listening on %s (store %s, role %s)\n", ln.Addr(), store.Dir(), *role)
+	if authenticator.Enabled() {
+		fmt.Fprintf(stdout, "rdvd: auth enabled, %d tenant(s): %s\n", len(authenticator.Tenants()), strings.Join(authenticator.Tenants(), ", "))
+	}
 	if d := srv.Cluster(); d != nil {
 		if failures := d.Probe(context.Background()); len(failures) > 0 {
 			for peer, perr := range failures {

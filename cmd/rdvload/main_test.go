@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rendezvous/internal/auth"
+	"rendezvous/internal/resultstore"
+	"rendezvous/internal/serve"
+)
+
+// newDaemon stands up a real serving stack (store + auth + admission)
+// behind httptest and returns its base URL.
+func newDaemon(t *testing.T, tokens string) string {
+	t.Helper()
+	store, err := resultstore.Open(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := serve.Config{Store: store, MaxConcurrent: 2}
+	if tokens != "" {
+		a, err := auth.ParseTokens([]byte(tokens))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Auth = a
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},                          // no -tenants
+		{"-tenants", "justid"},      // malformed entry
+		{"-tenants", "a:t:0"},       // zero concurrency
+		{"-tenants", "a:t:2,a:t:2"}, // duplicate id
+		{"-tenants", "a:t:2", "-hot-frac", "1.5"},
+		{"-tenants", "a:t:2", "-duration", "-1s"},
+		{"-tenants", "a:t:2", "-graph-n", "2"},  // a ring needs >= 3 nodes
+		{"-tenants", "a:t:2", "-search-l", "1"}, // served minimum is L=2
+		{"-tenants", "a:t:2", "-algorithm", ""}, // empty algorithm name
+		{"-tenants", "a:t:2", "-assert-min-share", "a0.5"},
+		{"-tenants", "a:t:2", "-assert-min-share", "b=0.5"}, // unknown tenant
+	}
+	for _, args := range cases {
+		var out, errBuf bytes.Buffer
+		if code := run(args, &out, &errBuf); code != 2 {
+			t.Errorf("run(%v) = %d, want 2 (stderr: %s)", args, code, errBuf.String())
+		}
+	}
+}
+
+// TestLoadAnonymous drives an auth-disabled daemon and checks the
+// report: requests complete, hot requests hit the cache, the single
+// tenant holds the full share, and a satisfiable assertion passes.
+func TestLoadAnonymous(t *testing.T) {
+	url := newDaemon(t, "")
+	var out, errBuf bytes.Buffer
+	code := run([]string{
+		"-addr", url,
+		"-tenants", "anon::3",
+		"-duration", "2s",
+		"-requests", "20",
+		"-hot-frac", "0.5",
+		"-assert-min-share", "anon=0.99",
+		"-assert-max-error-rate", "0",
+	}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errBuf.String())
+	}
+	var report Report
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	tr := report.Tenants["anon"]
+	if tr == nil {
+		t.Fatalf("no tenant report: %s", out.String())
+	}
+	if tr.Completed == 0 || tr.Completed != report.TotalCompleted {
+		t.Errorf("completed = %d (total %d)", tr.Completed, report.TotalCompleted)
+	}
+	if tr.Share != 1 {
+		t.Errorf("share = %v, want 1", tr.Share)
+	}
+	if tr.CacheHits == 0 {
+		t.Error("hot traffic produced no cache hits")
+	}
+	if tr.Latency.MaxMs <= 0 || tr.Latency.P50Ms > tr.Latency.MaxMs {
+		t.Errorf("implausible latency summary: %+v", tr.Latency)
+	}
+	if len(report.Asserts) != 2 || !report.Asserts[0].OK || !report.Asserts[1].OK {
+		t.Errorf("asserts = %+v", report.Asserts)
+	}
+}
+
+// TestLoadAuthenticated drives an auth-enabled daemon with two tenants
+// and checks both are served under their own identities.
+func TestLoadAuthenticated(t *testing.T) {
+	url := newDaemon(t, "load-token-aaaa alpha 1\nload-token-bbbb beta 1\n")
+	var out, errBuf bytes.Buffer
+	code := run([]string{
+		"-addr", url,
+		"-tenants", "alpha:load-token-aaaa:2,beta:load-token-bbbb:2",
+		"-duration", "2s",
+		"-requests", "10",
+	}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errBuf.String())
+	}
+	var report Report
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	for _, id := range []string{"alpha", "beta"} {
+		tr := report.Tenants[id]
+		if tr == nil || tr.Completed == 0 {
+			t.Errorf("tenant %s: %+v", id, tr)
+		}
+	}
+}
+
+// TestAssertFailure: an unsatisfiable share assertion exits non-zero
+// and is reported as failed in the JSON.
+func TestAssertFailure(t *testing.T) {
+	url := newDaemon(t, "")
+	var out, errBuf bytes.Buffer
+	code := run([]string{
+		"-addr", url,
+		"-tenants", "a::1,b::1",
+		"-duration", "2s",
+		"-requests", "5",
+		"-assert-min-share", "a=1",
+	}, &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1 (stderr: %s)", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "ASSERT FAILED") {
+		t.Errorf("stderr does not name the failed assertion: %s", errBuf.String())
+	}
+	var report Report
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(report.Asserts) != 1 || report.Asserts[0].OK {
+		t.Errorf("asserts = %+v", report.Asserts)
+	}
+}
+
+// TestUnauthorizedTokenCountsAsError: a bad token produces 401s, no
+// completions, and the no-completion guard fails the run.
+func TestUnauthorizedTokenCountsAsError(t *testing.T) {
+	url := newDaemon(t, "load-token-aaaa alpha 1\n")
+	var out, errBuf bytes.Buffer
+	code := run([]string{
+		"-addr", url,
+		"-tenants", "alpha:wrong-token-zzzz:1",
+		"-duration", "1s",
+		"-requests", "3",
+	}, &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1", code)
+	}
+	var report Report
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	tr := report.Tenants["alpha"]
+	if tr.Completed != 0 || tr.Errors == 0 || tr.Statuses["401"] == 0 {
+		t.Errorf("tenant report: %+v", tr)
+	}
+}

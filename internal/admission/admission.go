@@ -1,0 +1,423 @@
+// Package admission shares a bounded slot pool fairly between
+// tenants. It is the multi-tenant front of the serving layer's engine
+// pool: where a bare semaphore admits whoever asks first — so one
+// heavy tenant's backlog starves everyone behind it — the controller
+// keeps one FIFO queue per tenant and grants freed slots by deficit
+// round-robin over the tenants with work queued, weighted by each
+// tenant's configured weight. While every tenant stays backlogged,
+// tenant i completes work in proportion weight_i / sum(weights),
+// regardless of how unbalanced the offered load is.
+//
+// The controller enforces three protections beyond fairness:
+//
+//   - Bounded queues. Each tenant may hold at most QueueDepth waiters;
+//     the next request fails immediately with an *OverloadError (the
+//     serving layer's 429 + Retry-After) instead of growing an
+//     unbounded backlog.
+//   - Context-aware dequeue. A waiter whose context is cancelled is
+//     removed from its queue at once: a disconnected client can never
+//     be granted a slot, and a grant that races the cancellation is
+//     returned to the pool immediately.
+//   - Per-tenant rate limits. Allow charges a token-bucket budget
+//     (Tenant.Rate requests/second, burst Tenant.Burst) and reports
+//     exactly how long until the next token when the budget is
+//     exhausted.
+//
+// Time is injected through the Clock seam so rate-limit and wait-time
+// behaviour is exactly testable with a fake clock; the zero value uses
+// the real clock.
+package admission
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Tenant identifies one capacity-sharing principal. The serving layer
+// derives it from the authenticated token (or the anonymous default
+// when auth is disabled).
+type Tenant struct {
+	// ID keys the tenant's queue, deficit counter and rate bucket.
+	ID string
+	// Weight is the tenant's fair share (a weight-2 tenant drains twice
+	// as fast as a weight-1 tenant while both are backlogged). Values
+	// below 1 are treated as 1.
+	Weight int
+	// Rate is the sustained request budget in requests/second charged
+	// by Allow; 0 disables rate limiting for the tenant.
+	Rate float64
+	// Burst is the rate bucket's capacity. 0 defaults to
+	// max(1, Rate): one second of sustained rate, never less than a
+	// single request.
+	Burst float64
+}
+
+// Clock is the controller's time source, injectable for deterministic
+// tests.
+type Clock interface {
+	Now() time.Time
+}
+
+// realClock is the production Clock.
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+// DefaultQueueDepth bounds each tenant's waiter queue when Config
+// leaves QueueDepth zero.
+const DefaultQueueDepth = 64
+
+// Config tunes a Controller.
+type Config struct {
+	// Slots is the pool size: how many admissions may be outstanding at
+	// once. Values below 1 are treated as 1.
+	Slots int
+	// QueueDepth bounds each tenant's waiter queue
+	// (0 = DefaultQueueDepth).
+	QueueDepth int
+	// Clock injects the time source (nil = real clock).
+	Clock Clock
+	// OnWait, when non-nil, is called with each granted waiter's tenant
+	// and queue wait just after its slot is granted (metrics hook).
+	// Calls are made outside the controller's lock and may arrive
+	// concurrently.
+	OnWait func(tenant string, wait time.Duration)
+}
+
+// OverloadError reports an admission refused for capacity reasons —
+// the tenant's queue is full or its rate budget is exhausted. The
+// serving layer maps it to 429 with a Retry-After header.
+type OverloadError struct {
+	// Tenant is the refused tenant's ID.
+	Tenant string
+	// RateLimited distinguishes a drained rate bucket (true) from a
+	// full queue (false).
+	RateLimited bool
+	// RetryAfter is the caller's backoff hint: for a rate refusal,
+	// exactly the time until the next token; for a full queue, a
+	// heuristic single second.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	if e.RateLimited {
+		return fmt.Sprintf("admission: tenant %q over its rate limit (retry in %v)", e.Tenant, e.RetryAfter)
+	}
+	return fmt.Sprintf("admission: tenant %q queue is full (retry in %v)", e.Tenant, e.RetryAfter)
+}
+
+// waiter is one queued Acquire call.
+type waiter struct {
+	ready      chan struct{} // closed on grant
+	granted    bool          // guarded by the controller's mu
+	abandoned  bool          // guarded by the controller's mu
+	enqueuedAt time.Time
+}
+
+// tenantState is one tenant's scheduling state. It exists while the
+// tenant has waiters queued or a persistent rate bucket.
+type tenantState struct {
+	id      string
+	weight  int
+	deficit int
+	queue   []*waiter
+
+	// Rate bucket (persists across requests; lazily refilled).
+	tokens     float64
+	lastRefill time.Time
+	rateInit   bool
+}
+
+// Controller is the weighted-fair admission gate. It is safe for
+// concurrent use.
+type Controller struct {
+	slots      int
+	queueDepth int
+	clock      Clock
+	onWait     func(string, time.Duration)
+
+	mu      sync.Mutex
+	inUse   int
+	tenants map[string]*tenantState
+	// active is the DRR ring: tenants with non-empty queues, visited
+	// round-robin starting at cursor. Order is arrival order of each
+	// tenant's first queued waiter.
+	active []*tenantState
+	cursor int
+}
+
+// New returns a controller over the configuration.
+func New(cfg Config) *Controller {
+	slots := cfg.Slots
+	if slots < 1 {
+		slots = 1
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = realClock{}
+	}
+	return &Controller{
+		slots:      slots,
+		queueDepth: depth,
+		clock:      clock,
+		onWait:     cfg.OnWait,
+		tenants:    make(map[string]*tenantState),
+	}
+}
+
+// Slots returns the pool size.
+func (c *Controller) Slots() int { return c.slots }
+
+// state returns (creating if needed) the tenant's scheduling state,
+// refreshing its weight from the presented identity. Callers hold mu.
+func (c *Controller) state(t Tenant) *tenantState {
+	ts, ok := c.tenants[t.ID]
+	if !ok {
+		ts = &tenantState{id: t.ID}
+		c.tenants[t.ID] = ts
+	}
+	ts.weight = t.Weight
+	if ts.weight < 1 {
+		ts.weight = 1
+	}
+	return ts
+}
+
+// Allow charges one request against the tenant's rate budget. It
+// returns a non-nil *OverloadError carrying the exact wait until the
+// next token when the budget is exhausted, and nil when the request
+// may proceed (or the tenant is unlimited). Allow is the per-request
+// charge; Acquire is the per-engine-run queue slot — the serving layer
+// calls Allow exactly once per request, so a request that joins an
+// existing flight is never charged twice.
+func (c *Controller) Allow(t Tenant) error {
+	if t.Rate <= 0 {
+		return nil
+	}
+	burst := t.Burst
+	if burst <= 0 {
+		burst = math.Max(1, t.Rate)
+	}
+	now := c.clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ts := c.state(t)
+	if !ts.rateInit {
+		ts.tokens = burst
+		ts.lastRefill = now
+		ts.rateInit = true
+	}
+	if dt := now.Sub(ts.lastRefill).Seconds(); dt > 0 {
+		ts.tokens = math.Min(burst, ts.tokens+dt*t.Rate)
+	}
+	ts.lastRefill = now
+	if ts.tokens >= 1 {
+		ts.tokens--
+		return nil
+	}
+	wait := time.Duration((1 - ts.tokens) / t.Rate * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return &OverloadError{Tenant: t.ID, RateLimited: true, RetryAfter: wait}
+}
+
+// Tokens reports the tenant's current rate-bucket level without
+// refilling it (observability and test hook; -1 means the tenant has
+// no bucket yet).
+func (c *Controller) Tokens(tenant string) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ts, ok := c.tenants[tenant]; ok && ts.rateInit {
+		return ts.tokens
+	}
+	return -1
+}
+
+// Acquire blocks until the tenant is granted a pool slot, the context
+// is cancelled, or the tenant's queue is full. On success it returns
+// the release function that returns the slot to the pool (callers must
+// invoke it exactly once). On failure the slot is never held: a
+// cancelled waiter is dequeued immediately, and a grant that races the
+// cancellation is returned to the pool before Acquire returns.
+func (c *Controller) Acquire(ctx context.Context, t Tenant) (release func(), err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.mu.Lock()
+	ts := c.state(t)
+	// Fast path: a free slot and an empty system — nothing queued
+	// anywhere, so granting immediately cannot overtake anyone.
+	if c.inUse < c.slots && !c.anyQueued() {
+		c.inUse++
+		c.mu.Unlock()
+		return c.releaseOnce(), nil
+	}
+	if len(ts.queue) >= c.queueDepth {
+		c.mu.Unlock()
+		return nil, &OverloadError{Tenant: t.ID, RetryAfter: time.Second}
+	}
+	w := &waiter{ready: make(chan struct{}), enqueuedAt: c.clock.Now()}
+	if len(ts.queue) == 0 {
+		c.activate(ts)
+	}
+	ts.queue = append(ts.queue, w)
+	// A slot may be free while waiters are queued (it was freed while
+	// every queued waiter belonged to cancelled contexts, or this is
+	// the first waiter after a quiet period); dispatch so the new
+	// waiter cannot deadlock waiting for a release that already
+	// happened.
+	c.dispatch()
+	c.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		if c.onWait != nil {
+			c.onWait(t.ID, c.clock.Now().Sub(w.enqueuedAt))
+		}
+		return c.releaseOnce(), nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		if w.granted {
+			// The grant raced the cancellation: the slot is ours and must
+			// go straight back.
+			c.inUse--
+			c.dispatch()
+			c.mu.Unlock()
+			return nil, ctx.Err()
+		}
+		w.abandoned = true
+		c.removeWaiter(ts, w)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// releaseOnce wraps the slot return so double-release is harmless.
+func (c *Controller) releaseOnce() func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			c.mu.Lock()
+			c.inUse--
+			c.dispatch()
+			c.mu.Unlock()
+		})
+	}
+}
+
+// anyQueued reports whether any tenant has a waiter queued. Callers
+// hold mu.
+func (c *Controller) anyQueued() bool {
+	return len(c.active) > 0
+}
+
+// activate appends the tenant to the DRR ring. Callers hold mu.
+func (c *Controller) activate(ts *tenantState) {
+	c.active = append(c.active, ts)
+}
+
+// deactivate removes the tenant from the DRR ring and resets its
+// deficit (a tenant with nothing queued accrues no credit — the
+// standard DRR rule that prevents a long-idle tenant from bursting
+// past everyone on return). Callers hold mu.
+func (c *Controller) deactivate(ts *tenantState) {
+	ts.deficit = 0
+	for i, e := range c.active {
+		if e == ts {
+			c.active = append(c.active[:i], c.active[i+1:]...)
+			if c.cursor > i {
+				c.cursor--
+			}
+			if len(c.active) > 0 {
+				c.cursor %= len(c.active)
+			} else {
+				c.cursor = 0
+			}
+			return
+		}
+	}
+}
+
+// removeWaiter drops an abandoned waiter from the tenant's queue.
+// Callers hold mu.
+func (c *Controller) removeWaiter(ts *tenantState, w *waiter) {
+	for i, q := range ts.queue {
+		if q == w {
+			ts.queue = append(ts.queue[:i], ts.queue[i+1:]...)
+			break
+		}
+	}
+	if len(ts.queue) == 0 {
+		c.deactivate(ts)
+	}
+}
+
+// dispatch grants free slots to queued waiters by deficit round-robin:
+// each visit tops the current tenant's deficit up by its weight, then
+// grants one unit-cost admission per deficit point until the tenant's
+// queue or the pool is exhausted. The cursor stays on a tenant with
+// remaining deficit so a pool-limited visit resumes where it stopped.
+// Callers hold mu.
+func (c *Controller) dispatch() {
+	for c.inUse < c.slots && len(c.active) > 0 {
+		ts := c.active[c.cursor]
+		if ts.deficit < 1 {
+			ts.deficit += ts.weight
+		}
+		for ts.deficit >= 1 && len(ts.queue) > 0 && c.inUse < c.slots {
+			w := ts.queue[0]
+			ts.queue = ts.queue[1:]
+			ts.deficit--
+			// Abandoned waiters were already removed by Acquire's cancel
+			// path; this guards the unreachable case defensively.
+			if w.abandoned {
+				continue
+			}
+			w.granted = true
+			c.inUse++
+			close(w.ready)
+		}
+		if len(ts.queue) == 0 {
+			c.deactivate(ts)
+			continue
+		}
+		if ts.deficit < 1 {
+			// Visit exhausted: move on.
+			c.cursor = (c.cursor + 1) % len(c.active)
+		}
+		if c.inUse >= c.slots {
+			return
+		}
+	}
+}
+
+// Stats is a point-in-time snapshot for metrics scraping.
+type Stats struct {
+	// Slots is the pool size; InUse is how many slots are held.
+	Slots int
+	InUse int
+	// Queued maps tenant ID to its current queue depth (tenants with an
+	// empty queue are omitted).
+	Queued map[string]int
+}
+
+// Stats snapshots the controller.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{Slots: c.slots, InUse: c.inUse, Queued: make(map[string]int)}
+	for id, ts := range c.tenants {
+		if len(ts.queue) > 0 {
+			st.Queued[id] = len(ts.queue)
+		}
+	}
+	return st
+}

@@ -1,0 +1,486 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is the deterministic Clock seam: tests advance it
+// explicitly, so rate-limit and wait-time assertions are exact — no
+// time.Sleep, no flakes.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}
+
+// grantOrder drives a 1-slot controller by hand: it seeds each
+// tenant's queue while the slot is held, then repeatedly releases and
+// records which tenant is granted next. Everything is synchronous on
+// the test goroutine except the waiters themselves, which report their
+// grants over a channel — the scheduler's choices are fully
+// deterministic because the slot is only ever freed once per step.
+func grantOrder(t *testing.T, c *Controller, tenants []Tenant, perTenant int, steps int) []string {
+	t.Helper()
+	// Hold the only slot so every enqueue below just queues.
+	release, err := c.Acquire(context.Background(), Tenant{ID: "holder"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type grant struct {
+		tenant  string
+		release func()
+	}
+	grants := make(chan grant, len(tenants)*perTenant)
+	var wg sync.WaitGroup
+	for _, tn := range tenants {
+		for i := 0; i < perTenant; i++ {
+			wg.Add(1)
+			go func(tn Tenant) {
+				defer wg.Done()
+				rel, err := c.Acquire(context.Background(), tn)
+				if err != nil {
+					t.Errorf("tenant %s: %v", tn.ID, err)
+					return
+				}
+				grants <- grant{tn.ID, rel}
+			}(tn)
+		}
+	}
+	// Wait until every waiter is queued, so the DRR ring is fully
+	// populated before the first release.
+	waitForQueued(t, c, len(tenants)*perTenant)
+
+	var order []string
+	release()
+	for i := 0; i < steps; i++ {
+		g := <-grants
+		order = append(order, g.tenant)
+		g.release()
+	}
+	// Drain the rest so the goroutines exit.
+	go func() {
+		wg.Wait()
+		close(grants)
+	}()
+	for g := range grants {
+		g.release()
+	}
+	return order
+}
+
+func waitForQueued(t *testing.T, c *Controller, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		total := 0
+		for _, d := range c.Stats().Queued {
+			total += d
+		}
+		if total == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("never saw %d queued waiters (stats %+v)", want, c.Stats())
+}
+
+// TestEqualWeightsAlternate pins the fairness core: two backlogged
+// equal-weight tenants drain in strict alternation, regardless of a
+// 10:1 backlog skew.
+func TestEqualWeightsAlternate(t *testing.T) {
+	c := New(Config{Slots: 1, QueueDepth: 1024})
+	order := grantOrder(t, c,
+		[]Tenant{{ID: "heavy", Weight: 1}, {ID: "light", Weight: 1}},
+		20, 20)
+	counts := map[string]int{}
+	for _, id := range order {
+		counts[id]++
+	}
+	if counts["heavy"] != 10 || counts["light"] != 10 {
+		t.Fatalf("20 grants split %v, want exactly 10/10 under equal weights", counts)
+	}
+	// Strict alternation: no tenant is ever granted twice in a row
+	// while the other still has work queued.
+	for i := 1; i < len(order); i++ {
+		if order[i] == order[i-1] {
+			t.Fatalf("grant %d and %d both went to %s: %v", i-1, i, order[i], order)
+		}
+	}
+}
+
+// TestWeightedShares pins the weighted contract: a weight-3 tenant
+// drains three grants per round against a weight-1 tenant's one.
+func TestWeightedShares(t *testing.T) {
+	c := New(Config{Slots: 1, QueueDepth: 1024})
+	order := grantOrder(t, c,
+		[]Tenant{{ID: "w3", Weight: 3}, {ID: "w1", Weight: 1}},
+		24, 24)
+	counts := map[string]int{}
+	for _, id := range order {
+		counts[id]++
+	}
+	if counts["w3"] != 18 || counts["w1"] != 6 {
+		t.Fatalf("24 grants split %v, want 18/6 under weights 3:1", counts)
+	}
+}
+
+// TestManyTenantsProportional sweeps a 3-tenant weighted mix.
+func TestManyTenantsProportional(t *testing.T) {
+	c := New(Config{Slots: 1, QueueDepth: 1024})
+	order := grantOrder(t, c,
+		[]Tenant{{ID: "a", Weight: 1}, {ID: "b", Weight: 2}, {ID: "c", Weight: 4}},
+		28, 28)
+	counts := map[string]int{}
+	for _, id := range order {
+		counts[id]++
+	}
+	if counts["a"] != 4 || counts["b"] != 8 || counts["c"] != 16 {
+		t.Fatalf("28 grants split %v, want 4/8/16 under weights 1:2:4", counts)
+	}
+}
+
+// TestQueueDepthOverflow: the QueueDepth+1'th concurrent request fails
+// with a non-rate OverloadError carrying a retry hint, and other
+// tenants are unaffected.
+func TestQueueDepthOverflow(t *testing.T) {
+	c := New(Config{Slots: 1, QueueDepth: 2})
+	release, err := c.Acquire(context.Background(), Tenant{ID: "holder"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	results := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			rel, err := c.Acquire(context.Background(), Tenant{ID: "full"})
+			if err == nil {
+				defer rel()
+			}
+			results <- err
+		}()
+	}
+	waitForQueued(t, c, 2)
+
+	_, err = c.Acquire(context.Background(), Tenant{ID: "full"})
+	var oe *OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("overflow acquire: %v, want *OverloadError", err)
+	}
+	if oe.RateLimited || oe.Tenant != "full" || oe.RetryAfter <= 0 {
+		t.Errorf("overflow error: %+v", oe)
+	}
+
+	// A different tenant still queues fine.
+	ctx, cancel := context.WithCancel(context.Background())
+	otherErr := make(chan error, 1)
+	go func() {
+		rel, err := c.Acquire(ctx, Tenant{ID: "other"})
+		if err == nil {
+			rel()
+		}
+		otherErr <- err
+	}()
+	waitForQueued(t, c, 3)
+	cancel()
+	if err := <-otherErr; !errors.Is(err, context.Canceled) {
+		t.Errorf("other tenant: %v, want context.Canceled", err)
+	}
+
+	release()
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Errorf("queued acquire %d: %v", i, err)
+		}
+	}
+}
+
+// TestCancelledWaiterNeverHoldsSlot pins the context-aware dequeue: a
+// cancelled waiter is removed from the queue, and the grants flow past
+// it to the next waiter.
+func TestCancelledWaiterNeverHoldsSlot(t *testing.T) {
+	c := New(Config{Slots: 1})
+	release, err := c.Acquire(context.Background(), Tenant{ID: "holder"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancelled := make(chan error, 1)
+	go func() {
+		_, err := c.Acquire(ctx, Tenant{ID: "quitter"})
+		cancelled <- err
+	}()
+	waitForQueued(t, c, 1)
+
+	survivor := make(chan error, 1)
+	go func() {
+		rel, err := c.Acquire(context.Background(), Tenant{ID: "survivor"})
+		if err == nil {
+			rel()
+		}
+		survivor <- err
+	}()
+	waitForQueued(t, c, 2)
+
+	cancel()
+	if err := <-cancelled; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter: %v", err)
+	}
+	// The quitter must be gone from the stats immediately.
+	if st := c.Stats(); st.Queued["quitter"] != 0 {
+		t.Errorf("cancelled waiter still queued: %+v", st)
+	}
+
+	release()
+	if err := <-survivor; err != nil {
+		t.Fatalf("survivor: %v", err)
+	}
+	if st := c.Stats(); st.InUse != 0 {
+		t.Errorf("pool not drained: %+v", st)
+	}
+}
+
+// TestGrantCancelRace: when a grant races the waiter's cancellation,
+// the slot must always return to the pool — over many iterations the
+// pool never leaks a slot.
+func TestGrantCancelRace(t *testing.T) {
+	c := New(Config{Slots: 1})
+	for i := 0; i < 500; i++ {
+		release, err := c.Acquire(context.Background(), Tenant{ID: "holder"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			rel, err := c.Acquire(ctx, Tenant{ID: "racer"})
+			if err == nil {
+				rel()
+			}
+			close(done)
+		}()
+		// Release and cancel as close together as the runtime allows;
+		// whichever wins, the slot must come back.
+		go release()
+		cancel()
+		<-done
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := c.Stats()
+		if st.InUse == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot leaked after grant/cancel races: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRateLimitExact drives the token bucket with the fake clock:
+// charges, refusals and refills land on exact boundaries.
+func TestRateLimitExact(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Config{Slots: 1, Clock: clk})
+	tn := Tenant{ID: "metered", Rate: 2, Burst: 2} // 2 rps, bucket of 2
+
+	// The bucket starts full: exactly Burst requests pass.
+	for i := 0; i < 2; i++ {
+		if err := c.Allow(tn); err != nil {
+			t.Fatalf("request %d within burst refused: %v", i, err)
+		}
+	}
+	err := c.Allow(tn)
+	var oe *OverloadError
+	if !errors.As(err, &oe) || !oe.RateLimited {
+		t.Fatalf("over-budget request: %v, want a rate-limited *OverloadError", err)
+	}
+	// Tokens are exactly 0, so the next token is exactly 1/rate away.
+	if want := 500 * time.Millisecond; oe.RetryAfter != want {
+		t.Errorf("RetryAfter = %v, want exactly %v", oe.RetryAfter, want)
+	}
+
+	// Advance exactly one token's worth: exactly one request passes.
+	clk.Advance(500 * time.Millisecond)
+	if err := c.Allow(tn); err != nil {
+		t.Fatalf("request after exact refill refused: %v", err)
+	}
+	if err := c.Allow(tn); err == nil {
+		t.Fatal("second request after a one-token refill passed")
+	}
+
+	// A long idle period refills to Burst, never beyond.
+	clk.Advance(time.Hour)
+	for i := 0; i < 2; i++ {
+		if err := c.Allow(tn); err != nil {
+			t.Fatalf("request %d after long idle refused: %v", i, err)
+		}
+	}
+	if err := c.Allow(tn); err == nil {
+		t.Fatal("bucket refilled beyond Burst")
+	}
+
+	// Unlimited tenants are never charged or refused.
+	for i := 0; i < 1000; i++ {
+		if err := c.Allow(Tenant{ID: "unlimited"}); err != nil {
+			t.Fatalf("unlimited tenant refused: %v", err)
+		}
+	}
+}
+
+// TestOnWaitExact: with the fake clock, the wait-time hook reports
+// exactly the time the waiter spent queued.
+func TestOnWaitExact(t *testing.T) {
+	clk := newFakeClock()
+	var mu sync.Mutex
+	waits := map[string]time.Duration{}
+	c := New(Config{Slots: 1, Clock: clk, OnWait: func(tenant string, wait time.Duration) {
+		mu.Lock()
+		waits[tenant] = wait
+		mu.Unlock()
+	}})
+
+	release, err := c.Acquire(context.Background(), Tenant{ID: "holder"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		rel, err := c.Acquire(context.Background(), Tenant{ID: "waiter"})
+		if err == nil {
+			rel()
+		}
+		close(done)
+	}()
+	waitForQueued(t, c, 1)
+	clk.Advance(3 * time.Second)
+	release()
+	<-done
+
+	mu.Lock()
+	defer mu.Unlock()
+	if waits["waiter"] != 3*time.Second {
+		t.Errorf("reported wait %v, want exactly 3s", waits["waiter"])
+	}
+}
+
+// TestReleaseIdempotent: calling release twice must not free two
+// slots.
+func TestReleaseIdempotent(t *testing.T) {
+	c := New(Config{Slots: 2})
+	r1, err := c.Acquire(context.Background(), Tenant{ID: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Acquire(context.Background(), Tenant{ID: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1()
+	r1() // double release must be a no-op
+	if st := c.Stats(); st.InUse != 1 {
+		t.Fatalf("InUse = %d after double release, want 1", st.InUse)
+	}
+	r2()
+	if st := c.Stats(); st.InUse != 0 {
+		t.Fatalf("InUse = %d, want 0", st.InUse)
+	}
+}
+
+// TestConcurrentChurn hammers the controller from many tenants with
+// random cancellations under -race: no deadlock, no slot leak, and
+// every successful acquire got a usable release.
+func TestConcurrentChurn(t *testing.T) {
+	c := New(Config{Slots: 4, QueueDepth: 512})
+	var completed atomic.Int64
+	var wg sync.WaitGroup
+	for tenant := 0; tenant < 5; tenant++ {
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(tenant, g int) {
+				defer wg.Done()
+				tn := Tenant{ID: fmt.Sprintf("t%d", tenant), Weight: tenant + 1}
+				for i := 0; i < 50; i++ {
+					ctx := context.Background()
+					var cancel context.CancelFunc
+					if (i+g)%3 == 0 {
+						// A third of the requests carry a deadline that may
+						// fire while queued.
+						ctx, cancel = context.WithTimeout(ctx, time.Duration(i%5)*100*time.Microsecond)
+					}
+					rel, err := c.Acquire(ctx, tn)
+					if cancel != nil {
+						cancel()
+					}
+					if err != nil {
+						continue
+					}
+					completed.Add(1)
+					rel()
+				}
+			}(tenant, g)
+		}
+	}
+	wg.Wait()
+	if completed.Load() == 0 {
+		t.Fatal("no request ever completed")
+	}
+	if st := c.Stats(); st.InUse != 0 || len(st.Queued) != 0 {
+		t.Fatalf("controller not drained after churn: %+v", st)
+	}
+}
+
+// TestStats covers the snapshot shape.
+func TestStats(t *testing.T) {
+	c := New(Config{Slots: 3, QueueDepth: 8})
+	if st := c.Stats(); st.Slots != 3 || st.InUse != 0 || len(st.Queued) != 0 {
+		t.Fatalf("zero stats: %+v", st)
+	}
+	if c.Slots() != 3 {
+		t.Errorf("Slots() = %d", c.Slots())
+	}
+	// Tokens for an unknown tenant is the no-bucket sentinel.
+	if tok := c.Tokens("nobody"); tok != -1 {
+		t.Errorf("Tokens(nobody) = %v, want -1", tok)
+	}
+}
+
+// TestDefaults: zero-value config normalizes to usable bounds.
+func TestDefaults(t *testing.T) {
+	c := New(Config{})
+	if c.Slots() != 1 {
+		t.Errorf("default slots = %d, want 1", c.Slots())
+	}
+	if c.queueDepth != DefaultQueueDepth {
+		t.Errorf("default depth = %d, want %d", c.queueDepth, DefaultQueueDepth)
+	}
+	rel, err := c.Acquire(context.Background(), Tenant{ID: "x", Weight: -5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+}

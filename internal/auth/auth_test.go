@@ -1,0 +1,151 @@
+package auth
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const goodFile = `
+# token            tenant  weight  [rate [burst]]
+s3cr3t-heavy-token heavy   10
+s3cr3t-light-token light   1       5
+s3cr3t-ops-token   ops     1       0.5   3
+s3cr3t-ops-token-2 ops     1       0.5   3   # second token, same tenant
+`
+
+func TestParseTokens(t *testing.T) {
+	a, err := ParseTokens([]byte(goodFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Enabled() {
+		t.Fatal("parsed authenticator reports disabled")
+	}
+	if got := a.Tenants(); len(got) != 3 || got[0] != "heavy" || got[1] != "light" || got[2] != "ops" {
+		t.Errorf("Tenants() = %v", got)
+	}
+
+	cases := []struct {
+		header string
+		want   Tenant
+	}{
+		{"Bearer s3cr3t-heavy-token", Tenant{ID: "heavy", Weight: 10}},
+		{"bearer s3cr3t-light-token", Tenant{ID: "light", Weight: 1, Rate: 5}},
+		{"BEARER s3cr3t-ops-token", Tenant{ID: "ops", Weight: 1, Rate: 0.5, Burst: 3}},
+		{"Bearer s3cr3t-ops-token-2", Tenant{ID: "ops", Weight: 1, Rate: 0.5, Burst: 3}},
+		{"Bearer   s3cr3t-heavy-token  ", Tenant{ID: "heavy", Weight: 10}},
+	}
+	for _, tc := range cases {
+		tn, err := a.Authenticate(tc.header)
+		if err != nil {
+			t.Errorf("Authenticate(%q): %v", tc.header, err)
+			continue
+		}
+		if tn != tc.want {
+			t.Errorf("Authenticate(%q) = %+v, want %+v", tc.header, tn, tc.want)
+		}
+	}
+}
+
+func TestParseTokensErrors(t *testing.T) {
+	cases := []struct {
+		name, file, wantSub string
+	}{
+		{"empty", "", "no tokens"},
+		{"comments-only", "# nothing here\n   \n", "no tokens"},
+		{"too-few-fields", "tokentoken tenant\n", "field"},
+		{"too-many-fields", "tokentoken tenant 1 2 3 4\n", "field"},
+		{"short-token", "short t 1\n", "shorter"},
+		{"long-token", strings.Repeat("x", MaxTokenLen+1) + " t 1\n", "longer"},
+		{"bad-tenant", "tokentoken bad/tenant 1\n", "tenant id"},
+		{"empty-weight", "tokentoken tenant x\n", "weight"},
+		{"zero-weight", "tokentoken tenant 0\n", "weight"},
+		{"huge-weight", "tokentoken tenant 99999999\n", "weight"},
+		{"bad-rate", "tokentoken tenant 1 fast\n", "rate"},
+		{"negative-rate", "tokentoken tenant 1 -2\n", "rate"},
+		{"inf-rate", "tokentoken tenant 1 inf\n", "rate"},
+		{"nan-rate", "tokentoken tenant 1 nan\n", "rate"},
+		{"bad-burst", "tokentoken tenant 1 2 zero\n", "burst"},
+		{"sub-one-burst", "tokentoken tenant 1 2 0.5\n", "burst"},
+		{"burst-no-rate", "tokentoken tenant 1 0 5\n", "burst without a rate"},
+		{"dup-token", "tokentoken a 1\ntokentoken b 2\n", "already granted"},
+		{"long-line", strings.Repeat("y", MaxLineLen+10) + "\n", "longer than"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseTokens([]byte(tc.file))
+			if err == nil {
+				t.Fatal("parse succeeded")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestAuthenticateRejections(t *testing.T) {
+	a, err := ParseTokens([]byte("s3cr3t-heavy-token heavy 10\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, header := range []string{
+		"",
+		"s3cr3t-heavy-token",              // no scheme
+		"Basic s3cr3t-heavy-token",        // wrong scheme
+		"Bearer",                          // no token
+		"Bearer ",                         // empty token
+		"Bearer short",                    // under MinTokenLen
+		"Bearer wrong-token-entirely",     // unknown
+		"Bearer s3cr3t-heavy-token extra", // embedded whitespace
+		"Bearer s3cr3t-heavy-tokex",       // one byte off
+		"Bearer " + strings.Repeat("x", MaxTokenLen+1),
+	} {
+		if _, err := a.Authenticate(header); !errors.Is(err, ErrUnauthorized) {
+			t.Errorf("Authenticate(%q) = %v, want ErrUnauthorized", header, err)
+		}
+	}
+}
+
+func TestNilAuthenticatorIsAnonymous(t *testing.T) {
+	var a *Authenticator
+	if a.Enabled() {
+		t.Error("nil authenticator reports enabled")
+	}
+	if got := a.Tenants(); got != nil {
+		t.Errorf("nil Tenants() = %v", got)
+	}
+	tn, err := a.Authenticate("anything at all")
+	if err != nil || tn != Anonymous {
+		t.Errorf("nil Authenticate = %+v, %v; want Anonymous", tn, err)
+	}
+}
+
+func TestLoadTokens(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tokens")
+	if err := os.WriteFile(path, []byte(goodFile), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	a, err := LoadTokens(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Tenants()) != 3 {
+		t.Errorf("Tenants() = %v", a.Tenants())
+	}
+
+	if _, err := LoadTokens(filepath.Join(dir, "missing")); err == nil {
+		t.Error("loading a missing file succeeded")
+	}
+	bad := filepath.Join(dir, "bad")
+	if err := os.WriteFile(bad, []byte("x y\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTokens(bad); err == nil || !strings.Contains(err.Error(), bad) {
+		t.Errorf("bad-file error %v does not name the path", err)
+	}
+}

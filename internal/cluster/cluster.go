@@ -32,6 +32,7 @@ import (
 	"net/url"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rendezvous/internal/adversary"
@@ -131,6 +132,12 @@ type Config struct {
 	// ShardFingerprint: restored shards are not dispatched at all, and
 	// computed shards are written back best-effort.
 	Store *resultstore.Store
+	// AuthToken, when non-empty, is presented as a bearer token on
+	// every shard request and health probe — required when the worker
+	// daemons run with -auth-tokens. The coordinator's tenant identity
+	// on the workers (and so its fair share of their engine pools) is
+	// whatever this token is granted there.
+	AuthToken string
 }
 
 // Dispatcher fans searches out across a fixed peer pool. It is safe
@@ -143,7 +150,16 @@ type Dispatcher struct {
 	probeBackoff time.Duration
 	inflight     int
 	store        *resultstore.Store
+	authToken    string
+
+	// retries counts shard attempts that failed and were requeued,
+	// across every Search this dispatcher has run (metrics feed).
+	retries atomic.Int64
 }
+
+// Retries reports how many shard attempts have failed and been
+// requeued over the dispatcher's lifetime.
+func (d *Dispatcher) Retries() int64 { return d.retries.Load() }
 
 // New validates the peer list and returns a dispatcher over it.
 func New(cfg Config) (*Dispatcher, error) {
@@ -172,6 +188,7 @@ func New(cfg Config) (*Dispatcher, error) {
 		probeBackoff: cfg.ProbeBackoff,
 		inflight:     cfg.PerPeerInflight,
 		store:        cfg.Store,
+		authToken:    cfg.AuthToken,
 	}
 	if d.client == nil {
 		d.client = &http.Client{}
@@ -225,6 +242,7 @@ func (d *Dispatcher) probeOne(ctx context.Context, peer string) error {
 	if err != nil {
 		return fmt.Errorf("cluster: probe %s: %w", peer, err)
 	}
+	d.authorize(req)
 	resp, err := d.client.Do(req)
 	if err != nil {
 		return fmt.Errorf("cluster: probe %s: %w", peer, err)
@@ -235,6 +253,13 @@ func (d *Dispatcher) probeOne(ctx context.Context, peer string) error {
 		return fmt.Errorf("cluster: probe %s: status %d", peer, resp.StatusCode)
 	}
 	return nil
+}
+
+// authorize attaches the coordinator's bearer token, when configured.
+func (d *Dispatcher) authorize(req *http.Request) {
+	if d.authToken != "" {
+		req.Header.Set("Authorization", "Bearer "+d.authToken)
+	}
 }
 
 // peerUnusable marks attempt errors that suggest the peer does not
@@ -360,6 +385,7 @@ func (d *Dispatcher) Search(ctx context.Context, search json.RawMessage, fingerp
 					wc, err := d.runShard(ctx, peer, search, fingerprint, shard, shards)
 					if err != nil {
 						queue <- shard // never lost: another peer (or this one, recovered) retries it
+						d.retries.Add(1)
 						if ctx.Err() != nil {
 							return
 						}
@@ -447,6 +473,7 @@ func (d *Dispatcher) runShard(ctx context.Context, peer string, search json.RawM
 		return sim.WorstCase{}, fmt.Errorf("cluster: %s shard %d: %w", peer, shard, err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	d.authorize(req)
 	resp, err := d.client.Do(req)
 	if err != nil {
 		return sim.WorstCase{}, fmt.Errorf("cluster: %s shard %d: %w", peer, shard, err)
@@ -468,6 +495,11 @@ func (d *Dispatcher) runShard(ctx context.Context, peer string, search json.RawM
 		// The search itself (or the shard plan) was rejected; every
 		// peer of the same version would answer identically.
 		return sim.WorstCase{}, searchRejected{fmt.Errorf("cluster: %s rejected shard %d: %s", peer, shard, shardError(data))}
+	case http.StatusUnauthorized:
+		// The coordinator's token is not granted on this worker. Every
+		// shard would be refused the same way, so fail the search
+		// immediately instead of grinding through a retry storm.
+		return sim.WorstCase{}, searchRejected{fmt.Errorf("cluster: %s refused the coordinator's credentials (configure -peer-token to a token the worker grants)", peer)}
 	default:
 		return sim.WorstCase{}, fmt.Errorf("cluster: %s shard %d: status %d: %s", peer, shard, resp.StatusCode, shardError(data))
 	}

@@ -1,0 +1,350 @@
+// Package metrics is a dependency-free Prometheus exposition layer
+// for the rdvd daemon: counters, gauges and histograms with label
+// vectors, plus collect-time callbacks for values that live elsewhere
+// (queue depths, pool utilization, the cluster's retry counter). The
+// registry renders the text format Prometheus scrapes (version
+// 0.0.4) with families and label sets in sorted order, so the output
+// is byte-deterministic for a given state — scrape tests can assert
+// exact lines.
+//
+// The container image deliberately carries no client_golang
+// dependency; this package implements the small subset the daemon needs:
+// monotonic counters, settable gauges, cumulative histograms with
+// fixed buckets, and function-backed series sampled at scrape time.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// A Sample is one function-backed series value: label values (aligned
+// with the family's label names) and the current reading.
+type Sample struct {
+	Labels []string
+	Value  float64
+}
+
+// kind is the exposition TYPE of a family.
+type kind string
+
+const (
+	kindCounter   kind = "counter"
+	kindGauge     kind = "gauge"
+	kindHistogram kind = "histogram"
+)
+
+// family is one metric family: a name, help text, label names and
+// either materialized children or a collect-time callback.
+type family struct {
+	name       string
+	help       string
+	kind       kind
+	labelNames []string
+	buckets    []float64 // histograms only
+
+	mu       sync.Mutex
+	children map[string]*child // keyed by joined label values
+	collect  func() []Sample   // function-backed families
+}
+
+// child is one materialized label set's state.
+type child struct {
+	labels []string
+
+	mu    sync.Mutex
+	value float64  // counter / gauge
+	count uint64   // histogram
+	sum   float64  // histogram
+	bins  []uint64 // histogram: raw per-bucket counts (cumulated at render)
+}
+
+// Registry holds metric families and renders them. The zero value is
+// not usable; construct with NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register adds a family, panicking on a duplicate or invalid name —
+// both are programming errors at daemon start, not runtime conditions.
+func (r *Registry) register(f *family) {
+	if !validName(f.name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", f.name))
+	}
+	for _, l := range f.labelNames {
+		if !validName(l) {
+			panic(fmt.Sprintf("metrics: invalid label name %q in %s", l, f.name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[f.name]; dup {
+		panic(fmt.Sprintf("metrics: metric %q registered twice", f.name))
+	}
+	r.families[f.name] = f
+	r.order = append(r.order, f.name)
+}
+
+// Vec is a family of counters or gauges addressed by label values.
+type Vec struct{ f *family }
+
+// Counter registers a counter family with the given label names (none
+// for a plain counter) and returns its vector.
+func (r *Registry) Counter(name, help string, labelNames ...string) *Vec {
+	f := &family{name: name, help: help, kind: kindCounter, labelNames: labelNames, children: make(map[string]*child)}
+	r.register(f)
+	return &Vec{f}
+}
+
+// Gauge registers a gauge family.
+func (r *Registry) Gauge(name, help string, labelNames ...string) *Vec {
+	f := &family{name: name, help: help, kind: kindGauge, labelNames: labelNames, children: make(map[string]*child)}
+	r.register(f)
+	return &Vec{f}
+}
+
+// GaugeFunc registers a gauge family whose samples are produced by fn
+// at scrape time (for state owned elsewhere, e.g. queue depths).
+func (r *Registry) GaugeFunc(name, help string, labelNames []string, fn func() []Sample) {
+	r.register(&family{name: name, help: help, kind: kindGauge, labelNames: labelNames, collect: fn})
+}
+
+// CounterFunc registers a counter family backed by fn at scrape time
+// (for monotonic values owned elsewhere, e.g. the cluster dispatcher's
+// retry counter).
+func (r *Registry) CounterFunc(name, help string, labelNames []string, fn func() []Sample) {
+	r.register(&family{name: name, help: help, kind: kindCounter, labelNames: labelNames, collect: fn})
+}
+
+// DefBuckets is the default histogram layout: latencies from 100µs to
+// ~100s, roughly trebling.
+var DefBuckets = []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 100}
+
+// HistogramVec is a family of histograms addressed by label values.
+type HistogramVec struct{ f *family }
+
+// Histogram registers a histogram family with the given bucket upper
+// bounds (nil = DefBuckets). Bounds must be strictly increasing.
+func (r *Registry) Histogram(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("metrics: %s: buckets not strictly increasing", name))
+		}
+	}
+	f := &family{name: name, help: help, kind: kindHistogram, labelNames: labelNames,
+		buckets: append([]float64(nil), buckets...), children: make(map[string]*child)}
+	r.register(f)
+	return &HistogramVec{f}
+}
+
+// childFor materializes the child for the label values.
+func (f *family) childFor(labelValues []string) *child {
+	if len(labelValues) != len(f.labelNames) {
+		panic(fmt.Sprintf("metrics: %s: %d label value(s) for %d label name(s)", f.name, len(labelValues), len(f.labelNames)))
+	}
+	key := strings.Join(labelValues, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.children[key]
+	if !ok {
+		c = &child{labels: append([]string(nil), labelValues...)}
+		if f.kind == kindHistogram {
+			c.bins = make([]uint64, len(f.buckets))
+		}
+		f.children[key] = c
+	}
+	return c
+}
+
+// Add increments the labeled series by v (counters must not go
+// backwards; negative deltas panic for counters).
+func (v *Vec) Add(delta float64, labelValues ...string) {
+	if v.f.kind == kindCounter && delta < 0 {
+		panic("metrics: counter decremented")
+	}
+	c := v.f.childFor(labelValues)
+	c.mu.Lock()
+	c.value += delta
+	c.mu.Unlock()
+}
+
+// Inc increments the labeled series by one.
+func (v *Vec) Inc(labelValues ...string) { v.Add(1, labelValues...) }
+
+// Set sets the labeled gauge (panics for counters).
+func (v *Vec) Set(value float64, labelValues ...string) {
+	if v.f.kind != kindGauge {
+		panic("metrics: Set on a non-gauge")
+	}
+	c := v.f.childFor(labelValues)
+	c.mu.Lock()
+	c.value = value
+	c.mu.Unlock()
+}
+
+// Observe records one measurement into the labeled histogram.
+func (h *HistogramVec) Observe(value float64, labelValues ...string) {
+	c := h.f.childFor(labelValues)
+	c.mu.Lock()
+	c.count++
+	c.sum += value
+	for i, ub := range h.f.buckets {
+		if value <= ub {
+			c.bins[i]++
+			break
+		}
+	}
+	c.mu.Unlock()
+}
+
+// validName checks the Prometheus metric/label name charset.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// escapeLabel escapes a label value for the text format.
+func escapeLabel(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// formatValue renders a float the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders {name="value",...} (empty string for no labels).
+func labelString(names, values []string, extra ...string) string {
+	if len(names) == 0 && len(extra) == 0 {
+		return ""
+	}
+	var parts []string
+	for i, n := range names {
+		val := ""
+		if i < len(values) {
+			val = values[i]
+		}
+		parts = append(parts, n+`="`+escapeLabel(val)+`"`)
+	}
+	// extra is name,value pairs appended verbatim (the histogram "le").
+	for i := 0; i+1 < len(extra); i += 2 {
+		parts = append(parts, extra[i]+`="`+escapeLabel(extra[i+1])+`"`)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WriteText renders every family in registration order, label sets
+// sorted, in Prometheus text format 0.0.4.
+func (r *Registry) WriteText(w *strings.Builder) {
+	r.mu.Lock()
+	order := append([]string(nil), r.order...)
+	fams := make([]*family, 0, len(order))
+	for _, name := range order {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+		if f.collect != nil {
+			samples := f.collect()
+			sort.Slice(samples, func(i, j int) bool {
+				return strings.Join(samples[i].Labels, "\x00") < strings.Join(samples[j].Labels, "\x00")
+			})
+			for _, s := range samples {
+				fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(f.labelNames, s.Labels), formatValue(s.Value))
+			}
+			continue
+		}
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		children := make([]*child, 0, len(keys))
+		for _, k := range keys {
+			children = append(children, f.children[k])
+		}
+		f.mu.Unlock()
+		for _, c := range children {
+			c.mu.Lock()
+			switch f.kind {
+			case kindHistogram:
+				cum := uint64(0)
+				for i, ub := range f.buckets {
+					cum += c.bins[i]
+					fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+						labelString(f.labelNames, c.labels, "le", formatValue(ub)), cum)
+				}
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+					labelString(f.labelNames, c.labels, "le", "+Inf"), c.count)
+				fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelString(f.labelNames, c.labels), formatValue(c.sum))
+				fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(f.labelNames, c.labels), c.count)
+			default:
+				fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(f.labelNames, c.labels), formatValue(c.value))
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+// ServeHTTP renders the registry (GET only).
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	var b strings.Builder
+	r.WriteText(&b)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte(b.String()))
+}

@@ -1,0 +1,190 @@
+package metrics
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(r *Registry) string {
+	var b strings.Builder
+	r.WriteText(&b)
+	return b.String()
+}
+
+// TestTextFormat pins the exact exposition for a small registry:
+// families in registration order, label sets sorted, HELP/TYPE lines,
+// escaping, and histogram cumulative buckets.
+func TestTextFormat(t *testing.T) {
+	r := NewRegistry()
+	reqs := r.Counter("rdv_requests_total", "Requests served.", "tenant", "code")
+	depth := r.Gauge("rdv_queue_depth", "Waiters queued.", "tenant")
+	lat := r.Histogram("rdv_wait_seconds", "Queue wait.", []float64{0.1, 1, 10}, "tenant")
+
+	reqs.Inc("b-tenant", "200")
+	reqs.Add(2, "a-tenant", "200")
+	reqs.Inc("a-tenant", "429")
+	depth.Set(3, `quo"ted`)
+	lat.Observe(0.05, "a-tenant")
+	lat.Observe(0.5, "a-tenant")
+	lat.Observe(99, "a-tenant")
+
+	want := strings.Join([]string{
+		"# HELP rdv_requests_total Requests served.",
+		"# TYPE rdv_requests_total counter",
+		`rdv_requests_total{tenant="a-tenant",code="200"} 2`,
+		`rdv_requests_total{tenant="a-tenant",code="429"} 1`,
+		`rdv_requests_total{tenant="b-tenant",code="200"} 1`,
+		"# HELP rdv_queue_depth Waiters queued.",
+		"# TYPE rdv_queue_depth gauge",
+		`rdv_queue_depth{tenant="quo\"ted"} 3`,
+		"# HELP rdv_wait_seconds Queue wait.",
+		"# TYPE rdv_wait_seconds histogram",
+		`rdv_wait_seconds_bucket{tenant="a-tenant",le="0.1"} 1`,
+		`rdv_wait_seconds_bucket{tenant="a-tenant",le="1"} 2`,
+		`rdv_wait_seconds_bucket{tenant="a-tenant",le="10"} 2`,
+		`rdv_wait_seconds_bucket{tenant="a-tenant",le="+Inf"} 3`,
+		`rdv_wait_seconds_sum{tenant="a-tenant"} 99.55`,
+		`rdv_wait_seconds_count{tenant="a-tenant"} 3`,
+		"",
+	}, "\n")
+	if got := render(r); got != want {
+		t.Errorf("exposition diverged:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestFuncFamilies: collect-time gauge and counter callbacks are
+// sampled at render, sorted by label values.
+func TestFuncFamilies(t *testing.T) {
+	r := NewRegistry()
+	var mu sync.Mutex
+	val := 7.0
+	r.GaugeFunc("pool_in_use", "Slots held.", nil, func() []Sample {
+		mu.Lock()
+		defer mu.Unlock()
+		return []Sample{{Value: val}}
+	})
+	r.CounterFunc("retries_total", "Retries.", []string{"peer"}, func() []Sample {
+		return []Sample{{Labels: []string{"b"}, Value: 2}, {Labels: []string{"a"}, Value: 1}}
+	})
+
+	out := render(r)
+	for _, line := range []string{
+		"pool_in_use 7",
+		`retries_total{peer="a"} 1`,
+		`retries_total{peer="b"} 2`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("missing line %q in:\n%s", line, out)
+		}
+	}
+	if strings.Index(out, `peer="a"`) > strings.Index(out, `peer="b"`) {
+		t.Error("func samples not sorted by label value")
+	}
+
+	mu.Lock()
+	val = 9
+	mu.Unlock()
+	if !strings.Contains(render(r), "pool_in_use 9\n") {
+		t.Error("gauge func not re-sampled at render")
+	}
+}
+
+// TestSpecialValues: infinities and NaN render the Prometheus way.
+func TestSpecialValues(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("weird", "Weird values.", "k")
+	g.Set(math.Inf(1), "pos")
+	g.Set(math.Inf(-1), "neg")
+	g.Set(math.NaN(), "nan")
+	out := render(r)
+	for _, line := range []string{`weird{k="nan"} NaN`, `weird{k="neg"} -Inf`, `weird{k="pos"} +Inf`} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("missing %q in:\n%s", line, out)
+		}
+	}
+}
+
+// TestServeHTTP: the registry is an http.Handler, GET only, with the
+// 0.0.4 content type.
+func TestServeHTTP(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "Hits.").Inc()
+
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /metrics: %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "hits_total 1\n") {
+		t.Errorf("body:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("POST", "/metrics", nil))
+	if rec.Code != 405 {
+		t.Errorf("POST /metrics: %d, want 405", rec.Code)
+	}
+}
+
+// TestPanics: misuse is a programming error and panics loudly at
+// registration/update time.
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	c := r.Counter("ok_total", "ok", "tenant")
+	mustPanic("duplicate name", func() { r.Counter("ok_total", "dup") })
+	mustPanic("bad metric name", func() { r.Counter("bad-name", "x") })
+	mustPanic("bad label name", func() { r.Gauge("g_ok", "x", "bad-label") })
+	mustPanic("label arity", func() { c.Inc("a", "b") })
+	mustPanic("counter decrement", func() { c.Add(-1, "a") })
+	mustPanic("Set on counter", func() { c.Set(1, "a") })
+	mustPanic("unsorted buckets", func() { r.Histogram("h_ok", "x", []float64{1, 1}) })
+}
+
+// TestConcurrentUpdates exercises the registry under -race.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c", "tenant")
+	h := r.Histogram("h_seconds", "h", nil, "tenant")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tenant := string(rune('a' + g%3))
+			for i := 0; i < 200; i++ {
+				c.Inc(tenant)
+				h.Observe(float64(i)/100, tenant)
+				if i%50 == 0 {
+					_ = render(r)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	out := render(r)
+	total := 0.0
+	for _, tenant := range []string{"a", "b", "c"} {
+		if !strings.Contains(out, `c_total{tenant="`+tenant+`"}`) {
+			t.Errorf("missing series for %s", tenant)
+		}
+		_ = total
+	}
+	if !strings.Contains(out, `h_seconds_count{tenant="a"}`) {
+		t.Errorf("missing histogram count:\n%s", out)
+	}
+}

@@ -25,6 +25,14 @@
 // completed shard, then a final {"type":"result"} (or
 // {"type":"error"}) line.
 //
+// Multi-tenancy: when Config.Auth is set, every /search, /shard and
+// /index request must carry a granted bearer token; the token's tenant
+// identity drives per-tenant weighted-fair admission to the bounded
+// engine pool (internal/admission), per-tenant rate limits (429 +
+// Retry-After), the /metrics series and the structured request log.
+// With auth disabled every request is the anonymous tenant and the
+// pipeline behaves exactly as the single-tenant daemon always did.
+//
 // Cluster roles: every server additionally serves POST /shard — one
 // shard of a search's fixed decomposition, with exactly the same
 // request validation and caps as /search, cached per shard in the
@@ -40,17 +48,24 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log/slog"
+	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
+	"rendezvous/internal/admission"
 	"rendezvous/internal/adversary"
+	"rendezvous/internal/auth"
 	"rendezvous/internal/cluster"
 	"rendezvous/internal/core"
 	"rendezvous/internal/explore"
 	"rendezvous/internal/graph"
+	"rendezvous/internal/metrics"
 	"rendezvous/internal/resultstore"
 	"rendezvous/internal/sim"
 )
@@ -372,6 +387,24 @@ type Config struct {
 	// on each peer at once (0 = 1); raise it toward the workers'
 	// -max-concurrent to keep multi-core workers busy.
 	ShardInflight int
+	// Auth verifies bearer tokens and maps them to tenants. Nil
+	// disables authentication: every request is the anonymous tenant
+	// and the daemon behaves exactly as before auth existed.
+	Auth *auth.Authenticator
+	// QueueDepth bounds each tenant's admission queue; the next search
+	// past it is refused with 429 + Retry-After
+	// (0 = admission.DefaultQueueDepth).
+	QueueDepth int
+	// RequestLog, when non-nil, receives one structured record per
+	// request (endpoint, tenant, status, duration, fingerprint,
+	// cache/dedup disposition).
+	RequestLog *slog.Logger
+	// PeerToken is the bearer token the coordinator presents to its
+	// workers (required when the workers run with -auth-tokens).
+	PeerToken string
+	// AdmissionClock injects the admission layer's time source (tests
+	// only; nil = real clock).
+	AdmissionClock admission.Clock
 }
 
 // DefaultSearchTimeout is the per-search deadline when
@@ -437,13 +470,22 @@ func (f *flight) broadcast(completed, total int) {
 // Server is the HTTP search service.
 type Server struct {
 	store         *resultstore.Store
-	sem           chan struct{}
+	adm           *admission.Controller // the engine pool, shared fairly between tenants
+	auth          *auth.Authenticator   // nil = anonymous tenant
 	fpSem         chan struct{}
 	workers       int
 	searchTimeout time.Duration
 	search        searchFunc
 	cluster       *cluster.Dispatcher // nil = run searches locally
 	shards        int                 // requested shard count for distributed searches
+	reqLog        *slog.Logger        // nil = no per-request log
+
+	// Metrics (always registered; /metrics renders them).
+	reg          *metrics.Registry
+	mRequests    *metrics.Vec          // rdv_requests_total{endpoint,tenant,code}
+	mCacheHits   *metrics.Vec          // rdv_cache_hits_total
+	mCacheMisses *metrics.Vec          // rdv_cache_misses_total
+	mSearchSec   *metrics.HistogramVec // rdv_search_seconds{tier}
 
 	mu       sync.Mutex
 	inflight map[string]*flight
@@ -512,7 +554,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		store:         cfg.Store,
 		searchTimeout: searchTimeout,
-		sem:           make(chan struct{}, maxConcurrent),
+		auth:          cfg.Auth,
 		// Fingerprinting must run before the store lookup (a hit needs
 		// the address), so it cannot sit behind the engine pool; it
 		// gets its own CPU-sized bound instead, so a burst of maximal
@@ -521,8 +563,47 @@ func New(cfg Config) (*Server, error) {
 		workers:  cfg.Workers,
 		search:   engineSearch,
 		shards:   cfg.Shards,
+		reqLog:   cfg.RequestLog,
 		inflight: make(map[string]*flight),
+		reg:      metrics.NewRegistry(),
 	}
+	s.mRequests = s.reg.Counter("rdv_requests_total",
+		"Requests served, by endpoint, tenant and HTTP status.",
+		"endpoint", "tenant", "code")
+	s.mCacheHits = s.reg.Counter("rdv_cache_hits_total",
+		"Searches answered from the result store without touching the engine.")
+	s.mCacheMisses = s.reg.Counter("rdv_cache_misses_total",
+		"Searches that missed the result store.")
+	s.mSearchSec = s.reg.Histogram("rdv_search_seconds",
+		"Search latency by serving tier (cache, engine, cluster, shard).",
+		nil, "tier")
+	mQueueWait := s.reg.Histogram("rdv_queue_wait_seconds",
+		"Time each admitted request spent queued for an engine slot, by tenant.",
+		nil, "tenant")
+	// The engine pool is the admission controller: per-tenant
+	// weighted-fair queues (deficit round-robin) in front of
+	// maxConcurrent slots, replacing the old first-come semaphore.
+	s.adm = admission.New(admission.Config{
+		Slots:      maxConcurrent,
+		QueueDepth: cfg.QueueDepth,
+		Clock:      cfg.AdmissionClock,
+		OnWait: func(tenant string, wait time.Duration) {
+			mQueueWait.Observe(wait.Seconds(), tenant)
+		},
+	})
+	s.reg.GaugeFunc("rdv_engine_pool_slots", "Engine pool size.", nil,
+		func() []metrics.Sample { return []metrics.Sample{{Value: float64(s.adm.Slots())}} })
+	s.reg.GaugeFunc("rdv_engine_pool_in_use", "Engine pool slots currently held.", nil,
+		func() []metrics.Sample { return []metrics.Sample{{Value: float64(s.adm.Stats().InUse)}} })
+	s.reg.GaugeFunc("rdv_queue_depth", "Admission queue depth, by tenant.", []string{"tenant"},
+		func() []metrics.Sample {
+			st := s.adm.Stats()
+			samples := make([]metrics.Sample, 0, len(st.Queued))
+			for tenant, depth := range st.Queued {
+				samples = append(samples, metrics.Sample{Labels: []string{tenant}, Value: float64(depth)})
+			}
+			return samples
+		})
 	if len(cfg.Peers) > 0 {
 		d, err := cluster.New(cluster.Config{
 			Peers:           cfg.Peers,
@@ -530,28 +611,175 @@ func New(cfg Config) (*Server, error) {
 			MaxAttempts:     cfg.ShardAttempts,
 			PerPeerInflight: cfg.ShardInflight,
 			Store:           cfg.Store,
+			AuthToken:       cfg.PeerToken,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("serve: %w", err)
 		}
 		s.cluster = d
+		s.reg.CounterFunc("rdv_shard_retries_total",
+			"Shard attempts that failed and were requeued onto another peer.", nil,
+			func() []metrics.Sample { return []metrics.Sample{{Value: float64(d.Retries())}} })
 	}
 	return s, nil
 }
+
+// Metrics returns the server's metric registry (what GET /metrics
+// renders), so embedding callers can add series of their own.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Admission returns the server's admission controller (observability
+// and test hook).
+func (s *Server) Admission() *admission.Controller { return s.adm }
 
 // Cluster returns the coordinator's dispatcher (nil when the server
 // runs searches locally).
 func (s *Server) Cluster() *cluster.Dispatcher { return s.cluster }
 
 // Handler returns the service's HTTP routes: POST /search, POST
-// /shard, GET /healthz, GET /index.
+// /shard, GET /healthz, GET /index, GET /metrics. Authentication
+// wraps everything except /healthz (liveness must not depend on
+// credentials) and /metrics (the scraper is infrastructure, and the
+// exposition leaks no result data); the request log and the
+// per-request counter wrap authentication so refused requests are
+// observed too.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/search", s.handleSearch)
 	mux.HandleFunc("/shard", s.handleShard)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/index", s.handleIndex)
-	return recoverMiddleware(mux)
+	mux.Handle("/metrics", s.reg)
+	return recoverMiddleware(s.observeMiddleware(s.authMiddleware(mux)))
+}
+
+// requestMeta is the per-request observability record, installed in
+// the context by observeMiddleware and filled in as the request moves
+// through the pipeline. All fields are written by the handler
+// goroutine only.
+type requestMeta struct {
+	tenant      auth.Tenant
+	fingerprint string
+	cached      bool
+	shared      bool
+}
+
+// metaKey keys the *requestMeta in the request context.
+type metaKey struct{}
+
+// meta returns the request's observability record (never nil: a
+// request that skipped the middleware — direct handler tests — gets a
+// throwaway anonymous record).
+func metaOf(r *http.Request) *requestMeta {
+	if m, ok := r.Context().Value(metaKey{}).(*requestMeta); ok {
+		return m
+	}
+	return &requestMeta{tenant: auth.Anonymous}
+}
+
+// admissionTenant lowers the authenticated identity onto the
+// admission scheduler's terms.
+func admissionTenant(t auth.Tenant) admission.Tenant {
+	return admission.Tenant{ID: t.ID, Weight: t.Weight, Rate: t.Rate, Burst: t.Burst}
+}
+
+// statusRecorder captures the response status for the request log and
+// counter. It forwards Flush so NDJSON streaming keeps working behind
+// the middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// observeMiddleware installs the request's observability record,
+// counts the request into rdv_requests_total and, when a request log
+// is configured, emits one structured record per request.
+func (s *Server) observeMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m := &requestMeta{tenant: auth.Anonymous}
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(rec, r.WithContext(context.WithValue(r.Context(), metaKey{}, m)))
+		status := rec.status
+		if status == 0 {
+			// Handler wrote nothing (e.g. client gone before the flight
+			// finished): net/http would have sent 200 on return.
+			status = http.StatusOK
+		}
+		s.mRequests.Inc(r.URL.Path, m.tenant.ID, strconv.Itoa(status))
+		if s.reqLog != nil {
+			s.reqLog.Info("request",
+				"endpoint", r.URL.Path,
+				"method", r.Method,
+				"tenant", m.tenant.ID,
+				"status", status,
+				"duration", time.Since(start),
+				"fingerprint", m.fingerprint,
+				"cached", m.cached,
+				"shared", m.shared,
+			)
+		}
+	})
+}
+
+// authMiddleware resolves the request's tenant. /healthz and /metrics
+// pass through unauthenticated; everything else must present a
+// granted bearer token when auth is enabled (a nil authenticator
+// resolves every request to the anonymous tenant).
+func (s *Server) authMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz", "/metrics":
+			next.ServeHTTP(w, r)
+			return
+		}
+		tenant, err := s.auth.Authenticate(r.Header.Get("Authorization"))
+		if err != nil {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="rdvd"`)
+			writeJSON(w, http.StatusUnauthorized, Response{Error: "serve: unauthorized"})
+			return
+		}
+		metaOf(r).tenant = tenant
+		next.ServeHTTP(w, r)
+	})
+}
+
+// writeOverload answers an admission refusal: 429 with a Retry-After
+// header carrying the controller's backoff hint (whole seconds,
+// rounded up, at least 1).
+func writeOverload(w http.ResponseWriter, oe *admission.OverloadError, body any) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(oe.RetryAfter)))
+	writeJSON(w, http.StatusTooManyRequests, body)
+}
+
+// retryAfterSeconds converts the controller's backoff hint to the
+// header's whole-second grammar.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // recoverMiddleware turns a handler panic into a 500 instead of
@@ -630,6 +858,23 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, Response{Error: "POST only"})
 		return
 	}
+	m := metaOf(r)
+	start := time.Now()
+	// The rate budget is charged exactly once per request, here at the
+	// top — before the body is read, so an over-budget tenant cannot
+	// even make the daemon parse its payloads. Acquire (the engine-pool
+	// slot) is charged separately, by the flight creator only, so a
+	// request deduplicated onto an existing flight is never
+	// double-charged.
+	if err := s.adm.Allow(admissionTenant(m.tenant)); err != nil {
+		var oe *admission.OverloadError
+		if errors.As(err, &oe) {
+			writeOverload(w, oe, Response{Error: oe.Error()})
+			return
+		}
+		writeJSON(w, http.StatusInternalServerError, Response{Error: err.Error()})
+		return
+	}
 	// Bound the body before decoding: an oversized document must fail
 	// at the reader, not after the allocator has swallowed it.
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
@@ -644,10 +889,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, Response{Error: err.Error()})
 		return
 	}
+	m.fingerprint = fp
 
 	// Cache hit: answered without touching the engine or the pool.
 	if s.store != nil {
 		if wc, ok := s.store.Get(fp); ok {
+			m.cached = true
+			s.mCacheHits.Inc()
+			s.mSearchSec.Observe(time.Since(start).Seconds(), "cache")
 			if req.Stream {
 				s.streamFinal(w, StreamEvent{Type: "result", Fingerprint: fp, Cached: true, Result: &wc})
 				return
@@ -656,11 +905,13 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	s.mCacheMisses.Inc()
 
 	f, created := s.join(fp)
 	defer s.leave(f)
+	m.shared = !created
 	if created {
-		go s.run(f, req, spec, space, opts)
+		go s.run(f, admissionTenant(m.tenant), req, spec, space, opts)
 	}
 
 	if req.Stream {
@@ -681,6 +932,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) respondFlight(w http.ResponseWriter, r *http.Request, f *flight, created bool) {
 	finish := func() {
 		if f.err != nil {
+			// An admission refusal surfacing through the flight (the
+			// creator's tenant queue was full) is the client's signal to
+			// back off, not a server fault.
+			var oe *admission.OverloadError
+			if errors.As(f.err, &oe) {
+				writeOverload(w, oe, Response{Fingerprint: f.fp, Shared: !created, Error: f.err.Error()})
+				return
+			}
 			writeJSON(w, http.StatusInternalServerError, Response{Fingerprint: f.fp, Shared: !created, Error: f.err.Error()})
 			return
 		}
@@ -742,8 +1001,10 @@ func (s *Server) leave(f *flight) {
 
 // run executes the flight's search — locally on the bounded pool, or
 // fanned out across the cluster when the server is a coordinator —
-// and publishes the result.
-func (s *Server) run(f *flight, req Request, spec adversary.Spec, space sim.SearchSpace, opts adversary.Options) {
+// and publishes the result. tenant is the flight creator's identity:
+// only the creator occupies an admission queue slot; requests that
+// join the flight later wait on done without holding capacity.
+func (s *Server) run(f *flight, tenant admission.Tenant, req Request, spec adversary.Spec, space sim.SearchSpace, opts adversary.Options) {
 	var wc sim.WorstCase
 	var err error
 	if s.cluster != nil {
@@ -757,20 +1018,28 @@ func (s *Server) run(f *flight, req Request, spec adversary.Spec, space sim.Sear
 			ctx, cancel = context.WithTimeout(ctx, s.searchTimeout)
 			defer cancel()
 		}
+		start := time.Now()
 		wc, err = dispatch(ctx, s.cluster, req, spec, space, f.fp, s.shards, f.broadcast)
+		s.mSearchSec.Observe(time.Since(start).Seconds(), "cluster")
 	} else {
-		select {
-		case s.sem <- struct{}{}:
+		// Acquire under the flight's context: when every request waiting
+		// on this flight disconnects, leave() cancels f.ctx and the
+		// queued waiter is dequeued immediately — a flight nobody wants
+		// can never be granted a slot.
+		release, aerr := s.adm.Acquire(f.ctx, tenant)
+		if aerr != nil {
+			err = aerr
+		} else {
 			ctx := f.ctx
 			if s.searchTimeout > 0 {
 				var cancel context.CancelFunc
 				ctx, cancel = context.WithTimeout(ctx, s.searchTimeout)
 				defer cancel()
 			}
+			start := time.Now()
 			wc, err = s.search(ctx, spec, space, opts, f.broadcast)
-			<-s.sem
-		case <-f.ctx.Done():
-			err = f.ctx.Err()
+			s.mSearchSec.Observe(time.Since(start).Seconds(), "engine")
+			release()
 		}
 	}
 	if err == nil && s.store != nil {
@@ -883,9 +1152,12 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	m := metaOf(r)
+	m.fingerprint = fp
 	sfp := cluster.ShardFingerprint(fp, sreq.Shard, sreq.Shards)
 	if s.store != nil {
 		if wc, ok := s.store.Get(sfp); ok {
+			m.cached = true
 			writeJSON(w, http.StatusOK, cluster.ShardResponse{Fingerprint: fp, Shard: sreq.Shard, Shards: sreq.Shards, Cached: true, Result: &wc})
 			return
 		}
@@ -893,15 +1165,27 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 
 	// Shard execution — including plan construction — shares the engine
 	// pool with local searches, so a worker daemon bounds its compute
-	// the same way whichever role drives it. The slot is released by
-	// defer: a panic below unwinds through recoverMiddleware, and a
-	// leaked slot would wedge the pool permanently.
-	select {
-	case s.sem <- struct{}{}:
-	case <-r.Context().Done():
+	// the same way whichever role drives it, and a worker serving two
+	// coordinators shares its pool fairly between them (the coordinator
+	// authenticates like any client; its tenant keys the queue). Rate
+	// limits deliberately do NOT apply to /shard — a coordinator
+	// retrying shards must shed load by queueing, not by 429s that
+	// would turn one slow peer into a cluster-wide retry storm. The
+	// slot is released by defer: a panic below unwinds through
+	// recoverMiddleware, and a leaked slot would wedge the pool
+	// permanently.
+	release, aerr := s.adm.Acquire(r.Context(), admissionTenant(m.tenant))
+	if aerr != nil {
+		var oe *admission.OverloadError
+		if errors.As(aerr, &oe) {
+			writeOverload(w, oe, cluster.ShardResponse{Fingerprint: fp, Shard: sreq.Shard, Shards: sreq.Shards, Error: oe.Error()})
+		}
+		// Context cancelled: the coordinator is gone; nothing to write.
 		return
 	}
-	defer func() { <-s.sem }()
+	defer release()
+	shardStart := time.Now()
+	defer func() { s.mSearchSec.Observe(time.Since(shardStart).Seconds(), "shard") }()
 	ctx := r.Context()
 	if s.searchTimeout > 0 {
 		var cancel context.CancelFunc

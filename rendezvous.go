@@ -327,6 +327,10 @@ type DistributedConfig struct {
 	// Progress, when non-nil, is called after every completed shard
 	// with (completed, total); calls are serialized.
 	Progress func(completed, total int)
+	// AuthToken, when non-empty, is presented as a bearer token on
+	// every shard request and peer probe — required when the worker
+	// daemons run with -auth-tokens.
+	AuthToken string
 }
 
 // SearchDistributed fans the search out across a pool of rdvd worker
@@ -346,6 +350,7 @@ func SearchDistributed(ctx context.Context, req SearchRequest, cfg DistributedCo
 		MaxAttempts:     cfg.ShardAttempts,
 		PerPeerInflight: cfg.ShardInflight,
 		Store:           cfg.Store,
+		AuthToken:       cfg.AuthToken,
 	})
 	if err != nil {
 		return WorstCase{}, err
