@@ -13,20 +13,25 @@
 //	rdvbench -timeout 10m    # abort (non-zero exit) if not done in time
 //	rdvbench -tablemem 128   # meeting-table memory budget, MiB (0 = default 64, -1 disables)
 //	rdvbench -symmetry off   # start-pair orbit reduction: auto (default), off, forced
+//	rdvbench -tier batch     # force an execution tier: auto (default), generic, table, batch, ring
 //	rdvbench -cache DIR      # serve repeated sweeps from a result store at DIR
 //	rdvbench -resume DIR     # checkpoint sweeps into DIR; a cancelled run resumes
 //
-// Tables are identical for every -workers, -tablemem and -symmetry
-// value; parallelism, the meeting-table tier and the symmetry-orbit
-// reduction only change wall-clock time (and, for -symmetry, how many
-// configurations execute). -cache and -resume are persistence options
-// with the same property: a store hit returns the exact WorstCase a
-// cold sweep would compute, and a resumed sweep merges to bit-for-bit
-// the same output as an uninterrupted one. Flag values are validated
-// up front: -workers below -1, -tablemem below -1, unknown -symmetry
-// modes and an unusable -cache/-resume directory are usage errors.
-// The process exits non-zero if any bound check fails or the timeout
-// expires.
+// Tables are identical for every -workers, -tablemem, -symmetry and
+// valid -tier value; parallelism, the meeting-table tiers and the
+// symmetry-orbit reduction only change wall-clock time (and, for
+// -symmetry, how many configurations execute). -tier batch forces the
+// 64-lane batched table executor everywhere, and -tier table disables
+// it in favour of the scalar table scan; forcing a tier some
+// experiment cannot run (-tier ring off the ring experiments) makes
+// that experiment fail with the engine's forcing error. -cache and
+// -resume are persistence options with the same bit-for-bit property:
+// a store hit returns the exact WorstCase a cold sweep would compute,
+// and a resumed sweep merges to the same output as an uninterrupted
+// one. Flag values are validated up front: -workers below -1,
+// -tablemem below -1, unknown -symmetry modes or -tier names and an
+// unusable -cache/-resume directory are usage errors. The process
+// exits non-zero if any bound check fails or the timeout expires.
 package main
 
 import (
@@ -56,6 +61,7 @@ type jsonReport struct {
 		Workers     int    `json:"workers"`
 		TableMemMiB int64  `json:"tablememMiB"`
 		Symmetry    string `json:"symmetry"`
+		Tier        string `json:"tier"`
 		Cache       string `json:"cache,omitempty"`
 		Resume      string `json:"resume,omitempty"`
 	} `json:"options"`
@@ -77,6 +83,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		timeout  = fs.Duration("timeout", 0, "overall deadline, e.g. 10m (0 = none)")
 		tablemem = fs.Int64("tablemem", 0, "meeting-table memory budget in MiB (0 = engine default, -1 disables the tier)")
 		symmetry = fs.String("symmetry", "auto", "start-pair orbit reduction: auto, off or forced")
+		tierName = fs.String("tier", "auto", "execution tier: auto, generic, table, batch or ring")
 		cacheDir = fs.String("cache", "", "result-store directory for sweep caching (empty = no cache)")
 		resume   = fs.String("resume", "", "checkpoint directory for resumable sweeps (empty = no checkpoints)")
 	)
@@ -100,6 +107,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sym, err := adversary.ParseSymmetry(*symmetry)
 	if err != nil {
 		return usageErr("-symmetry %q: want auto, off or forced", *symmetry)
+	}
+	tier, err := adversary.ParseTier(*tierName)
+	if err != nil {
+		return usageErr("-tier %q: want auto, generic, table, batch or ring", *tierName)
 	}
 	if *markdown && *jsonOut {
 		return usageErr("-markdown and -json are mutually exclusive")
@@ -147,12 +158,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *tablemem < 0 {
 		budget = -1
 	}
-	opts := bench.Options{Workers: *workers, Context: ctx, TableBudget: budget, Symmetry: sym, Store: store, CheckpointDir: *resume}
+	opts := bench.Options{Workers: *workers, Context: ctx, TableBudget: budget, Symmetry: sym, Tier: tier, Store: store, CheckpointDir: *resume}
 
 	report := jsonReport{Experiments: []*bench.Table{}}
 	report.Options.Workers = *workers
 	report.Options.TableMemMiB = *tablemem
 	report.Options.Symmetry = sym.String()
+	report.Options.Tier = tier.String()
 	report.Options.Cache = *cacheDir
 	report.Options.Resume = *resume
 

@@ -61,6 +61,7 @@ func TestBadFlags(t *testing.T) {
 		{"symmetry junk", []string{"-symmetry", "junk"}, "-symmetry \"junk\""},
 		{"symmetry empty", []string{"-symmetry", ""}, "-symmetry"},
 		{"markdown+json conflict", []string{"-markdown", "-json"}, "mutually exclusive"},
+		{"tier junk", []string{"-run", "E8", "-tier", "turbo"}, "-tier \"turbo\""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -85,6 +86,9 @@ func TestSentinelFlagValuesStillWork(t *testing.T) {
 		{"-run", "E8", "-symmetry", "off"},
 		{"-run", "E8", "-symmetry", "forced"},
 		{"-run", "E8", "-symmetry", "auto"},
+		{"-run", "E8", "-tier", "batch"},
+		{"-run", "E8", "-tier", "table"},
+		{"-run", "E8", "-tier", "generic"},
 	} {
 		var stdout, stderr strings.Builder
 		if code := run(args, &stdout, &stderr); code != 0 {
@@ -97,13 +101,14 @@ func TestSentinelFlagValuesStillWork(t *testing.T) {
 // every table and the failure count.
 func TestJSONReport(t *testing.T) {
 	var stdout, stderr strings.Builder
-	if code := run([]string{"-run", "E8", "-json", "-symmetry", "auto"}, &stdout, &stderr); code != 0 {
+	if code := run([]string{"-run", "E8", "-json", "-symmetry", "auto", "-tier", "batch"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit = %d, stderr: %s", code, stderr.String())
 	}
 	var report struct {
 		Options struct {
 			Workers  int    `json:"workers"`
 			Symmetry string `json:"symmetry"`
+			Tier     string `json:"tier"`
 		} `json:"options"`
 		Experiments []struct {
 			ID     string `json:"ID"`
@@ -117,7 +122,7 @@ func TestJSONReport(t *testing.T) {
 	if err := json.Unmarshal([]byte(stdout.String()), &report); err != nil {
 		t.Fatalf("unparseable -json output: %v\n%s", err, stdout.String())
 	}
-	if report.Options.Symmetry != "auto" || report.Failures != 0 {
+	if report.Options.Symmetry != "auto" || report.Options.Tier != "batch" || report.Failures != 0 {
 		t.Errorf("report header wrong: %+v", report)
 	}
 	if len(report.Experiments) != 1 || report.Experiments[0].ID != "E8" {

@@ -21,11 +21,19 @@
 //     oriented ring and the explorer the clockwise sweep (the
 //     Section 3 setting).
 //
+//     TierBatch — the 64-lane batched meeting-table executor
+//     (meetoracle.MeetBatch), which advances up to 64 start-pair
+//     executions per segment scan with bitset meeting masks, when the
+//     start-pair × delay product is dense enough to fill the lanes and
+//     the batch tables fit the memory budget.
+//
 //     TierTable — the meeting-table executor of internal/meetoracle,
 //     also O(|schedule|) per execution, on any graph with any
 //     fixed-duration explorer, whenever its precomputed tables fit
-//     the memory budget. The tables are built once per search and
-//     shared read-only (lock-free) by every shard worker.
+//     the memory budget. For both table tiers the tables are built and
+//     every (label, start) schedule compiled once per search — before
+//     workers fan out — and shared read-only (lock-free) by every
+//     shard worker.
 //
 //     TierGeneric — the O(|schedule|·E) trajectory executor of
 //     internal/sim, the reference semantics and the fallback for
@@ -81,8 +89,8 @@ import (
 type Tier int
 
 const (
-	// TierAuto selects ring, then table, then generic — the fastest
-	// eligible executor.
+	// TierAuto selects ring, then batch, then table, then generic — the
+	// fastest eligible executor.
 	TierAuto Tier = iota
 	// TierGeneric forces the O(|schedule|·E) trajectory executor
 	// (internal/sim), the reference semantics.
@@ -93,6 +101,10 @@ const (
 	// TierRing forces the segment-level ring executor
 	// (internal/ringsim); the spec must be ring-eligible.
 	TierRing
+	// TierBatch forces the 64-lane batched meeting-table executor
+	// (meetoracle.MeetBatch), ignoring the memory budget and the
+	// density heuristic TierAuto applies.
+	TierBatch
 )
 
 // String implements fmt.Stringer.
@@ -106,10 +118,37 @@ func (t Tier) String() string {
 		return "table"
 	case TierRing:
 		return "ring"
+	case TierBatch:
+		return "batch"
 	default:
 		return fmt.Sprintf("tier(%d)", int(t))
 	}
 }
+
+// ParseTier parses the textual form used by CLI flags — the inverse of
+// String on the named tiers.
+func ParseTier(s string) (Tier, error) {
+	switch s {
+	case "auto":
+		return TierAuto, nil
+	case "generic":
+		return TierGeneric, nil
+	case "table":
+		return TierTable, nil
+	case "ring":
+		return TierRing, nil
+	case "batch":
+		return TierBatch, nil
+	default:
+		return 0, fmt.Errorf("adversary: unknown tier %q (want auto, generic, table, batch or ring)", s)
+	}
+}
+
+// batchAutoMinConfigs is the start-pair × delay product at which
+// TierAuto prefers the batch executor over the scalar table scan:
+// below it a sweep cannot keep the 64 lanes of a batch word usefully
+// full, and the scalar scan's lower constant wins.
+const batchAutoMinConfigs = 128
 
 // Symmetry selects the engine's start-pair orbit reduction. Reduction
 // never changes values, witnesses or AllMet — only how many
@@ -326,39 +365,134 @@ func tableDegenerate(n int, startPairs [][2]int, delays []int) bool {
 	return false
 }
 
-// tableShard sweeps one contiguous slice of label pairs through the
-// meeting-table executor, with a private compiled-schedule cache over
-// the shared read-only oracle.
-func tableShard(ctx context.Context, oracle *meetoracle.Oracle, scheduleFor func(label int) sim.Schedule, labelPairs, startPairs [][2]int, delays []int) (sim.WorstCase, error) {
-	cache := make(map[[2]int]meetoracle.Compiled)
-	get := func(label, start int) (meetoracle.Compiled, error) {
-		key := [2]int{label, start}
-		if c, ok := cache[key]; ok {
-			return c, nil
+// compiledRows holds a search's precompiled schedules, one row per
+// label indexed by start node: rows[label][start]. Rows keep the shard
+// hot loops free of hashing — one map lookup per label pair, then
+// plain slice indexing per lane. A zero Compiled (nil starts) marks a
+// (label, start) combination the sweep never touches.
+type compiledRows map[int][]meetoracle.Compiled
+
+// precompile lowers every (label, start) schedule the sweep can touch
+// onto the oracle — once per search, instead of once per shard as the
+// old per-shard caches did. The rows are read-only after construction
+// and shared by all shard workers of both table tiers. Labels are
+// validated in canonical enumeration order (position A before B within
+// each label pair) so a compile error surfaces with exactly the
+// serial scan's first failing configuration.
+func precompile(oracle *meetoracle.Oracle, scheduleFor func(label int) sim.Schedule, labelPairs, startPairs [][2]int) (compiledRows, error) {
+	compiled := make(compiledRows)
+	if len(labelPairs) == 0 || len(startPairs) == 0 {
+		return compiled, nil
+	}
+	n := oracle.N()
+	add := func(label, start int) error {
+		row := compiled[label]
+		if row == nil {
+			row = make([]meetoracle.Compiled, n)
+			compiled[label] = row
+		}
+		if row[start].Valid() {
+			return nil
 		}
 		c, err := oracle.Compile(start, scheduleFor(label))
 		if err != nil {
-			return meetoracle.Compiled{}, fmt.Errorf("adversary: label %d start %d: %w", label, start, err)
+			return fmt.Errorf("adversary: label %d start %d: %w", label, start, err)
 		}
-		cache[key] = c
-		return c, nil
+		row[start] = c
+		return nil
 	}
+	// Compile failures depend only on the label (starts are already
+	// validated in-range before dispatch reaches the table tiers), so
+	// probing each label pair at the first start pair reproduces the
+	// serial scan's first error.
+	sp0 := startPairs[0]
+	for _, lp := range labelPairs {
+		if err := add(lp[0], sp0[0]); err != nil {
+			return nil, err
+		}
+		if err := add(lp[1], sp0[1]); err != nil {
+			return nil, err
+		}
+	}
+	uniq := func(pairs [][2]int, side int) []int {
+		seen := make(map[int]bool, len(pairs))
+		var out []int
+		for _, p := range pairs {
+			if !seen[p[side]] {
+				seen[p[side]] = true
+				out = append(out, p[side])
+			}
+		}
+		return out
+	}
+	for side := 0; side < 2; side++ {
+		starts := uniq(startPairs, side)
+		for _, label := range uniq(labelPairs, side) {
+			for _, start := range starts {
+				if err := add(label, start); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return compiled, nil
+}
+
+// tableShard sweeps one contiguous slice of label pairs through the
+// meeting-table executor, over the shared read-only oracle and the
+// search-wide precompiled schedule rows.
+func tableShard(ctx context.Context, oracle *meetoracle.Oracle, compiled compiledRows, labelPairs, startPairs [][2]int, delays []int) (sim.WorstCase, error) {
 	wc := sim.WorstCase{AllMet: true}
 	for _, lp := range labelPairs {
 		if err := ctx.Err(); err != nil {
 			return sim.WorstCase{}, err
 		}
+		rowA, rowB := compiled[lp[0]], compiled[lp[1]]
 		for _, sp := range startPairs {
-			ca, err := get(lp[0], sp[0])
-			if err != nil {
-				return sim.WorstCase{}, err
-			}
-			cb, err := get(lp[1], sp[1])
-			if err != nil {
-				return sim.WorstCase{}, err
-			}
+			ca := rowA[sp[0]]
+			cb := rowB[sp[1]]
 			for _, d := range delays {
 				wc.Observe(lp[0], lp[1], sp[0], sp[1], d, oracle.Meet(ca, cb, 1, 1+d, false))
+			}
+		}
+	}
+	return wc, nil
+}
+
+// batchShard sweeps one contiguous slice of label pairs through the
+// 64-lane batch executor: start pairs are gathered into lane blocks,
+// every delay of a block executes through one MeetBatchWorst call per
+// delay, and the buffered outcomes are then observed in canonical
+// (start pair, delay) enumeration order — so witnesses are bit-for-bit
+// identical to the scalar scan's. Observe reads only Met, Time() =
+// Round and Cost() = CostA + CostB, which is exactly what the compact
+// outcomes carry. The lane and outcome buffers are allocated once per
+// shard and reused across every configuration.
+func batchShard(ctx context.Context, oracle *meetoracle.Oracle, compiled compiledRows, labelPairs, startPairs [][2]int, delays []int) (sim.WorstCase, error) {
+	var lanesA, lanesB [meetoracle.BatchLanes]meetoracle.Compiled
+	rounds := make([]int, len(delays)*meetoracle.BatchLanes)
+	costs := make([]int, len(delays)*meetoracle.BatchLanes)
+	wc := sim.WorstCase{AllMet: true}
+	for _, lp := range labelPairs {
+		if err := ctx.Err(); err != nil {
+			return sim.WorstCase{}, err
+		}
+		rowA, rowB := compiled[lp[0]], compiled[lp[1]]
+		for base := 0; base < len(startPairs); base += meetoracle.BatchLanes {
+			block := startPairs[base:min(base+meetoracle.BatchLanes, len(startPairs))]
+			k := len(block)
+			for i, sp := range block {
+				lanesA[i] = rowA[sp[0]]
+				lanesB[i] = rowB[sp[1]]
+			}
+			for di, d := range delays {
+				oracle.MeetBatchWorst(lanesA[:k], lanesB[:k], d, rounds[di*k:(di+1)*k], costs[di*k:(di+1)*k])
+			}
+			for i, sp := range block {
+				for di, d := range delays {
+					wc.ObserveOutcome(lp[0], lp[1], sp[0], sp[1], d,
+						rounds[di*k+i], costs[di*k+i])
+				}
 			}
 		}
 	}

@@ -153,6 +153,7 @@ func TestEqualStartPairsRejectedEverywhere(t *testing.T) {
 		{Workers: 4},
 		{NoFastPath: true},
 		{Tier: TierTable},
+		{Tier: TierBatch},
 		{Tier: TierRing},
 		{Symmetry: SymmetryOff},
 		{Symmetry: SymmetryForced},
@@ -262,7 +263,7 @@ func TestTableTierMatchesGeneric(t *testing.T) {
 					t.Fatal("empty sweep")
 				}
 				for _, workers := range []int{0, 4} {
-					for _, tier := range []Tier{TierTable, TierAuto} {
+					for _, tier := range []Tier{TierTable, TierBatch, TierAuto} {
 						got, err := Search(spec, space, Options{Workers: workers, Tier: tier})
 						if err != nil {
 							t.Fatalf("%s workers=%d tier=%v: %v", algo.Name(), workers, tier, err)
@@ -310,6 +311,9 @@ func TestForcedTierErrors(t *testing.T) {
 	badEx := specFor(graph.Grid(2, 3), explore.Eulerian{}, core.Cheap{}, 4)
 	if _, err := Search(badEx, sim.SearchSpace{L: 4}, Options{Tier: TierTable}); err == nil {
 		t.Error("TierTable with an explorer that rejects the graph: want error")
+	}
+	if _, err := Search(badEx, sim.SearchSpace{L: 4}, Options{Tier: TierBatch}); err == nil {
+		t.Error("TierBatch with an explorer that rejects the graph: want error")
 	}
 	if _, err := Search(grid, sim.SearchSpace{L: 4}, Options{Tier: Tier(42)}); err == nil {
 		t.Error("unknown tier: want error")
@@ -392,7 +396,8 @@ func TestTinyBudgetStillCorrect(t *testing.T) {
 // TestTierStrings keeps the Tier diagnostics stable.
 func TestTierStrings(t *testing.T) {
 	for tier, want := range map[Tier]string{
-		TierAuto: "auto", TierGeneric: "generic", TierTable: "table", TierRing: "ring", Tier(9): "tier(9)",
+		TierAuto: "auto", TierGeneric: "generic", TierTable: "table", TierRing: "ring",
+		TierBatch: "batch", Tier(9): "tier(9)",
 	} {
 		if got := tier.String(); got != want {
 			t.Errorf("Tier(%d).String() = %q, want %q", int(tier), got, want)

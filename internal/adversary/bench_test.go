@@ -125,6 +125,14 @@ func BenchmarkGridSweepTableParallel(b *testing.B) {
 	runGridSweep(b, Options{Workers: -1, Tier: TierTable})
 }
 
+func BenchmarkGridSweepBatch(b *testing.B) {
+	runGridSweep(b, Options{Workers: 1, Tier: TierBatch})
+}
+
+func BenchmarkGridSweepBatchParallel(b *testing.B) {
+	runGridSweep(b, Options{Workers: -1, Tier: TierBatch})
+}
+
 // The unmarked pair is the headline for the acceptance criterion: the
 // same 4x4 grid under the unmarked-map scenario of Section 1.2, whose
 // Theta(n^2) exploration (E = 960) is exactly where the generic
@@ -169,6 +177,16 @@ func BenchmarkUnmarkedSweepGeneric(b *testing.B) {
 
 func BenchmarkUnmarkedSweepTable(b *testing.B) {
 	runUnmarkedSweep(b, Options{Workers: 1, Tier: TierTable})
+}
+
+// The batch variant is the acceptance benchmark for the 64-lane batch
+// executor: the identical dense sweep (240 start pairs fill 3.75 lane
+// words per label pair) through MeetBatch instead of the scalar Meet
+// scan. The CI smoke (TestBatchSpeedupSmoke) asserts >= 3x over the
+// scalar table tier on this sweep; the recorded numbers are in
+// DESIGN.md's engine section.
+func BenchmarkUnmarkedSweepBatch(b *testing.B) {
+	runUnmarkedSweep(b, Options{Workers: 1, Tier: TierBatch})
 }
 
 // The torus pair is the acceptance benchmark for the symmetry-orbit

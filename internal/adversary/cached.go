@@ -37,7 +37,7 @@ func Fingerprint(spec Spec, space sim.SearchSpace, opts Options) (string, error)
 func validateForcedTier(spec Spec, opts Options) error {
 	tier := opts.Tier
 	switch tier {
-	case TierAuto, TierGeneric, TierTable:
+	case TierAuto, TierGeneric, TierTable, TierBatch:
 		return nil
 	case TierRing:
 		if !spec.FastPathEligible() {
@@ -48,6 +48,13 @@ func validateForcedTier(spec Spec, opts Options) error {
 		return fmt.Errorf("adversary: unknown tier %v", tier)
 	}
 }
+
+// ValidateTier is validateForcedTier for callers outside the package
+// that front the engine with their own store or checkpoint plumbing
+// (internal/bench): run it before consulting a result store, because
+// the fingerprint excludes the tier and a hit would otherwise mask the
+// error a cold search would return.
+func ValidateTier(spec Spec, opts Options) error { return validateForcedTier(spec, opts) }
 
 // SearchCached is Search fronted by a result store: a fingerprint hit
 // returns the stored WorstCase without touching the engine; a miss

@@ -71,7 +71,14 @@ type searchPlan struct {
 	labelPairs [][2]int
 	startPairs [][2]int
 	delays     []int
-	sweep      func(ctx context.Context, shard [][2]int) (sim.WorstCase, error)
+	// tier is the executor the sweep dispatches to, after auto
+	// selection and degenerate-space fallbacks; oracle is the shared
+	// read-only meeting-table oracle when tier is TierTable or
+	// TierBatch (nil otherwise). Tests use both to pin dispatch
+	// decisions and the prepared-before-fan-out contract.
+	tier   Tier
+	oracle *meetoracle.Oracle
+	sweep  func(ctx context.Context, shard [][2]int) (sim.WorstCase, error)
 }
 
 // newSearchPlan is the engine's one tier-dispatch implementation:
@@ -92,7 +99,7 @@ func newSearchPlan(spec Spec, space sim.SearchSpace, opts Options) (*searchPlan,
 		tier = TierGeneric
 	}
 	switch tier {
-	case TierAuto, TierGeneric, TierTable, TierRing:
+	case TierAuto, TierGeneric, TierTable, TierRing, TierBatch:
 	default:
 		return nil, fmt.Errorf("adversary: unknown tier %v", tier)
 	}
@@ -108,23 +115,27 @@ func newSearchPlan(spec Spec, space sim.SearchSpace, opts Options) (*searchPlan,
 	}
 	plan := &searchPlan{labelPairs: labelPairs, startPairs: startPairs, delays: delays}
 
+	forced := tier != TierAuto
 	if tier == TierAuto {
 		if spec.FastPathEligible() {
 			tier = TierRing
 		} else {
-			// The auto table-vs-generic decision of autoSearch.
+			// The auto decision among the table tiers and generic: batch
+			// when the start-pair × delay product is dense enough to fill
+			// its 64 lanes and the batch tables fit the budget, else the
+			// scalar table scan if its (smaller) tables fit, else generic.
 			budget := opts.tableBudget()
 			e := spec.Explorer.Duration(spec.Graph)
-			if budget < 0 || n <= 0 || e <= 0 ||
-				tableDegenerate(n, startPairs, delays) ||
-				meetoracle.EstimateBytes(n, e, len(meetoracle.Phases(e, delays))) > budget {
-				tier = TierGeneric
-			} else if oracle, oerr := meetoracle.New(spec.Graph, spec.Explorer); oerr != nil {
-				tier = TierGeneric
-			} else {
-				oracle.Prepare(delays)
-				plan.sweep = tableSweep(spec, oracle, startPairs, delays)
-				return plan, nil
+			tier = TierGeneric
+			if budget >= 0 && n > 0 && e > 0 && !tableDegenerate(n, startPairs, delays) {
+				phases := len(meetoracle.Phases(e, delays))
+				switch {
+				case len(startPairs)*len(delays) >= batchAutoMinConfigs &&
+					meetoracle.EstimateBatchBytes(n, e, phases, len(delays)) <= budget:
+					tier = TierBatch
+				case meetoracle.EstimateBytes(n, e, phases) <= budget:
+					tier = TierTable
+				}
 			}
 		}
 	}
@@ -134,39 +145,56 @@ func newSearchPlan(spec Spec, space sim.SearchSpace, opts Options) (*searchPlan,
 			tier = TierGeneric
 			break
 		}
+		plan.tier = TierRing
 		plan.sweep = func(ctx context.Context, shard [][2]int) (sim.WorstCase, error) {
 			return ringShard(ctx, n, spec.ScheduleFor, shard, startPairs, delays)
 		}
 		return plan, nil
-	case TierTable:
+	case TierTable, TierBatch:
 		if tableDegenerate(n, startPairs, delays) {
 			tier = TierGeneric
 			break
 		}
 		oracle, oerr := meetoracle.New(spec.Graph, spec.Explorer)
 		if oerr != nil {
-			return nil, fmt.Errorf("adversary: TierTable forced: %w", oerr)
+			if !forced {
+				tier = TierGeneric
+				break
+			}
+			name := "TierTable"
+			if tier == TierBatch {
+				name = "TierBatch"
+			}
+			return nil, fmt.Errorf("adversary: %s forced: %w", name, oerr)
 		}
-		oracle.Prepare(delays)
-		plan.sweep = tableSweep(spec, oracle, startPairs, delays)
+		compiled, cerr := precompile(oracle, spec.ScheduleFor, labelPairs, startPairs)
+		if cerr != nil {
+			return nil, cerr
+		}
+		plan.tier = tier
+		plan.oracle = oracle
+		if tier == TierBatch {
+			oracle.PrepareBatch(delays)
+			plan.sweep = func(ctx context.Context, shard [][2]int) (sim.WorstCase, error) {
+				return batchShard(ctx, oracle, compiled, shard, startPairs, delays)
+			}
+		} else {
+			oracle.Prepare(delays)
+			plan.sweep = func(ctx context.Context, shard [][2]int) (sim.WorstCase, error) {
+				return tableShard(ctx, oracle, compiled, shard, startPairs, delays)
+			}
+		}
 		return plan, nil
 	}
 	// TierGeneric (explicit or by fallback): every shard gets its own
 	// trajectory cache, as in the parallel generic search.
+	plan.tier = TierGeneric
 	tc := sim.NewTrajectories(spec.Graph, spec.Explorer, spec.ScheduleFor)
 	plan.sweep = func(ctx context.Context, shard [][2]int) (sim.WorstCase, error) {
 		return sim.SearchWith(tc.Clone(), sim.SearchSpace{LabelPairs: shard, StartPairs: startPairs, Delays: delays},
 			sim.SearchOptions{Workers: 1, Context: ctx})
 	}
 	return plan, nil
-}
-
-// tableSweep wraps the meeting-table shard executor over a prepared,
-// read-only shared oracle.
-func tableSweep(spec Spec, oracle *meetoracle.Oracle, startPairs [][2]int, delays []int) func(context.Context, [][2]int) (sim.WorstCase, error) {
-	return func(ctx context.Context, shard [][2]int) (sim.WorstCase, error) {
-		return tableShard(ctx, oracle, spec.ScheduleFor, shard, startPairs, delays)
-	}
 }
 
 // resolveShardCount clamps the configured shard count to [1, pairs]

@@ -41,7 +41,7 @@ func checkpointMatrix() []checkpointFamily {
 // tiersFor returns the tiers applicable to a spec (TierRing only when
 // ring-eligible).
 func tiersFor(spec Spec) []Tier {
-	tiers := []Tier{TierAuto, TierGeneric, TierTable}
+	tiers := []Tier{TierAuto, TierGeneric, TierTable, TierBatch}
 	if spec.FastPathEligible() {
 		tiers = append(tiers, TierRing)
 	}
@@ -210,6 +210,55 @@ func TestCheckpointCrossTierResume(t *testing.T) {
 	}
 	if got != want {
 		t.Errorf("cross-tier resume diverged:\nwant: %+v\ngot:  %+v", want, got)
+	}
+}
+
+// TestCheckpointTableToBatchResume is the cross-tier case the batch
+// tier adds: shards checkpointed by the scalar table tier restore into
+// a batch-tier search (and the combined merge equals an uninterrupted
+// run), because the two table executors are bit-for-bit equivalent.
+func TestCheckpointTableToBatchResume(t *testing.T) {
+	const L = 3
+	spec := specFor(graph.Grid(3, 3), explore.DFS{}, core.Fast{}, L)
+	space := sim.SearchSpace{L: L, Delays: []int{0, 1, 5}}
+	want, err := Search(spec, space, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "table-to-batch.ckpt")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	fresh := 0
+	_, err = SearchCheckpointed(spec, space, Options{Tier: TierTable, Workers: 1, Context: ctx},
+		CheckpointConfig{Path: path, Shards: 6, Progress: func(completed, total int) {
+			fresh = completed
+			if completed >= 3 {
+				cancel()
+			}
+		}})
+	cancel()
+	if err == nil {
+		t.Fatal("interrupted table run completed; expected cancellation")
+	}
+	if fresh < 3 {
+		t.Fatalf("interrupted run completed %d shards, want >= 3", fresh)
+	}
+
+	restored := -1
+	got, err := SearchCheckpointed(spec, space, Options{Tier: TierBatch},
+		CheckpointConfig{Path: path, Shards: 6, Progress: func(completed, total int) {
+			if restored < 0 {
+				restored = completed
+			}
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored < 3 {
+		t.Errorf("batch-tier resume restored %d table-tier shards, want >= 3", restored)
+	}
+	if got != want {
+		t.Errorf("table-to-batch resume diverged:\nwant: %+v\ngot:  %+v", want, got)
 	}
 }
 

@@ -79,7 +79,7 @@ func TestCrossEngineSmallSpaces(t *testing.T) {
 								workers, rs.TimeWitness, rs.CostWitness, wantTimeWitness, wantCostWitness)
 						}
 
-						for _, tier := range []Tier{TierTable, TierRing, TierAuto} {
+						for _, tier := range []Tier{TierTable, TierBatch, TierRing, TierAuto} {
 							got, err := Search(spec, space, Options{Workers: workers, Tier: tier})
 							if err != nil {
 								t.Fatal(err)

@@ -63,8 +63,9 @@ func fuzzSpec(family, exb, algob, nb byte, L int) Spec {
 // random configuration spaces: adversary.Search output — witnesses,
 // Runs, AllMet — is invariant under the forced dispatch tier and the
 // worker count. The generic trajectory executor is the reference; the
-// table tier (forced past its budget), the auto tier, and — when the
-// spec is ring-eligible — the ring tier must all agree bit for bit.
+// table tier (forced past its budget), the batch tier (forced past its
+// density heuristic), the auto tier, and — when the spec is
+// ring-eligible — the ring tier must all agree bit for bit.
 func FuzzDispatchEquivalence(f *testing.F) {
 	f.Add(byte(0), byte(1), byte(0), byte(5), byte(3), byte(0), byte(7), byte(2))
 	f.Add(byte(0), byte(0), byte(2), byte(2), byte(4), byte(1), byte(0), byte(1))
@@ -87,7 +88,7 @@ func FuzzDispatchEquivalence(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		tiers := []Tier{TierTable, TierAuto}
+		tiers := []Tier{TierTable, TierBatch, TierAuto}
 		if spec.FastPathEligible() {
 			tiers = append(tiers, TierRing)
 		}
@@ -101,6 +102,60 @@ func FuzzDispatchEquivalence(f *testing.F) {
 					t.Fatalf("tier=%v workers=%d diverged on %v with %s:\ngeneric: %+v\ngot:     %+v",
 						tier, w, spec.Graph, spec.Explorer.Name(), want, got)
 				}
+			}
+		}
+	})
+}
+
+// FuzzBatchVsTable is the dedicated differential target for the
+// 64-lane batch executor: under random specs, delay sets and start-pair
+// subsets, the batch tier must reproduce the scalar table tier bit for
+// bit — worst case, witnesses, Runs, AllMet. The scalar tier is the
+// reference (itself pinned to the generic executor by
+// FuzzDispatchEquivalence), so a divergence here localises the bug to
+// MeetBatch or batchShard rather than the meeting tables. The subset
+// byte alternates exhaustive start sweeps (partial and full lane
+// blocks) with explicit sparse start-pair lists, which exercise
+// single-lane blocks and the canonical Observe reordering.
+func FuzzBatchVsTable(f *testing.F) {
+	f.Add(byte(0), byte(1), byte(0), byte(5), byte(3), byte(0), byte(7), byte(2), byte(0))
+	f.Add(byte(1), byte(0), byte(2), byte(2), byte(4), byte(1), byte(0), byte(1), byte(3))
+	f.Add(byte(2), byte(0), byte(1), byte(3), byte(2), byte(9), byte(9), byte(3), byte(1))
+	f.Add(byte(3), byte(0), byte(3), byte(6), byte(3), byte(2), byte(40), byte(0), byte(6))
+	f.Add(byte(4), byte(0), byte(0), byte(4), byte(5), byte(0), byte(13), byte(2), byte(2))
+	f.Add(byte(5), byte(1), byte(2), byte(7), byte(2), byte(3), byte(5), byte(8), byte(5))
+
+	f.Fuzz(func(t *testing.T, family, exb, algob, nb, Lb, d1, d2, workers, subset byte) {
+		L := 2 + int(Lb)%4 // 2..5
+		spec := fuzzSpec(family, exb, algob, nb, L)
+		if _, err := meetoracle.New(spec.Graph, spec.Explorer); err != nil {
+			t.Fatalf("fuzzSpec produced a table-ineligible spec: %v", err)
+		}
+		e := spec.Explorer.Duration(spec.Graph)
+		space := sim.SearchSpace{L: L, Delays: []int{int(d1) % (e + 2), int(d2) % (3 * e), e}}
+		if subset%2 == 1 {
+			// Sparse explicit start pairs: a handful of distinct ordered
+			// pairs, never equal-start.
+			n := spec.Graph.N()
+			for i := 0; i < 1+int(subset)%3; i++ {
+				a := (int(subset) + i) % n
+				b := (a + 1 + int(subset/2)%(n-1)) % n
+				space.StartPairs = append(space.StartPairs, [2]int{a, b})
+			}
+		}
+
+		want, err := Search(spec, space, Options{Tier: TierTable})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{1, 2 + int(workers)%3} {
+			got, err := Search(spec, space, Options{Workers: w, Tier: TierBatch})
+			if err != nil {
+				t.Fatalf("batch workers=%d: %v", w, err)
+			}
+			if got != want {
+				t.Fatalf("batch tier workers=%d diverged on %v with %s:\ntable: %+v\nbatch: %+v",
+					w, spec.Graph, spec.Explorer.Name(), want, got)
 			}
 		}
 	})

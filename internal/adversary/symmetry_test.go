@@ -192,7 +192,7 @@ func TestSymmetryComposesWithForcedTiers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, tier := range []Tier{TierGeneric, TierTable, TierRing, TierAuto} {
+	for _, tier := range []Tier{TierGeneric, TierTable, TierBatch, TierRing, TierAuto} {
 		for _, workers := range []int{1, 4} {
 			got, err := Search(spec, space, Options{Tier: tier, Workers: workers})
 			if err != nil {

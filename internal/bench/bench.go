@@ -39,6 +39,13 @@ type Options struct {
 	// Values, witnesses and every bound check are identical for every
 	// setting; only the execution count and wall-clock time change.
 	Symmetry adversary.Symmetry
+	// Tier forces the engine's execution tier for every engine-backed
+	// sweep (adversary.Tier; the zero value, TierAuto, picks the
+	// fastest eligible one). Results are identical for every valid
+	// setting — only wall-clock time changes — but forcing a tier some
+	// experiment's spec cannot run (TierRing off the ring) makes that
+	// experiment fail with the engine's forcing error.
+	Tier adversary.Tier
 	// Store, when non-nil, caches every engine-backed sweep in the
 	// content-addressed result store: a rerun of the same experiment
 	// serves its sweeps from disk instead of recomputing them. Results
@@ -54,7 +61,7 @@ type Options struct {
 
 // search lowers the experiment options onto the adversary engine.
 func (o Options) search() adversary.Options {
-	return adversary.Options{Workers: o.Workers, Context: o.Context, TableBudget: o.TableBudget, Symmetry: o.Symmetry}
+	return adversary.Options{Workers: o.Workers, Context: o.Context, TableBudget: o.TableBudget, Symmetry: o.Symmetry, Tier: o.Tier}
 }
 
 // searchRun executes one engine-backed sweep under the experiment's
@@ -75,11 +82,13 @@ func (o Options) searchRun(spec adversary.Spec, space sim.SearchSpace) (sim.Wors
 		// uncheckpointed so the caller sees the engine's own error.
 		return adversary.Search(spec, space, opts)
 	}
-	// This store-front may skip forced-tier validation because Options
-	// deliberately has no Tier knob (sweeps always dispatch TierAuto);
-	// if one is ever added, route through adversary.SearchCached like
-	// the branch above, whose up-front check keeps a store hit from
-	// masking a forced-tier error.
+	// The fingerprint excludes the tier (it is output-invariant), so
+	// this store-front must validate the forced tier itself — exactly
+	// as SearchCached does in the branch above — or a store hit could
+	// mask the forcing error a cold search would return.
+	if err := adversary.ValidateTier(spec, opts); err != nil {
+		return sim.WorstCase{}, err
+	}
 	if o.Store != nil {
 		if wc, ok := o.Store.Get(fp); ok {
 			return wc, nil

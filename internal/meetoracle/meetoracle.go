@@ -32,10 +32,11 @@
 // is enforced by differential fuzzing (FuzzMeetOracleVsSim) and
 // exhaustive small-space tests.
 //
-// Concurrency: an Oracle is safe for concurrent use. Prepare builds the
-// slabs a delay set needs up front, after which every Meet is a
-// lock-free read of immutable tables — this is how the parallel search
-// engine shares one oracle across all shard workers.
+// Concurrency: an Oracle is safe for concurrent use. Prepare (or
+// PrepareBatch, for the 64-lane batch executor in batch.go) builds the
+// tables a delay set needs up front, after which every Meet and
+// MeetBatch is a lock-free read of immutable tables — this is how the
+// parallel search engine shares one oracle across all shard workers.
 package meetoracle
 
 import (
@@ -68,16 +69,26 @@ type Oracle struct {
 	hits [][]int32
 
 	// slabs[o] is the offset-o meeting table, built on demand under mu
-	// and published with an atomic store so readers never lock.
-	mu    sync.Mutex
-	slabs []atomic.Pointer[slab]
+	// and published with an atomic store so readers never lock. visit is
+	// the batch executor's packed form of the hit lists (see
+	// visitWords), built the same way. builds counts table
+	// constructions, so tests can pin that a prepared oracle builds
+	// nothing inside the parallel hot loop.
+	mu     sync.Mutex
+	slabs  []atomic.Pointer[slab]
+	visit  atomic.Pointer[[]uint64]
+	builds atomic.Int64
 }
 
 // slab is one phase of the meeting table: first[u*n+v] is the smallest
 // j in [1, e-o] with pos[u][o+j] == pos[v][j], or 0 if the two walks
-// never coincide inside the window.
+// never coincide inside the window. any packs first's zero/non-zero
+// structure one bit per pair (bit u*n+v of the word array), so the
+// batch executor can answer "do these walks meet at all inside the
+// window" with one word load per lane.
 type slab struct {
 	first []int32
+	any   []uint64
 }
 
 // New precomputes the walk tables for every start node. It fails if the
@@ -152,10 +163,22 @@ func (o *Oracle) End(v int) int { return int(o.pos[v][o.e]) }
 // meeting-table phases — the quantity the search engine compares
 // against its memory budget before selecting the meeting-table tier.
 func EstimateBytes(n, e, phases int) int64 {
-	walk := 2 * int64(n) * int64(e+1) * 4                   // pos + moves
-	hits := int64(n)*int64(e)*4 + int64(n)*int64(n)*24      // entries (one per walk round) + n² slice headers
-	slabs := int64(phases)*int64(n)*int64(n)*4 + int64(e)*8 // tables + pointer array
+	walk := 2 * int64(n) * int64(e+1) * 4              // pos + moves
+	hits := int64(n)*int64(e)*4 + int64(n)*int64(n)*24 // entries (one per walk round) + n² slice headers
+	perSlab := int64(n)*int64(n)*4 + int64((n*n+63)/64)*8
+	slabs := int64(phases)*perSlab + int64(e)*8 // first tables + any masks + pointer array
 	return walk + hits + slabs
+}
+
+// EstimateBatchBytes predicts the resident size of an oracle prepared
+// for the batch executor: EstimateBytes plus the packed visit masks
+// and one worker's lane/result arena for a sweep over the given number
+// of delays. TierAuto compares it against the memory budget before
+// selecting the batch tier.
+func EstimateBatchBytes(n, e, phases, delays int) int64 {
+	visit := int64(n) * int64(n) * int64(visitStride(e)) * 8
+	arena := int64(BatchLanes) * (int64(delays)*56 + 2*72) // result buffer + compiled-lane gather slices
+	return EstimateBytes(n, e, phases) + visit + arena
 }
 
 // Phases returns the distinct slab offsets a set of wake delays needs
@@ -202,6 +225,26 @@ func (o *Oracle) Prepare(delays []int) {
 	}
 }
 
+// Prepared reports whether every meeting-table slab the given wake
+// delays need already exists — the state Prepare leaves the oracle in.
+// The search engine's tests use it to pin the contract that tables are
+// built before workers fan out, never lazily under mu inside the
+// parallel hot loop.
+func (o *Oracle) Prepared(delays []int) bool {
+	for _, p := range o.Phases(delays) {
+		if o.slabs[p].Load() == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// TableBuilds returns how many table structures (meeting slabs and the
+// batch visit masks) this oracle has constructed so far. A prepared
+// oracle's count is stable across any number of Meet/MeetBatch calls;
+// a growing count means tables are being built inside the hot loop.
+func (o *Oracle) TableBuilds() int64 { return o.builds.Load() }
+
 // slabAt returns the offset-o meeting table, building and publishing it
 // on first use. The double-checked atomic load keeps the hot path
 // lock-free once a slab exists.
@@ -228,7 +271,14 @@ func (o *Oracle) slabAt(off int) *slab {
 			}
 		}
 	}
-	s := &slab{first: first}
+	any := make([]uint64, (n*n+63)/64)
+	for idx, j := range first {
+		if j != 0 {
+			any[idx>>6] |= 1 << uint(idx&63)
+		}
+	}
+	s := &slab{first: first, any: any}
+	o.builds.Add(1)
 	o.slabs[off].Store(s)
 	return s
 }
@@ -245,6 +295,10 @@ type Compiled struct {
 
 // Segments returns the number of segments in the compiled schedule.
 func (c Compiled) Segments() int { return len(c.segs) }
+
+// Valid distinguishes a real compilation — including that of an empty
+// schedule — from Compiled's zero value.
+func (c Compiled) Valid() bool { return c.starts != nil }
 
 // Start returns the node the schedule begins at.
 func (c Compiled) Start() int { return int(c.starts[0]) }
@@ -425,14 +479,15 @@ func (o *Oracle) result(a, b Compiled, wakeA, wakeB, t int) sim.Result {
 	if fromLater < 0 {
 		fromLater = 0
 	}
-	costLater := o.costAt(a, kA) - o.costAt(a, later-wakeA) +
-		o.costAt(b, kB) - o.costAt(b, later-wakeB)
+	costA, costB := o.costAt(a, kA), o.costAt(b, kB)
+	costLater := costA - o.costAt(a, later-wakeA) +
+		costB - o.costAt(b, later-wakeB)
 	return sim.Result{
 		Met:               true,
 		Round:             t,
 		Node:              int(o.posAt(a, kA)),
-		CostA:             o.costAt(a, kA),
-		CostB:             o.costAt(b, kB),
+		CostA:             costA,
+		CostB:             costB,
 		TimeFromLaterWake: fromLater,
 		CostFromLaterWake: costLater,
 	}

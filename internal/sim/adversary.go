@@ -63,16 +63,32 @@ func (wc *WorstCase) Merge(next WorstCase) {
 // non-meeting execution has no finite value of either (its schedule
 // costs are an artifact of the simulation horizon, not of the model).
 func (wc *WorstCase) Observe(labelA, labelB, startA, startB, delay int, res Result) {
-	wc.Runs++
 	if !res.Met {
+		wc.Runs++
 		wc.AllMet = false
 		return
 	}
-	if res.Time() > wc.Time.Value {
-		wc.Time = Witness{LabelA: labelA, LabelB: labelB, StartA: startA, StartB: startB, DelayB: delay, Value: res.Time()}
+	wc.ObserveOutcome(labelA, labelB, startA, startB, delay, res.Time(), res.Cost())
+}
+
+// ObserveOutcome is Observe for callers that already hold the two
+// scalars a recorded execution contributes — the meeting round (0 if
+// the agents never met, exactly as Result.Round encodes it) and the
+// combined cost of both agents until the meeting (ignored when round
+// is 0). Batch executors use it to aggregate outcomes without
+// materialising a Result per execution; the update rule is identical
+// to Observe's by construction.
+func (wc *WorstCase) ObserveOutcome(labelA, labelB, startA, startB, delay, round, cost int) {
+	wc.Runs++
+	if round == 0 {
+		wc.AllMet = false
+		return
 	}
-	if res.Cost() > wc.Cost.Value {
-		wc.Cost = Witness{LabelA: labelA, LabelB: labelB, StartA: startA, StartB: startB, DelayB: delay, Value: res.Cost()}
+	if round > wc.Time.Value {
+		wc.Time = Witness{LabelA: labelA, LabelB: labelB, StartA: startA, StartB: startB, DelayB: delay, Value: round}
+	}
+	if cost > wc.Cost.Value {
+		wc.Cost = Witness{LabelA: labelA, LabelB: labelB, StartA: startA, StartB: startB, DelayB: delay, Value: cost}
 	}
 }
 

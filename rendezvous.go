@@ -157,8 +157,9 @@ type (
 	// and automatic symmetry reduction.
 	SearchOptions = adversary.Options
 	// SearchTier identifies an execution tier of the engine (generic
-	// trajectory scan, meeting tables, segment-level ring); TierAuto
-	// picks the fastest eligible one, the others force it.
+	// trajectory scan, meeting tables scalar or 64-lane batched,
+	// segment-level ring); TierAuto picks the fastest eligible one,
+	// the others force it.
 	SearchTier = adversary.Tier
 	// Symmetry selects the engine's start-pair orbit reduction: before
 	// dispatch, start pairs are quotiented by the graph's
@@ -180,6 +181,7 @@ const (
 	TierGeneric = adversary.TierGeneric
 	TierTable   = adversary.TierTable
 	TierRing    = adversary.TierRing
+	TierBatch   = adversary.TierBatch
 )
 
 // The symmetry-reduction modes, for SearchOptions.Symmetry.

@@ -299,7 +299,7 @@ func TestFacadeMeetOracle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, tier := range []rendezvous.SearchTier{rendezvous.TierTable, rendezvous.TierAuto} {
+	for _, tier := range []rendezvous.SearchTier{rendezvous.TierTable, rendezvous.TierBatch, rendezvous.TierAuto} {
 		got, err := rendezvous.SearchWith(g, ex, scheduleFor, space,
 			rendezvous.SearchOptions{Tier: tier, Workers: 3})
 		if err != nil {
