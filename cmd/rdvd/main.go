@@ -63,6 +63,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -255,8 +256,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if d := srv.Cluster(); d != nil {
 		if failures := d.Probe(context.Background()); len(failures) > 0 {
-			for peer, perr := range failures {
-				fmt.Fprintf(stderr, "rdvd: peer %s unhealthy: %v\n", peer, perr)
+			// Sorted so restart logs diff cleanly run to run.
+			peers := make([]string, 0, len(failures))
+			for peer := range failures {
+				peers = append(peers, peer)
+			}
+			sort.Strings(peers)
+			for _, peer := range peers {
+				fmt.Fprintf(stderr, "rdvd: peer %s unhealthy: %v\n", peer, failures[peer])
 			}
 			fmt.Fprintf(stdout, "rdvd: coordinating %d peer(s), %d currently unhealthy (shards will requeue around them)\n", len(d.Peers()), len(failures))
 		} else {

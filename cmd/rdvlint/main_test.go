@@ -1,0 +1,100 @@
+package main
+
+import (
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoClean is the acceptance gate in miniature: the full suite
+// over the full repository must report nothing.
+func TestRepoClean(t *testing.T) {
+	var out strings.Builder
+	if code := run("../..", []string{"./..."}, &out, &out); code != 0 {
+		t.Fatalf("rdvlint ./... on the repo: exit %d, want 0\n%s", code, out.String())
+	}
+}
+
+// TestBadFixtureFails asserts the gate can still fail: every analyzer
+// must fire on the known-bad module.
+func TestBadFixtureFails(t *testing.T) {
+	var out strings.Builder
+	code := run("testdata/badmod", []string{"./..."}, &out, &out)
+	if code == 0 {
+		t.Fatalf("rdvlint on testdata/badmod: exit 0, want nonzero")
+	}
+	for _, analyzer := range []string{"detrange", "nodrift", "atomicwrite", "guardedby", "ctxloop"} {
+		if !strings.Contains(out.String(), "["+analyzer+"]") {
+			t.Errorf("badmod output missing a %s diagnostic:\n%s", analyzer, out.String())
+		}
+	}
+}
+
+// TestVetProtocolHandshake pins the two query responses cmd/go sends
+// before ever handing the tool a package.
+func TestVetProtocolHandshake(t *testing.T) {
+	var out strings.Builder
+	if code := run(".", []string{"-V=full"}, &out, io.Discard); code != 0 {
+		t.Fatalf("-V=full: exit %d", code)
+	}
+	fields := strings.Fields(out.String())
+	if len(fields) < 3 || fields[1] != "version" {
+		t.Errorf("-V=full output %q, want \"<name> version ...\"", out.String())
+	}
+	out.Reset()
+	if code := run(".", []string{"-flags"}, &out, io.Discard); code != 0 {
+		t.Fatalf("-flags: exit %d", code)
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Errorf("-flags output %q, want []", got)
+	}
+}
+
+// TestHelpListsAnalyzers keeps the help text in sync with the suite.
+func TestHelpListsAnalyzers(t *testing.T) {
+	var out strings.Builder
+	if code := run(".", []string{"help"}, &out, io.Discard); code != 0 {
+		t.Fatalf("help: exit %d", code)
+	}
+	for _, analyzer := range []string{"detrange", "nodrift", "atomicwrite", "guardedby", "ctxloop"} {
+		if !strings.Contains(out.String(), analyzer+":") {
+			t.Errorf("help output missing %s", analyzer)
+		}
+	}
+}
+
+// TestVetTool runs the real `go vet -vettool` protocol end to end:
+// clean on a repo package, failing on the known-bad module.
+func TestVetTool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet twice")
+	}
+	bin := filepath.Join(t.TempDir(), "rdvlint")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building rdvlint: %v\n%s", err, out)
+	}
+
+	// internal/serve matters here beyond being clean: its _test.go files
+	// range over maps order-sensitively (fine in tests), and go vet
+	// feeds them to the tool mixed into the production unit. They must
+	// be filtered, not flagged.
+	clean := exec.Command("go", "vet", "-vettool="+bin, "./internal/lint", "./internal/serve")
+	clean.Dir = "../.."
+	if out, err := clean.CombinedOutput(); err != nil {
+		t.Errorf("go vet -vettool on clean packages failed: %v\n%s", err, out)
+	}
+
+	bad := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	bad.Dir = "testdata/badmod"
+	out, err := bad.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool on testdata/badmod succeeded, want failure\n%s", out)
+	}
+	for _, fragment := range []string{"order-sensitive", "wall clock", "in place", "guarded by mu", "unbounded for-loop"} {
+		if !strings.Contains(string(out), fragment) {
+			t.Errorf("vet output missing %q:\n%s", fragment, out)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Package adversary is rdvlint's known-bad fixture: a standalone
+// module whose import path lands in every analyzer's scope, with one
+// deliberate violation per analyzer. CI builds rdvlint and asserts it
+// exits nonzero here — the smoke test that the gate can still fail.
+package adversary
+
+import (
+	"context"
+	"os"
+	"sync"
+	"time"
+)
+
+// MergeOrder violates detrange: the returned order follows map
+// iteration order.
+func MergeOrder(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Stamp violates nodrift: wall clock in an engine package.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// WriteResult violates atomicwrite: the final path is written in
+// place.
+func WriteResult(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Spin violates ctxloop: the loop never consults ctx.
+func Spin(ctx context.Context, step func() bool) {
+	for {
+		if step() {
+			return
+		}
+	}
+}
+
+// Tally violates guardedby: Read takes the annotated field without
+// the mutex.
+type Tally struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (t *Tally) Read() int {
+	return t.n
+}

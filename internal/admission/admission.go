@@ -112,8 +112,8 @@ func (e *OverloadError) Error() string {
 // waiter is one queued Acquire call.
 type waiter struct {
 	ready      chan struct{} // closed on grant
-	granted    bool          // guarded by the controller's mu
-	abandoned  bool          // guarded by the controller's mu
+	granted    bool          // guarded by Controller.mu
+	abandoned  bool          // guarded by Controller.mu
 	enqueuedAt time.Time
 }
 
@@ -121,14 +121,14 @@ type waiter struct {
 // tenant has waiters queued or a persistent rate bucket.
 type tenantState struct {
 	id      string
-	weight  int
-	deficit int
-	queue   []*waiter
+	weight  int       // guarded by Controller.mu
+	deficit int       // guarded by Controller.mu
+	queue   []*waiter // guarded by Controller.mu
 
 	// Rate bucket (persists across requests; lazily refilled).
-	tokens     float64
-	lastRefill time.Time
-	rateInit   bool
+	tokens     float64   // guarded by Controller.mu
+	lastRefill time.Time // guarded by Controller.mu
+	rateInit   bool      // guarded by Controller.mu
 }
 
 // Controller is the weighted-fair admission gate. It is safe for
@@ -140,13 +140,13 @@ type Controller struct {
 	onWait     func(string, time.Duration)
 
 	mu      sync.Mutex
-	inUse   int
-	tenants map[string]*tenantState
+	inUse   int                     // guarded by mu
+	tenants map[string]*tenantState // guarded by mu
 	// active is the DRR ring: tenants with non-empty queues, visited
 	// round-robin starting at cursor. Order is arrival order of each
 	// tenant's first queued waiter.
-	active []*tenantState
-	cursor int
+	active []*tenantState // guarded by mu
+	cursor int            // guarded by mu
 }
 
 // New returns a controller over the configuration.

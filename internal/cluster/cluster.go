@@ -282,6 +282,66 @@ const retireAfterUnusable = 2
 // so the dispatch fails immediately.
 type searchRejected struct{ error }
 
+// searchState is the mutable heart of one Search dispatch, shared by
+// every puller goroutine. It earns its own type so the shared fields
+// can carry machine-checked guard annotations (rdvlint's guardedby);
+// everything else a puller touches is immutable dispatcher
+// configuration or the shard queue channel.
+type searchState struct {
+	shards   int
+	progress func(completed, total int) // serialized: only called under mu
+
+	mu        sync.Mutex
+	results   []sim.WorstCase // guarded by mu
+	attempts  map[int]int     // guarded by mu
+	remaining int             // guarded by mu
+	failErr   error           // guarded by mu
+}
+
+// fail condemns the whole search; the first error wins.
+func (st *searchState) fail(err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.failErr == nil {
+		st.failErr = err
+	}
+}
+
+// charge counts one failed attempt against the shard and reports
+// whether its attempt budget is exhausted.
+func (st *searchState) charge(shard, maxAttempts int) (exhausted bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.attempts[shard]++
+	return st.attempts[shard] >= maxAttempts
+}
+
+// complete records one shard's result and reports whether it was the
+// last outstanding shard.
+func (st *searchState) complete(shard int, wc sim.WorstCase) (last bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.results[shard] = wc
+	st.remaining--
+	if st.progress != nil {
+		st.progress(st.shards-st.remaining, st.shards)
+	}
+	return st.remaining == 0
+}
+
+// finish returns the merged result, or whatever doomed the dispatch.
+func (st *searchState) finish() (sim.WorstCase, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.failErr != nil {
+		return sim.WorstCase{}, st.failErr
+	}
+	if st.remaining > 0 {
+		return sim.WorstCase{}, fmt.Errorf("cluster: %d shard(s) undispatched: no usable peers", st.remaining)
+	}
+	return adversary.MergeShards(st.results), nil
+}
+
 // Search fans the fingerprinted search out across the peer pool as
 // shards 0..shards-1 of the fixed decomposition and returns the merged
 // result, bit-for-bit identical to a local Search over the same
@@ -307,23 +367,29 @@ func (d *Dispatcher) Search(ctx context.Context, search json.RawMessage, fingerp
 		parent = context.Background()
 	}
 
-	results := make([]sim.WorstCase, shards)
+	st := &searchState{
+		shards:   shards,
+		progress: progress,
+		results:  make([]sim.WorstCase, shards),
+		attempts: make(map[int]int),
+	}
 	var todo []int
 	for i := 0; i < shards; i++ {
 		if d.store != nil {
 			if wc, ok := d.store.Get(ShardFingerprint(fingerprint, i, shards)); ok {
-				results[i] = wc
+				st.results[i] = wc
 				continue
 			}
 		}
 		todo = append(todo, i)
 	}
+	st.remaining = len(todo)
 	completed := shards - len(todo)
 	if progress != nil {
 		progress(completed, shards)
 	}
 	if len(todo) == 0 {
-		return adversary.MergeShards(results), nil
+		return adversary.MergeShards(st.results), nil
 	}
 
 	ctx, cancel := context.WithCancel(parent)
@@ -336,18 +402,8 @@ func (d *Dispatcher) Search(ctx context.Context, search json.RawMessage, fingerp
 		queue <- i
 	}
 
-	var (
-		mu        sync.Mutex
-		attempts  = make(map[int]int)
-		remaining = len(todo)
-		failErr   error
-	)
 	fail := func(err error) {
-		mu.Lock()
-		if failErr == nil {
-			failErr = err
-		}
-		mu.Unlock()
+		st.fail(err)
 		cancel()
 	}
 
@@ -408,11 +464,7 @@ func (d *Dispatcher) Search(ctx context.Context, search json.RawMessage, fingerp
 							continue
 						}
 						unusable = 0
-						mu.Lock()
-						attempts[shard]++
-						exhausted := attempts[shard] >= d.maxAttempts
-						mu.Unlock()
-						if exhausted {
+						if st.charge(shard, d.maxAttempts) {
 							fail(fmt.Errorf("cluster: shard %d/%d failed after %d attempts: %w", shard, shards, d.maxAttempts, err))
 							return
 						}
@@ -423,15 +475,7 @@ func (d *Dispatcher) Search(ctx context.Context, search json.RawMessage, fingerp
 					if d.store != nil {
 						_ = d.store.Put(ShardFingerprint(fingerprint, shard, shards), wc) // best-effort
 					}
-					mu.Lock()
-					results[shard] = wc
-					remaining--
-					done := remaining == 0
-					if progress != nil {
-						progress(shards-remaining, shards)
-					}
-					mu.Unlock()
-					if done {
+					if st.complete(shard, wc) {
 						cancel() // wake peers blocked on the queue or in probe backoff
 						return
 					}
@@ -444,15 +488,7 @@ func (d *Dispatcher) Search(ctx context.Context, search json.RawMessage, fingerp
 	if err := parent.Err(); err != nil {
 		return sim.WorstCase{}, err
 	}
-	mu.Lock()
-	defer mu.Unlock()
-	if failErr != nil {
-		return sim.WorstCase{}, failErr
-	}
-	if remaining > 0 {
-		return sim.WorstCase{}, fmt.Errorf("cluster: %d shard(s) undispatched: no usable peers", remaining)
-	}
-	return adversary.MergeShards(results), nil
+	return st.finish()
 }
 
 // runShard executes one shard attempt against one peer. Every failure

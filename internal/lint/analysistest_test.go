@@ -1,0 +1,270 @@
+package lint
+
+// This file is the suite's analysistest equivalent: fixtures under
+// testdata/src/<analyzer>/ are type-checked under an in-scope import
+// path (CheckFiles lets the test pick the path, so scope matching is
+// exercised for real), the analyzer runs, and every diagnostic must be
+// announced by a trailing
+//
+//	// want "regexp"
+//
+// comment on the line it lands on — with unexpected and missing
+// diagnostics both failing the test, exactly like
+// golang.org/x/tools/go/analysis/analysistest.
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wantTail matches the expectation suffix of a fixture comment:
+// `// want "re"` with one or more quoted regexps.
+var (
+	wantTail   = regexp.MustCompile(`// want((?:\s+"[^"]*")+)\s*$`)
+	wantQuoted = regexp.MustCompile(`"([^"]*)"`)
+)
+
+type wantKey struct {
+	file string
+	line int
+}
+
+// fixtureFiles lists the .go files of one testdata/src fixture.
+func fixtureFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	return files
+}
+
+// loadFixture type-checks the files as one package under asPath,
+// resolving their imports' export data from the build cache.
+func loadFixture(t *testing.T, asPath string, files []string) *Package {
+	t.Helper()
+	seen := make(map[string]bool)
+	var imports []string
+	fset := token.NewFileSet()
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !seen[path] {
+				seen[path] = true
+				imports = append(imports, path)
+			}
+		}
+	}
+	sort.Strings(imports)
+	pkg, err := CheckFiles(".", asPath, files, imports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+// collectWants indexes every `// want` expectation by file and line.
+func collectWants(t *testing.T, pkg *Package) map[wantKey][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[wantKey][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantTail.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := wantKey{pos.Filename, pos.Line}
+				for _, q := range wantQuoted.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(q[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, q[1], err)
+					}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkDiagnostics matches diagnostics against want expectations
+// one-to-one; anything unmatched on either side fails the test.
+func checkDiagnostics(t *testing.T, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		key := wantKey{d.Pos.Filename, d.Pos.Line}
+		matched := -1
+		for i, re := range wants[key] {
+			if re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		wants[key] = append(wants[key][:matched], wants[key][matched+1:]...)
+	}
+	var missing []string
+	for key, res := range wants {
+		for _, re := range res {
+			missing = append(missing, fmt.Sprintf("%s:%d: no diagnostic matching %q", key.file, key.line, re))
+		}
+	}
+	sort.Strings(missing)
+	for _, m := range missing {
+		t.Error(m)
+	}
+}
+
+// runFixture loads testdata/src/<fixture> as asPath and checks the
+// analyzer's diagnostics against the fixture's want comments.
+func runFixture(t *testing.T, a *Analyzer, asPath, fixture string) {
+	t.Helper()
+	pkg := loadFixture(t, asPath, fixtureFiles(t, filepath.Join("testdata", "src", fixture)))
+	checkDiagnostics(t, pkg, Run(pkg, []*Analyzer{a}))
+}
+
+func TestDetrange(t *testing.T) {
+	runFixture(t, NewDetrange(nil), "rendezvous/internal/adversary", "detrange")
+}
+
+func TestDetrangeInServeScope(t *testing.T) {
+	// The rendering layer is in detrange's default scope too.
+	runFixture(t, NewDetrange(nil), "rendezvous/internal/serve", "detrange")
+}
+
+func TestNodrift(t *testing.T) {
+	runFixture(t, NewNodrift(nil), "rendezvous/internal/sim", "nodrift")
+}
+
+func TestAtomicwrite(t *testing.T) {
+	runFixture(t, NewAtomicwrite(nil), "rendezvous/internal/resultstore", "atomicwrite")
+}
+
+func TestGuardedby(t *testing.T) {
+	// guardedby has no package scope; any import path works.
+	runFixture(t, NewGuardedby(), "example.com/guardedby", "guardedby")
+}
+
+func TestCtxloop(t *testing.T) {
+	runFixture(t, NewCtxloop(nil), "rendezvous/internal/cluster", "ctxloop")
+}
+
+// TestScopeSuppression re-checks the violating fixtures under an
+// out-of-scope import path: package scoping must silence everything.
+func TestScopeSuppression(t *testing.T) {
+	cases := []struct {
+		a       *Analyzer
+		fixture string
+	}{
+		{NewDetrange(nil), "detrange"},
+		{NewNodrift(nil), "nodrift"},
+		{NewAtomicwrite(nil), "atomicwrite"},
+		{NewCtxloop(nil), "ctxloop"},
+	}
+	for _, c := range cases {
+		pkg := loadFixture(t, "example.com/notengine", fixtureFiles(t, filepath.Join("testdata", "src", c.fixture)))
+		if diags := Run(pkg, []*Analyzer{c.a}); len(diags) != 0 {
+			t.Errorf("%s out of scope: got %d diagnostics, want 0: %v", c.a.Name, len(diags), diags)
+		}
+	}
+}
+
+// TestAppliesTo pins the suffix matching to path-segment boundaries.
+func TestAppliesTo(t *testing.T) {
+	a := &Analyzer{Packages: []string{"internal/adversary"}}
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"internal/adversary", true},
+		{"rendezvous/internal/adversary", true},
+		{"badmod/internal/adversary", true},
+		{"rendezvous/internal/adversarytools", false},
+		{"rendezvous/myinternal/adversary", false},
+		{"rendezvous/internal/serve", false},
+	}
+	for _, c := range cases {
+		if got := a.appliesTo(c.path); got != c.want {
+			t.Errorf("appliesTo(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+// TestMalformedIgnoreDirective checks that a reason-less directive is
+// itself reported and suppresses nothing.
+func TestMalformedIgnoreDirective(t *testing.T) {
+	dir := t.TempDir()
+	src := `package fix
+
+func maxValue(m map[string]int) int {
+	n := 0
+	//lint:ignore detrange
+	for _, v := range m {
+		if v > n {
+			n = v
+		}
+	}
+	return n
+}
+`
+	file := filepath.Join(dir, "fix.go")
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := CheckFiles(".", "rendezvous/internal/adversary", []string{file}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkg, []*Analyzer{NewDetrange(nil)})
+	var names []string
+	for _, d := range diags {
+		names = append(names, d.Analyzer)
+	}
+	sort.Strings(names)
+	if want := []string{"detrange", "lintdirective"}; !equalStrings(names, want) {
+		t.Fatalf("got analyzers %v, want %v (diags: %v)", names, want, diags)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// atomicwritePackages is the durability layer: the on-disk result
+// store and the checkpoint writer in the engine package.
+var atomicwritePackages = []string{
+	"internal/resultstore",
+	"internal/adversary",
+}
+
+// NewAtomicwrite returns the atomicwrite analyzer. A nil scope
+// selects the durability packages.
+func NewAtomicwrite(scope []string) *Analyzer {
+	if scope == nil {
+		scope = atomicwritePackages
+	}
+	return &Analyzer{
+		Name: "atomicwrite",
+		Doc: `enforces the temp+sync+rename idiom in the durability layer
+
+A file that readers may observe must never be created in place: a
+crash mid-write leaves a torn record at its final path, and a rename
+of an unsynced temp file can publish a name whose bytes are still in
+the page cache. In the store and checkpoint packages every creation
+must go through os.CreateTemp (write, Sync, Close, os.Rename), every
+os.Rename must be preceded by a Sync in the same function, and
+reopening is only allowed in append mode (the checkpoint log, which
+syncs per record). os.Create, os.WriteFile and os.OpenFile with
+O_CREATE are flagged unconditionally.`,
+		Packages: scope,
+		Run:      runAtomicwrite,
+	}
+}
+
+func runAtomicwrite(pass *Pass) {
+	for _, file := range pass.Files {
+		walkFunctions(file, func(stack []funcScope) {
+			fn := stack[len(stack)-1]
+			checkAtomicwriteFunc(pass, fn.body)
+		})
+	}
+}
+
+func checkAtomicwriteFunc(pass *Pass, body *ast.BlockStmt) {
+	// One source-order scan: Sync calls arm renames that follow them.
+	type rename struct {
+		call   *ast.CallExpr
+		synced bool
+	}
+	var renames []rename
+	var syncs []ast.Node
+	inspectShallow(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		switch {
+		case isPkgCall(pass.TypesInfo, call, "os", "Create"):
+			pass.Reportf(call.Pos(), "os.Create writes the final path in place; write a temp file (os.CreateTemp), Sync it and os.Rename it into place")
+		case isPkgCall(pass.TypesInfo, call, "os", "WriteFile"):
+			pass.Reportf(call.Pos(), "os.WriteFile writes the final path in place; write a temp file (os.CreateTemp), Sync it and os.Rename it into place")
+		case isPkgCall(pass.TypesInfo, call, "os", "OpenFile"):
+			if len(call.Args) >= 2 && flagsContain(call.Args[1], "O_CREATE") {
+				pass.Reportf(call.Pos(), "os.OpenFile with O_CREATE creates the final path in place; write a temp file (os.CreateTemp), Sync it and os.Rename it into place (append-mode reopen of an existing file is fine)")
+			}
+		case isPkgCall(pass.TypesInfo, call, "os", "Rename"):
+			renames = append(renames, rename{call: call})
+		default:
+			if _, ok := isMethodCall(pass.TypesInfo, call, "Sync"); ok {
+				syncs = append(syncs, call)
+			}
+		}
+	})
+	for _, r := range renames {
+		for _, s := range syncs {
+			if s.Pos() < r.call.Pos() {
+				r.synced = true
+				break
+			}
+		}
+		if !r.synced {
+			pass.Reportf(r.call.Pos(), "os.Rename without a preceding Sync in this function; fsync the temp file before renaming it into place, or the published name can still lose its bytes on power loss")
+		}
+	}
+}
+
+// flagsContain reports whether the flags expression mentions the
+// given os.O_* constant anywhere (it is almost always a |-chain of
+// selector constants).
+func flagsContain(e ast.Expr, name string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if x.Sel.Name == name {
+				found = true
+			}
+		case *ast.Ident:
+			if strings.HasSuffix(x.Name, name) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// ctxloopPackages is where unbounded loops sit on shard/sweep/dispatch
+// paths whose cancellation latency the serving layer depends on.
+var ctxloopPackages = []string{
+	"internal/adversary",
+	"internal/cluster",
+	"internal/meetoracle",
+	"internal/sim",
+}
+
+// NewCtxloop returns the ctxloop analyzer. A nil scope selects the
+// shard/sweep packages.
+func NewCtxloop(scope []string) *Analyzer {
+	if scope == nil {
+		scope = ctxloopPackages
+	}
+	return &Analyzer{
+		Name: "ctxloop",
+		Doc: `requires unbounded for-loops on engine paths to consult the context
+
+A 'for {' loop in a shard or dispatch path that never checks
+ctx.Err()/ctx.Done() (and never hands ctx to a callee that does)
+makes cancellation latency unbounded: the serving layer's per-search
+deadline and last-client-disconnect abort both rely on every worker
+loop noticing cancellation within one iteration. Flagged only in
+functions that have a context.Context in scope — a loop with no
+context available has nothing to consult.`,
+		Packages: scope,
+		Run:      runCtxloop,
+	}
+}
+
+func runCtxloop(pass *Pass) {
+	for _, file := range pass.Files {
+		walkFunctions(file, func(stack []funcScope) {
+			fn := stack[len(stack)-1]
+			if !ctxInScope(pass, stack) {
+				return
+			}
+			inspectShallow(fn.body, func(n ast.Node) {
+				loop, ok := n.(*ast.ForStmt)
+				if !ok || loop.Cond != nil {
+					return
+				}
+				if loopConsultsContext(pass, loop.Body) {
+					return
+				}
+				pass.Reportf(loop.Pos(),
+					"unbounded for-loop never checks ctx.Err()/ctx.Done() (directly or via a callee taking the context); cancellation latency is unbounded")
+			})
+		})
+	}
+}
+
+// ctxInScope reports whether any enclosing function of the stack has
+// a context.Context parameter (closures see the outer parameters).
+func ctxInScope(pass *Pass, stack []funcScope) bool {
+	for _, sc := range stack {
+		var ft *ast.FuncType
+		switch f := sc.node.(type) {
+		case *ast.FuncDecl:
+			ft = f.Type
+		case *ast.FuncLit:
+			ft = f.Type
+		}
+		if ft == nil || ft.Params == nil {
+			continue
+		}
+		for _, p := range ft.Params.List {
+			if t := pass.TypesInfo.TypeOf(p.Type); t != nil && isContextType(t) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// loopConsultsContext reports whether the loop body checks a context
+// (ctx.Err/ctx.Done on a context.Context value, including inside a
+// select) or passes one to any callee.
+func loopConsultsContext(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "Err" || sel.Sel.Name == "Done" {
+				if t := pass.TypesInfo.TypeOf(sel.X); t != nil && isContextType(t) {
+					found = true
+					return false
+				}
+			}
+		}
+		for _, arg := range call.Args {
+			if t := pass.TypesInfo.TypeOf(arg); t != nil && isContextType(t) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

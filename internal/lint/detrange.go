@@ -1,0 +1,327 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// detrangePackages is where detrange applies: the engine packages
+// plus every layer that renders engine state to clients or operators
+// (HTTP responses, metrics exposition, store indexes, daemon logs) —
+// an unsorted map walk there turns deterministic state into
+// nondeterministic output.
+var detrangePackages = append([]string{
+	"internal/serve",
+	"internal/metrics",
+	"internal/resultstore",
+	"internal/admission",
+	"cmd/rdvd",
+}, EnginePackages...)
+
+// NewDetrange returns the detrange analyzer. A nil scope selects the
+// production package list.
+func NewDetrange(scope []string) *Analyzer {
+	if scope == nil {
+		scope = detrangePackages
+	}
+	return &Analyzer{
+		Name: "detrange",
+		Doc: `flags range-over-map loops whose bodies are order-sensitive
+
+Map iteration order is randomized per run; in a determinism-critical
+package any map walk that feeds output, logs, merges or accumulations
+with order-dependent semantics silently breaks bit-for-bit
+reproducibility. A loop is accepted when its body is provably
+order-insensitive — it only writes map entries, deletes keys, or
+accumulates through commutative operators (+=, |=, &=, ^=, ++) — or
+when it collects keys into a slice that the same function sorts
+afterwards. Anything else needs sorted keys or an explicit
+//lint:ignore detrange <reason>.`,
+		Packages: scope,
+		Run:      runDetrange,
+	}
+}
+
+func runDetrange(pass *Pass) {
+	for _, file := range pass.Files {
+		walkFunctions(file, func(stack []funcScope) {
+			fn := stack[len(stack)-1]
+			inspectShallow(fn.body, func(n ast.Node) {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return
+				}
+				t := pass.TypesInfo.TypeOf(rng.X)
+				if t == nil {
+					return
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return
+				}
+				if orderInsensitiveBody(pass, rng.Body, fn.body, rng.End()) {
+					return
+				}
+				pass.Reportf(rng.Pos(),
+					"range over map %s has an order-sensitive body; iterate sorted keys (or justify with //lint:ignore detrange <reason>)",
+					exprText(pass.Fset, rng.X))
+			})
+		})
+	}
+}
+
+// inspectShallow visits every node of body except the interior of
+// nested function literals (which walkFunctions hands to their own
+// scope).
+func inspectShallow(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// orderInsensitiveBody reports whether every statement of the loop
+// body is one whose effect cannot depend on iteration order.
+func orderInsensitiveBody(pass *Pass, body *ast.BlockStmt, encl *ast.BlockStmt, after token.Pos) bool {
+	for _, st := range body.List {
+		if !orderInsensitiveStmt(pass, st, encl, after) {
+			return false
+		}
+	}
+	return true
+}
+
+func orderInsensitiveStmt(pass *Pass, st ast.Stmt, encl *ast.BlockStmt, after token.Pos) bool {
+	switch s := st.(type) {
+	case *ast.AssignStmt:
+		return orderInsensitiveAssign(pass, s, encl, after)
+	case *ast.IncDecStmt:
+		// Counters commute regardless of target.
+		return pureExpr(pass, s.X)
+	case *ast.ExprStmt:
+		// delete(m, k) is idempotent per key and commutes across keys.
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "delete" {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.IfStmt:
+		if s.Init != nil && !orderInsensitiveStmt(pass, s.Init, encl, after) {
+			return false
+		}
+		if !pureExpr(pass, s.Cond) {
+			return false
+		}
+		if !orderInsensitiveBody(pass, s.Body, encl, after) {
+			return false
+		}
+		if s.Else != nil {
+			return orderInsensitiveStmt(pass, s.Else, encl, after)
+		}
+		return true
+	case *ast.BlockStmt:
+		return orderInsensitiveBody(pass, s, encl, after)
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE
+	case *ast.DeclStmt:
+		// A var/const declaration only introduces loop-locals; its
+		// initializers must still be effect-free.
+		gen, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return false
+		}
+		for _, spec := range gen.Specs {
+			if v, ok := spec.(*ast.ValueSpec); ok {
+				for _, val := range v.Values {
+					if !pureExpr(pass, val) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// orderInsensitiveAssign accepts map-entry writes, commutative
+// compound assignments, and key collection into a slice the enclosing
+// function sorts after the loop.
+func orderInsensitiveAssign(pass *Pass, s *ast.AssignStmt, encl *ast.BlockStmt, after token.Pos) bool {
+	switch s.Tok {
+	case token.ASSIGN, token.DEFINE:
+		for i, lhs := range s.Lhs {
+			if sortedAppend(pass, s, i, encl, after) {
+				continue
+			}
+			if !commutativeTarget(pass, lhs) {
+				return false
+			}
+			if i < len(s.Rhs) && !pureExpr(pass, s.Rhs[i]) {
+				return false
+			}
+			if len(s.Rhs) == 1 && len(s.Lhs) > 1 && !pureExpr(pass, s.Rhs[0]) {
+				return false
+			}
+		}
+		return true
+	case token.ADD_ASSIGN:
+		// += commutes for numbers but concatenates (order-sensitively)
+		// for strings.
+		if len(s.Lhs) != 1 {
+			return false
+		}
+		if t := pass.TypesInfo.TypeOf(s.Lhs[0]); t != nil {
+			if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				return false
+			}
+		}
+		return pureExpr(pass, s.Rhs[0])
+	case token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN, token.MUL_ASSIGN:
+		return len(s.Lhs) == 1 && pureExpr(pass, s.Rhs[0])
+	default:
+		return false
+	}
+}
+
+// commutativeTarget reports whether writing lhs commutes across
+// iterations: a distinct map entry per key, or the blank identifier.
+func commutativeTarget(pass *Pass, lhs ast.Expr) bool {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		return l.Name == "_"
+	case *ast.IndexExpr:
+		t := pass.TypesInfo.TypeOf(l.X)
+		if t == nil {
+			return false
+		}
+		_, isMap := t.Underlying().(*types.Map)
+		return isMap && pureExpr(pass, l.Index)
+	default:
+		return false
+	}
+}
+
+// sortedAppend recognizes `keys = append(keys, …)` where the same
+// function sorts keys after the loop — the canonical
+// collect-then-sort idiom this analyzer exists to steer people toward.
+func sortedAppend(pass *Pass, s *ast.AssignStmt, i int, encl *ast.BlockStmt, after token.Pos) bool {
+	if len(s.Lhs) != len(s.Rhs) {
+		return false
+	}
+	target, ok := ast.Unparen(s.Lhs[i]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(s.Rhs[i]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fun.Name != "append" {
+		return false
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	first, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok || pass.TypesInfo.ObjectOf(first) != pass.TypesInfo.ObjectOf(target) {
+		return false
+	}
+	// Appended values must not have effects of their own.
+	for _, a := range call.Args[1:] {
+		if !pureExpr(pass, a) {
+			return false
+		}
+	}
+	return sortedLater(pass, pass.TypesInfo.ObjectOf(target), encl, after)
+}
+
+// sortedLater reports whether the enclosing function sorts the slice
+// object after the loop ends: a call to a sort.* / slices.Sort* entry
+// point whose first argument is the same object.
+func sortedLater(pass *Pass, obj types.Object, encl *ast.BlockStmt, after token.Pos) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(encl, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < after || len(call.Args) == 0 {
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		pkg := fn.Pkg().Path()
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if !ok || pass.TypesInfo.ObjectOf(arg) != obj {
+			return true
+		}
+		found = true
+		return false
+	})
+	return found
+}
+
+// pureExpr reports whether evaluating e cannot have side effects
+// visible outside the loop iteration: no calls (except conversions
+// and effect-free builtins), no channel operations, no nested
+// function literals.
+func pureExpr(pass *Pass, e ast.Expr) bool {
+	if e == nil {
+		return true
+	}
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		if !pure {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			// A type conversion is fine.
+			if tv, ok := pass.TypesInfo.Types[x.Fun]; ok && tv.IsType() {
+				return true
+			}
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					switch id.Name {
+					case "len", "cap", "min", "max", "real", "imag", "complex":
+						return true
+					}
+				}
+			}
+			pure = false
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				pure = false
+				return false
+			}
+		case *ast.FuncLit:
+			pure = false
+			return false
+		}
+		return true
+	})
+	return pure
+}

@@ -1,0 +1,251 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// NewGuardedby returns the guardedby analyzer. It applies to every
+// package: it only activates where annotations exist.
+func NewGuardedby() *Analyzer {
+	return &Analyzer{
+		Name: "guardedby",
+		Doc: `checks that '// guarded by <mu>' fields are accessed under their mutex
+
+A struct field whose declaration carries a '// guarded by mu' comment
+must only be accessed in functions that lock <mu> on the same base
+value first (Lock or RLock, not released again before the access).
+The analysis is direct and function-local — no interprocedural
+heroics — so three explicit escapes exist for lock-is-held-by-caller
+code: a function name ending in "Locked", a doc comment stating the
+caller holds the mutex (e.g. "Callers hold mu."), and bases that are
+locals constructed inside the function (not yet shared). A guard
+spelled with a dot (e.g. '// guarded by Controller.mu') names a mutex
+on another object; for those only the mutex name is matched.`,
+		Run: runGuardedby,
+	}
+}
+
+// guardAnnotation extracts the mutex expression of a guarded-by field
+// comment.
+var guardAnnotation = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_.]*)`)
+
+// heldWords are the doc-comment words that, together with the mutex
+// name, exempt a function as lock-held-by-caller.
+var heldWords = []string{"hold", "held", "holding", "locked"}
+
+// guard is one annotated field's requirement.
+type guard struct {
+	expr string // as written: "mu" or "Controller.mu"
+	mu   string // last path segment: the mutex field/var name
+	// loose is true for dotted guards (a mutex on another object):
+	// only the mutex name can be matched function-locally.
+	loose bool
+}
+
+func runGuardedby(pass *Pass) {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return
+	}
+	for _, file := range pass.Files {
+		walkFunctions(file, func(stack []funcScope) {
+			checkGuardedFunc(pass, guards, stack[len(stack)-1])
+		})
+	}
+}
+
+// collectGuards maps annotated field objects to their guards.
+func collectGuards(pass *Pass) map[types.Object]guard {
+	guards := make(map[types.Object]guard)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				text := field.Doc.Text() + " " + field.Comment.Text()
+				m := guardAnnotation.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				g := guard{expr: m[1], mu: m[1]}
+				if i := strings.LastIndexByte(m[1], '.'); i >= 0 {
+					g.mu = m[1][i+1:]
+					g.loose = true
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guards[obj] = g
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// lockEvent is one Lock/Unlock-family call in source order.
+type lockEvent struct {
+	base    string // receiver of the mutex ("s" for s.mu.Lock())
+	mu      string // the mutex field/var name ("mu")
+	pos     token.Pos
+	acquire bool // Lock/RLock (true) vs Unlock/RUnlock (false)
+}
+
+func checkGuardedFunc(pass *Pass, guards map[types.Object]guard, fn funcScope) {
+	if strings.HasSuffix(fn.name, "Locked") {
+		return
+	}
+
+	// Deferred unlocks run at return; they never release the mutex
+	// before a later access in the body, so they are not events.
+	deferred := make(map[*ast.CallExpr]bool)
+	var events []lockEvent
+	inspectShallow(fn.body, func(n ast.Node) {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferred[d.Call] = true
+			return
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		for _, name := range [4]string{"Lock", "RLock", "Unlock", "RUnlock"} {
+			recv, ok := isMethodCall(pass.TypesInfo, call, name)
+			if !ok {
+				continue
+			}
+			acquire := name == "Lock" || name == "RLock"
+			if !acquire && deferred[call] {
+				break
+			}
+			ev := lockEvent{pos: call.Pos(), acquire: acquire}
+			switch r := ast.Unparen(recv).(type) {
+			case *ast.SelectorExpr:
+				ev.base = exprText(pass.Fset, r.X)
+				ev.mu = r.Sel.Name
+			case *ast.Ident:
+				ev.mu = r.Name
+			default:
+				break
+			}
+			if ev.mu != "" {
+				events = append(events, ev)
+			}
+			break
+		}
+	})
+
+	inspectShallow(fn.body, func(n ast.Node) {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		g, annotated := guards[obj]
+		if !annotated {
+			return
+		}
+		if docSaysHeld(fn.doc, g.mu) {
+			return
+		}
+		base := exprText(pass.Fset, sel.X)
+		if root := rootIdent(sel.X); root != nil {
+			if declaredIn(pass.TypesInfo.ObjectOf(root), fn.body) {
+				// A value constructed inside this function is not yet
+				// shared; lock discipline starts at publication.
+				return
+			}
+		}
+		if !heldAt(events, base, g, sel.Pos()) {
+			pass.Reportf(sel.Pos(),
+				"%s is annotated '// guarded by %s' but %s.%s is accessed without %s held in this function (lock it first, suffix the function name with Locked, or document 'callers hold %s')",
+				sel.Sel.Name, g.expr, base, sel.Sel.Name, g.mu, g.mu)
+		}
+	})
+}
+
+// heldAt reports whether the guard's mutex is held at pos: the last
+// lock-family event before pos on the matching mutex is an acquire.
+func heldAt(events []lockEvent, base string, g guard, pos token.Pos) bool {
+	held := false
+	for _, ev := range events {
+		if ev.pos >= pos {
+			break
+		}
+		if ev.mu != g.mu {
+			continue
+		}
+		if !g.loose && ev.base != base {
+			continue
+		}
+		held = ev.acquire
+	}
+	return held
+}
+
+// docSaysHeld reports whether the function's doc comment declares the
+// mutex held by callers (mentions the mutex name alongside a
+// hold/held/holding/locked word).
+func docSaysHeld(doc, mu string) bool {
+	if doc == "" {
+		return false
+	}
+	lower := strings.ToLower(doc)
+	if !containsWord(lower, strings.ToLower(mu)) {
+		return false
+	}
+	for _, w := range heldWords {
+		if strings.Contains(lower, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// containsWord reports whether s contains w delimited by non-word
+// characters, so "mu" does not match inside "must".
+func containsWord(s, w string) bool {
+	for i := 0; i+len(w) <= len(s); i++ {
+		j := strings.Index(s[i:], w)
+		if j < 0 {
+			return false
+		}
+		start := i + j
+		end := start + len(w)
+		beforeOK := start == 0 || !isWordByte(s[start-1])
+		afterOK := end == len(s) || !isWordByte(s[end])
+		if beforeOK && afterOK {
+			return true
+		}
+		i = start
+	}
+	return false
+}
+
+func isWordByte(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || (b >= '0' && b <= '9')
+}
+
+// rootIdent unwinds a selector chain to its leftmost identifier
+// (nil when the base is not an identifier chain, e.g. a call result).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

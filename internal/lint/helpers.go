@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// EnginePackages is the default scope of the determinism analyzers:
+// every package whose code can sit between the search space and the
+// merged output (or renders that output), where iteration order or
+// ambient state would silently break bit-for-bit reproducibility.
+var EnginePackages = []string{
+	"internal/adversary",
+	"internal/meetoracle",
+	"internal/orbits",
+	"internal/cluster",
+	"internal/sim",
+	"internal/graph",
+}
+
+// calleeFunc resolves a call's callee to its types.Func, or nil for
+// builtins, conversions, function-typed variables and method values
+// we cannot name statically.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgCall reports whether the call is to the package-level function
+// pkgPath.name.
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// isMethodCall reports whether the call is to a method with the given
+// name (on any receiver), returning the receiver expression.
+func isMethodCall(info *types.Info, call *ast.CallExpr, name string) (recv ast.Expr, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel || sel.Sel.Name != name {
+		return nil, false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return nil, false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// exprText renders an expression as compact source text, for matching
+// lock receivers against field-access bases ("s", "v.f", ...).
+func exprText(fset *token.FileSet, e ast.Expr) string {
+	var b strings.Builder
+	if err := printer.Fprint(&b, fset, e); err != nil {
+		return ""
+	}
+	return b.String()
+}
+
+// funcScope is one element of the enclosing-function stack kept
+// during traversal: the function node (FuncDecl or FuncLit), its
+// body, and its doc comment (FuncDecl only).
+type funcScope struct {
+	node ast.Node
+	body *ast.BlockStmt
+	name string // "" for function literals
+	doc  string
+}
+
+// walkFunctions calls fn for every function declaration and function
+// literal in the file, passing the stack of enclosing functions
+// (outermost first, the visited function last). Functions with no
+// body (external declarations) are skipped.
+func walkFunctions(file *ast.File, fn func(stack []funcScope)) {
+	var stack []funcScope
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		var sc funcScope
+		switch f := n.(type) {
+		case *ast.FuncDecl:
+			if f.Body == nil {
+				return false
+			}
+			sc = funcScope{node: f, body: f.Body, name: f.Name.Name, doc: f.Doc.Text()}
+		case *ast.FuncLit:
+			sc = funcScope{node: f, body: f.Body}
+		default:
+			return true
+		}
+		stack = append(stack, sc)
+		fn(stack)
+		ast.Inspect(sc.body, visit)
+		stack = stack[:len(stack)-1]
+		return false
+	}
+	ast.Inspect(file, visit)
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// declaredIn reports whether the object's declaration lies inside the
+// block (used to skip locals: a value constructed inside the function
+// is not yet shared, so lock discipline does not apply to it).
+func declaredIn(obj types.Object, body *ast.BlockStmt) bool {
+	if obj == nil || body == nil {
+		return false
+	}
+	return obj.Pos() >= body.Pos() && obj.Pos() < body.End()
+}

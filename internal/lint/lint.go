@@ -1,0 +1,212 @@
+// Package lint is rdvlint's analysis suite: five static analyzers
+// that mechanically enforce the engine's determinism and durability
+// contracts, plus the small framework they run on.
+//
+// Every PR since the seed has leaned on one invariant: merged search
+// output is bit-for-bit identical across tiers, worker counts,
+// checkpoint resumes and cluster nodes. The dynamic spine (fuzz
+// targets, cross-engine sweeps, equivalence matrices) catches a
+// violation only when a test happens to exercise it; these analyzers
+// catch the classic ways the invariant dies — an unsorted map walk
+// feeding output, a stray time.Now in an engine package, an
+// unsynced rename in the durability layer — at compile time, for all
+// future code at once.
+//
+// The framework mirrors golang.org/x/tools/go/analysis (Analyzer,
+// Pass, diagnostics, testdata-driven analysistest suites) but is
+// built on the standard library alone, because this repository
+// deliberately carries no third-party dependencies. Analyzers are
+// purely syntactic+type-based, function-local analyses: no
+// interprocedural heroics, no SSA. Where a heuristic cannot prove a
+// use is safe, the code is expected to either restructure (sort the
+// keys) or carry an explicit, reviewable justification:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on (or on the line above) the flagged line. A directive without a
+// reason is itself a diagnostic.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore directives.
+	Name string
+	// Doc is the one-paragraph description `rdvlint help` prints.
+	Doc string
+	// Packages restricts the analyzer to packages whose import path
+	// equals or ends with one of these suffixes (at a path-segment
+	// boundary). Nil applies the analyzer to every package.
+	Packages []string
+	// Run reports diagnostics for one package via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// appliesTo reports whether the analyzer is in scope for the package
+// import path.
+func (a *Analyzer) appliesTo(pkgPath string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, suffix := range a.Packages {
+		if pkgPath == suffix || strings.HasSuffix(pkgPath, "/"+suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// A Diagnostic is one finding, positioned and attributed to its
+// analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	ignores ignoreIndex
+	report  func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos unless a //lint:ignore
+// directive for this analyzer covers the line (or the line above it).
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.ignores.covers(p.Analyzer.Name, position) {
+		return
+	}
+	p.report(Diagnostic{Pos: position, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// ignoreKey addresses one source line of one file.
+type ignoreKey struct {
+	file string
+	line int
+}
+
+// ignoreIndex maps source lines to the analyzer names their
+// //lint:ignore directives suppress.
+type ignoreIndex map[ignoreKey][]string
+
+// covers reports whether a directive for the analyzer sits on the
+// diagnostic's line or the line immediately above it (the two places
+// a human reasonably writes the justification).
+func (ix ignoreIndex) covers(analyzer string, pos token.Position) bool {
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		for _, name := range ix[ignoreKey{pos.Filename, line}] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ignoreDirective matches "//lint:ignore <analyzer> <reason>"; the
+// reason is mandatory so every suppression carries its justification.
+var ignoreDirective = regexp.MustCompile(`^//lint:ignore\s+(\S+)\s+(\S.*)$`)
+
+// malformedDirective matches a lint:ignore that is missing its reason
+// (or its analyzer name) so the omission can be reported instead of
+// silently suppressing nothing.
+var malformedDirective = regexp.MustCompile(`^//lint:ignore\s*(\S*)\s*$`)
+
+// buildIgnoreIndex scans every comment of the package's files and
+// returns the directive index plus diagnostics for malformed
+// directives.
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) (ignoreIndex, []Diagnostic) {
+	ix := make(ignoreIndex)
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreDirective.FindStringSubmatch(c.Text)
+				if m != nil {
+					pos := fset.Position(c.Pos())
+					key := ignoreKey{pos.Filename, pos.Line}
+					ix[key] = append(ix[key], m[1])
+					continue
+				}
+				if malformedDirective.MatchString(c.Text) {
+					bad = append(bad, Diagnostic{
+						Pos:      fset.Position(c.Pos()),
+						Analyzer: "lintdirective",
+						Message:  "malformed //lint:ignore directive: want //lint:ignore <analyzer> <reason>",
+					})
+				}
+			}
+		}
+	}
+	return ix, bad
+}
+
+// Analyzers returns the full rdvlint suite with its production
+// package scopes.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NewDetrange(nil),
+		NewNodrift(nil),
+		NewAtomicwrite(nil),
+		NewGuardedby(),
+		NewCtxloop(nil),
+	}
+}
+
+// Run applies every in-scope analyzer to the package and returns the
+// surviving diagnostics sorted by position. Malformed //lint:ignore
+// directives are reported regardless of analyzer scope: a directive
+// that cannot suppress anything is a latent hole in the gate.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	ignores, diags := buildIgnoreIndex(pkg.Fset, pkg.Files)
+	for _, a := range analyzers {
+		if !a.appliesTo(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			ignores:   ignores,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		a.Run(pass)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}

@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one parsed, type-checked target ready for analysis.
+type Package struct {
+	// Path is the package's import path (the analyzers' scoping key).
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPackage is the slice of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+}
+
+// Load expands the patterns with the go command, parses every matched
+// package's (non-test) Go files, and type-checks them against the
+// export data of their dependencies — all offline: dependencies are
+// resolved from the build cache via `go list -deps -export`, never
+// from the network. It is the loader behind `rdvlint ./...`.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+
+	var targets []listPackage
+	exports := make(map[string]string)
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		var p listPackage
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	check := newChecker(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		files := make([]string, len(t.GoFiles))
+		for i, f := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, f)
+		}
+		pkg, err := check(t.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// newChecker returns a function that parses and type-checks one
+// package's files under the given import path, resolving every import
+// from the export-data map. The underlying gc importer is shared so
+// each dependency's export data is decoded once per Load.
+func newChecker(fset *token.FileSet, exports map[string]string) func(path string, files []string) (*Package, error) {
+	return newCheckerLookup(fset, func(path string) (io.ReadCloser, error) {
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for import %q", path)
+		}
+		return os.Open(exp)
+	})
+}
+
+// newCheckerLookup is newChecker with an arbitrary export-data lookup
+// (the go vet unitchecker path supplies one built from cmd/go's
+// ImportMap/PackageFile config instead of a go list run).
+func newCheckerLookup(fset *token.FileSet, lookup func(path string) (io.ReadCloser, error)) func(path string, files []string) (*Package, error) {
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	return func(path string, files []string) (*Package, error) {
+		var parsed []*ast.File
+		for _, name := range files {
+			f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("lint: %v", err)
+			}
+			parsed = append(parsed, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(path, fset, parsed, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %v", path, err)
+		}
+		return &Package{Path: path, Fset: fset, Files: parsed, Types: tpkg, Info: info}, nil
+	}
+}
+
+// CheckFiles parses and type-checks one package's files as the given
+// import path, resolving imports from export data produced by
+// `go list -deps -export` over importPatterns (run in moduleDir). It
+// is the fixture loader behind the analyzers' testdata suites and the
+// vet-tool entry point's single-package mode.
+func CheckFiles(moduleDir, asPath string, files []string, importPatterns []string) (*Package, error) {
+	exports, err := ExportData(moduleDir, importPatterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return newChecker(fset, exports)(asPath, files)
+}
+
+// CheckFilesLookup parses and type-checks one package's files as
+// asPath, resolving every import through lookup. It is the loader
+// behind the go vet -vettool protocol, where cmd/go hands the tool an
+// explicit import→export-file map instead of letting it run go list.
+func CheckFilesLookup(asPath string, files []string, lookup func(path string) (io.ReadCloser, error)) (*Package, error) {
+	fset := token.NewFileSet()
+	return newCheckerLookup(fset, lookup)(asPath, files)
+}
+
+// ExportData maps every package reachable from the patterns to its
+// export-data file, via `go list -deps -export` run in dir. No
+// patterns means no imports to resolve: an empty map, no subprocess.
+func ExportData(dir string, patterns []string) (map[string]string, error) {
+	if len(patterns) == 0 {
+		return map[string]string{}, nil
+	}
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Export"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	exports := make(map[string]string)
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		var p listPackage
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NewNodrift returns the nodrift analyzer. A nil scope selects the
+// engine packages.
+func NewNodrift(scope []string) *Analyzer {
+	if scope == nil {
+		scope = EnginePackages
+	}
+	return &Analyzer{
+		Name: "nodrift",
+		Doc: `forbids wall-clock, global-rand and environment reads in engine packages
+
+The engine's output must be a pure function of (spec, space, options):
+time.Now/Since/Until, the unseeded math/rand global source, and
+os.Getenv smuggle ambient state into that function. Wall-clock must
+enter via an injected Clock (as internal/admission does), randomness
+via a caller-seeded *rand.Rand, and configuration via options.
+Constructing seeded generators (rand.New, rand.NewSource, ...) and
+using time types (time.Duration, timers like time.After for backoff)
+is fine; sampling ambient state is not.`,
+		Packages: scope,
+		Run:      runNodrift,
+	}
+}
+
+// nodriftForbidden maps package path -> function name -> the message
+// fragment explaining what to inject instead.
+var nodriftForbidden = map[string]map[string]string{
+	"time": {
+		"Now":   "inject a Clock (see internal/admission.Clock) instead of sampling the wall clock",
+		"Since": "inject a Clock (see internal/admission.Clock) instead of sampling the wall clock",
+		"Until": "inject a Clock (see internal/admission.Clock) instead of sampling the wall clock",
+	},
+	"os": {
+		"Getenv":    "ambient environment must enter through options, not os.Getenv",
+		"LookupEnv": "ambient environment must enter through options, not os.LookupEnv",
+		"Environ":   "ambient environment must enter through options, not os.Environ",
+	},
+}
+
+// nodriftRandAllowed lists the math/rand package-level functions that
+// do not draw from the unseeded global source: constructors a caller
+// uses to build an explicitly seeded generator.
+var nodriftRandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func runNodrift(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				// Methods (e.g. (*rand.Rand).Intn on an injected,
+				// seeded generator) are exactly what we steer toward.
+				return true
+			}
+			pkg, name := fn.Pkg().Path(), fn.Name()
+			if why, bad := nodriftForbidden[pkg][name]; bad {
+				pass.Reportf(sel.Pos(), "%s.%s in an engine package: %s", pkg, name, why)
+				return true
+			}
+			if (pkg == "math/rand" || pkg == "math/rand/v2") && !nodriftRandAllowed[name] {
+				pass.Reportf(sel.Pos(),
+					"%s.%s draws from the unseeded global source in an engine package; accept a caller-seeded *rand.Rand instead", pkg, name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,71 @@
+// Package atomicwrite is the atomicwrite analyzer's fixture: in-place
+// creation and unsynced renames are flagged; the temp+sync+rename
+// idiom and append-mode reopens are not.
+package atomicwrite
+
+import "os"
+
+func flagCreate(path string) error {
+	f, err := os.Create(path) // want "os.Create"
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func flagWriteFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want "os.WriteFile"
+}
+
+func flagOpenFileCreate(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644) // want "O_CREATE"
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func flagUnsyncedRename(dir, path string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path) // want "without a preceding Sync"
+}
+
+func okTempSyncRename(dir, path string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func okAppendReopen(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func okIgnored(path string) error {
+	//lint:ignore atomicwrite probe file, removed before any reader can observe it
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	f.Close()
+	return os.Remove(path)
+}

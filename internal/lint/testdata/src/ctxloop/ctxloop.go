@@ -1,0 +1,89 @@
+// Package ctxloop is the ctxloop analyzer's fixture: unbounded loops
+// that never consult an in-scope context are flagged; loops that check
+// ctx, delegate it, or have no context in scope are not.
+package ctxloop
+
+import "context"
+
+func flagSpin(ctx context.Context, step func() bool) {
+	for { // want "unbounded for-loop"
+		if step() {
+			return
+		}
+	}
+}
+
+func flagClosure(ctx context.Context, step func() bool) func() {
+	return func() {
+		for { // want "unbounded for-loop"
+			if step() {
+				return
+			}
+		}
+	}
+}
+
+func okErrCheck(ctx context.Context, step func() bool) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if step() {
+			return nil
+		}
+	}
+}
+
+func okSelectDone(ctx context.Context, jobs chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case j := <-jobs:
+			_ = j
+		}
+	}
+}
+
+func okDelegates(ctx context.Context, step func(context.Context) error) error {
+	for {
+		if err := step(ctx); err != nil {
+			return err
+		}
+	}
+}
+
+func okNoContextInScope(step func() bool) {
+	for {
+		if step() {
+			return
+		}
+	}
+}
+
+func okClosureSeesOuterContext(ctx context.Context) func() {
+	return func() {
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+		}
+	}
+}
+
+func okBounded(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+func okIgnored(ctx context.Context, lanes chan int) {
+	//lint:ignore ctxloop drains a closed channel, terminates by construction
+	for {
+		if _, open := <-lanes; !open {
+			return
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Package detrange is the detrange analyzer's fixture: order-sensitive
+// map walks are flagged, provably order-insensitive ones are not.
+package detrange
+
+import "sort"
+
+func flagAppendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "order-sensitive"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func flagCall(m map[string]int, emit func(string, int)) {
+	for k, v := range m { // want "order-sensitive"
+		emit(k, v)
+	}
+}
+
+func flagStringConcat(m map[string]int) string {
+	s := ""
+	for k := range m { // want "order-sensitive"
+		s += k
+	}
+	return s
+}
+
+func flagLastWriterWins(m map[string]int) int {
+	best := 0
+	for _, v := range m { // want "order-sensitive"
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func flagSend(m map[string]chan int) {
+	for _, ch := range m { // want "order-sensitive"
+		ch <- 1
+	}
+}
+
+func okMapWrite(src, dst map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+func okDelete(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+func okCommutativeAccumulation(m map[string]int) (int, int) {
+	n := 0
+	sum := 0
+	for _, v := range m {
+		n++
+		sum += v
+	}
+	return n, sum
+}
+
+func okBitmask(m map[string]uint64) uint64 {
+	var bits uint64
+	for _, v := range m {
+		bits |= v
+	}
+	return bits
+}
+
+func okCollectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func okCollectThenSortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func okIgnored(m map[string]chan int) {
+	//lint:ignore detrange fan-out order does not affect subscribers
+	for _, ch := range m {
+		ch <- 1
+	}
+}
+
+func okNotAMap(xs []string, emit func(string)) {
+	for _, x := range xs {
+		emit(x)
+	}
+}

@@ -1,0 +1,84 @@
+// Package guardedby is the guardedby analyzer's fixture: annotated
+// fields accessed without their mutex are flagged; locked accesses,
+// the three lock-held-by-caller escapes, and constructor-local values
+// are not.
+package guardedby
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) okLocked() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) flagUnlocked() int {
+	return c.n // want "guarded by mu"
+}
+
+func (c *counter) flagAfterUnlock() int {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	return c.n // want "guarded by mu"
+}
+
+func (c *counter) bumpLocked() {
+	c.n++
+}
+
+// drain resets the counter. Callers hold mu.
+func (c *counter) drain() int {
+	v := c.n
+	c.n = 0
+	return v
+}
+
+func (c *counter) okIgnored() int {
+	//lint:ignore guardedby racy fast-path read, reconciled under the lock below
+	return c.n
+}
+
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int // guarded by mu
+}
+
+func (t *table) okRLocked(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+func (t *table) flagNoRLock(k string) int {
+	return t.m[k] // want "guarded by mu"
+}
+
+type owner struct {
+	mu sync.Mutex
+}
+
+type item struct {
+	v int // guarded by owner.mu
+}
+
+func (o *owner) okLooseHeld(it *item) {
+	o.mu.Lock()
+	it.v++
+	o.mu.Unlock()
+}
+
+func flagLooseUnheld(it *item) {
+	it.v++ // want "guarded by owner.mu"
+}

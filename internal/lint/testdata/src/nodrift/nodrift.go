@@ -1,0 +1,57 @@
+// Package nodrift is the nodrift analyzer's fixture: ambient state
+// reads are flagged, injected clocks and seeded generators are not.
+package nodrift
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"os"
+	"time"
+)
+
+type clock interface {
+	Now() time.Time
+}
+
+func flagNow() int64 {
+	return time.Now().UnixNano() // want "wall clock"
+}
+
+func flagSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wall clock"
+}
+
+func flagGlobalRand() int {
+	return rand.Intn(10) // want "unseeded global source"
+}
+
+func flagGlobalRandV2() int {
+	return randv2.IntN(10) // want "unseeded global source"
+}
+
+func flagGetenv() string {
+	return os.Getenv("RDV_SEED") // want "os.Getenv"
+}
+
+func okSeeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func okSeededV2(a, b uint64) uint64 {
+	rng := randv2.New(randv2.NewPCG(a, b))
+	return rng.Uint64()
+}
+
+func okInjectedClock(c clock) time.Time {
+	return c.Now()
+}
+
+func okDurationArithmetic(d time.Duration) time.Duration {
+	return 2 * d
+}
+
+func okIgnored() time.Time {
+	//lint:ignore nodrift startup banner only, never reaches merged output
+	return time.Now()
+}

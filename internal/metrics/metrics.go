@@ -49,8 +49,8 @@ type family struct {
 	buckets    []float64 // histograms only
 
 	mu       sync.Mutex
-	children map[string]*child // keyed by joined label values
-	collect  func() []Sample   // function-backed families
+	children map[string]*child // keyed by joined label values; guarded by mu
+	collect  func() []Sample   // function-backed families (immutable after construction)
 }
 
 // child is one materialized label set's state.
@@ -58,18 +58,18 @@ type child struct {
 	labels []string
 
 	mu    sync.Mutex
-	value float64  // counter / gauge
-	count uint64   // histogram
-	sum   float64  // histogram
-	bins  []uint64 // histogram: raw per-bucket counts (cumulated at render)
+	value float64  // counter / gauge; guarded by mu
+	count uint64   // histogram; guarded by mu
+	sum   float64  // histogram; guarded by mu
+	bins  []uint64 // histogram: raw per-bucket counts (cumulated at render); guarded by mu
 }
 
 // Registry holds metric families and renders them. The zero value is
 // not usable; construct with NewRegistry.
 type Registry struct {
 	mu       sync.Mutex
-	families map[string]*family
-	order    []string
+	families map[string]*family // guarded by mu
+	order    []string           // guarded by mu
 }
 
 // NewRegistry returns an empty registry.

@@ -149,6 +149,13 @@ func (s *Store) Put(fp string, wc sim.WorstCase) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("resultstore: Put: %w", err)
 	}
+	// Sync before the rename publishes the name: without it a power
+	// loss can leave a complete-looking path whose bytes never hit disk.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: Put: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("resultstore: Put: %w", err)

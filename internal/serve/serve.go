@@ -54,6 +54,7 @@ import (
 	"math"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -422,13 +423,12 @@ type flight struct {
 	done   chan struct{} // closed when wc/err are final
 
 	mu        sync.Mutex
-	subs      map[chan StreamEvent]struct{}
-	completed int
-	total     int
+	subs      map[chan StreamEvent]struct{} // guarded by mu
+	completed int                           // guarded by mu
+	total     int                           // guarded by mu
 
-	// Guarded by the server's mu:
-	refs     int
-	finished bool
+	refs     int  // guarded by Server.mu
+	finished bool // guarded by Server.mu
 
 	wc  sim.WorstCase
 	err error
@@ -459,6 +459,7 @@ func (f *flight) broadcast(completed, total int) {
 	defer f.mu.Unlock()
 	f.completed, f.total = completed, total
 	ev := StreamEvent{Type: "progress", Completed: completed, Total: total}
+	//lint:ignore detrange delivery order across independent subscriber channels is unobservable; each client sees its own in-order stream
 	for ch := range f.subs {
 		select {
 		case ch <- ev:
@@ -488,7 +489,7 @@ type Server struct {
 	mSearchSec   *metrics.HistogramVec // rdv_search_seconds{tier}
 
 	mu       sync.Mutex
-	inflight map[string]*flight
+	inflight map[string]*flight // guarded by mu
 
 	// planMu guards a tiny MRU cache of compiled shard plans, so the N
 	// /shard requests of one search share one plan (meeting tables,
@@ -498,7 +499,7 @@ type Server struct {
 	// tables: one active search plus one predecessor is the working set
 	// of a worker behind a coordinator.
 	planMu sync.Mutex
-	plans  []cachedPlan // newest last, at most maxCachedPlans
+	plans  []cachedPlan // newest last, at most maxCachedPlans; guarded by planMu
 }
 
 // cachedPlan is one entry of the worker's shard-plan cache, keyed by
@@ -598,9 +599,16 @@ func New(cfg Config) (*Server, error) {
 	s.reg.GaugeFunc("rdv_queue_depth", "Admission queue depth, by tenant.", []string{"tenant"},
 		func() []metrics.Sample {
 			st := s.adm.Stats()
-			samples := make([]metrics.Sample, 0, len(st.Queued))
-			for tenant, depth := range st.Queued {
-				samples = append(samples, metrics.Sample{Labels: []string{tenant}, Value: float64(depth)})
+			// Sorted so /metrics exposition order is stable scrape to
+			// scrape (gauge funcs bypass the registry's sorted render).
+			tenants := make([]string, 0, len(st.Queued))
+			for tenant := range st.Queued {
+				tenants = append(tenants, tenant)
+			}
+			sort.Strings(tenants)
+			samples := make([]metrics.Sample, 0, len(tenants))
+			for _, tenant := range tenants {
+				samples = append(samples, metrics.Sample{Labels: []string{tenant}, Value: float64(st.Queued[tenant])})
 			}
 			return samples
 		})
