@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"strings"
 )
 
@@ -30,7 +31,14 @@ must go through os.CreateTemp (write, Sync, Close, os.Rename), every
 os.Rename must be preceded by a Sync in the same function, and
 reopening is only allowed in append mode (the checkpoint log, which
 syncs per record). os.Create, os.WriteFile and os.OpenFile with
-O_CREATE are flagged unconditionally.`,
+O_CREATE are flagged unconditionally.
+
+The Sync must be on the renamed file itself: when the rename source
+is spelled f.Name() (or a variable assigned from it), only a Sync on
+that same f arms the rename, so syncing file A and renaming a
+never-synced file B is still flagged. When the source expression
+cannot be traced to a file variable the check degrades to
+any-Sync-before-the-rename in the same function.`,
 		Packages: scope,
 		Run:      runAtomicwrite,
 	}
@@ -46,14 +54,27 @@ func runAtomicwrite(pass *Pass) {
 }
 
 func checkAtomicwriteFunc(pass *Pass, body *ast.BlockStmt) {
-	// One source-order scan: Sync calls arm renames that follow them.
-	type rename struct {
-		call   *ast.CallExpr
-		synced bool
+	// One source-order scan: Sync calls arm renames that follow them,
+	// but only on the same file — a Sync's receiver must match the
+	// rename source's file variable (traced through f.Name() and
+	// name := f.Name() assignments) when that variable is known.
+	type sync struct {
+		pos  token.Pos
+		recv string // receiver text ("tmp" for tmp.Sync())
 	}
-	var renames []rename
-	var syncs []ast.Node
+	var renames []*ast.CallExpr
+	var syncs []sync
+	// nameOf maps a variable assigned from f.Name() to f's text.
+	nameOf := make(map[string]string)
 	inspectShallow(body, func(n ast.Node) {
+		if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+			if lhs, ok := as.Lhs[0].(*ast.Ident); ok {
+				if file := fileOfNameCall(pass, as.Rhs[0]); file != "" {
+					nameOf[lhs.Name] = file
+				}
+			}
+			return
+		}
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return
@@ -68,24 +89,48 @@ func checkAtomicwriteFunc(pass *Pass, body *ast.BlockStmt) {
 				pass.Reportf(call.Pos(), "os.OpenFile with O_CREATE creates the final path in place; write a temp file (os.CreateTemp), Sync it and os.Rename it into place (append-mode reopen of an existing file is fine)")
 			}
 		case isPkgCall(pass.TypesInfo, call, "os", "Rename"):
-			renames = append(renames, rename{call: call})
+			renames = append(renames, call)
 		default:
-			if _, ok := isMethodCall(pass.TypesInfo, call, "Sync"); ok {
-				syncs = append(syncs, call)
+			if recv, ok := isMethodCall(pass.TypesInfo, call, "Sync"); ok {
+				syncs = append(syncs, sync{pos: call.Pos(), recv: exprText(pass.Fset, recv)})
 			}
 		}
 	})
 	for _, r := range renames {
+		file := ""
+		if len(r.Args) >= 1 {
+			file = fileOfNameCall(pass, r.Args[0])
+			if file == "" {
+				if src, ok := ast.Unparen(r.Args[0]).(*ast.Ident); ok {
+					file = nameOf[src.Name]
+				}
+			}
+		}
+		synced := false
 		for _, s := range syncs {
-			if s.Pos() < r.call.Pos() {
-				r.synced = true
+			if s.pos < r.Pos() && (file == "" || s.recv == file) {
+				synced = true
 				break
 			}
 		}
-		if !r.synced {
-			pass.Reportf(r.call.Pos(), "os.Rename without a preceding Sync in this function; fsync the temp file before renaming it into place, or the published name can still lose its bytes on power loss")
+		if !synced {
+			pass.Reportf(r.Pos(), "os.Rename without a preceding Sync of the renamed file in this function; fsync the temp file before renaming it into place, or the published name can still lose its bytes on power loss")
 		}
 	}
+}
+
+// fileOfNameCall returns the text of f for an expression of the form
+// f.Name(), or "" when the expression is anything else.
+func fileOfNameCall(pass *Pass, e ast.Expr) string {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	recv, ok := isMethodCall(pass.TypesInfo, call, "Name")
+	if !ok {
+		return ""
+	}
+	return exprText(pass.Fset, recv)
 }
 
 // flagsContain reports whether the flags expression mentions the

@@ -24,7 +24,15 @@ code: a function name ending in "Locked", a doc comment stating the
 caller holds the mutex (e.g. "Callers hold mu."), and bases that are
 locals constructed inside the function (not yet shared). A guard
 spelled with a dot (e.g. '// guarded by Controller.mu') names a mutex
-on another object; for those only the mutex name is matched.`,
+on another object; for those only the mutex name is matched.
+
+The lock-state replay is also control-flow blind: Lock/Unlock events
+are ordered by flat source position, so a Lock inside one branch of
+an if, or an Unlock inside a loop body, is treated as preceding all
+later code regardless of whether that path runs. Conditional locking
+therefore yields false negatives (access treated as guarded), never
+false positives; keep lock/unlock straight-line within a function for
+the check to carry weight.`,
 		Run: runGuardedby,
 	}
 }

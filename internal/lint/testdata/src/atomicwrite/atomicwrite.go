@@ -56,6 +56,59 @@ func okTempSyncRename(dir, path string, data []byte) error {
 	return os.Rename(tmp.Name(), path)
 }
 
+func flagWrongFileSynced(dir, pathA, pathB string, data []byte) error {
+	// Syncing file A must not arm the rename of never-synced file B.
+	a, err := os.CreateTemp(dir, ".tmp-a-*")
+	if err != nil {
+		return err
+	}
+	b, err := os.CreateTemp(dir, ".tmp-b-*")
+	if err != nil {
+		return err
+	}
+	if _, err := b.Write(data); err != nil {
+		return err
+	}
+	if err := a.Sync(); err != nil {
+		return err
+	}
+	a.Close()
+	b.Close()
+	if err := os.Rename(a.Name(), pathA); err != nil {
+		return err
+	}
+	return os.Rename(b.Name(), pathB) // want "without a preceding Sync"
+}
+
+func okNameVarTraced(dir, path string, data []byte) error {
+	// The rename source is a variable assigned from tmp.Name(); the
+	// Sync on tmp still arms it.
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmpName, path)
+}
+
+func okUntraceableFallsBackToAnySync(tmp *os.File, from, to string) error {
+	// The source is a plain string parameter — no file variable to
+	// trace — so any earlier Sync in the function arms the rename.
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	return os.Rename(from, to)
+}
+
 func okAppendReopen(path string) (*os.File, error) {
 	return os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 }

@@ -121,11 +121,12 @@ func decode(data []byte, wantFP string) (record, bool) {
 	return rec, true
 }
 
-// Put writes the result under the fingerprint atomically: the record
-// is written to a temp file in the destination directory and renamed
-// into place, so concurrent readers only ever observe complete
-// records and concurrent writers of the same fingerprint converge on
-// identical content.
+// Put writes the result under the fingerprint atomically and durably:
+// the record is written to a temp file in the destination directory,
+// fsynced, renamed into place, and the directory is fsynced, so
+// concurrent readers only ever observe complete records, concurrent
+// writers of the same fingerprint converge on identical content, and
+// a returned nil survives power loss.
 func (s *Store) Put(fp string, wc sim.WorstCase) error {
 	path, err := s.path(fp)
 	if err != nil {
@@ -162,6 +163,21 @@ func (s *Store) Put(fp string, wc sim.WorstCase) error {
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: Put: %w", err)
+	}
+	// The rename itself lives in the directory, not the file: without
+	// an fsync of the parent directory a power loss can undo the
+	// rename and the published entry silently vanishes (readers would
+	// see a miss, not corruption — but Put promises durability).
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return fmt.Errorf("resultstore: Put: %w", err)
+	}
+	if err := dir.Sync(); err != nil {
+		dir.Close()
+		return fmt.Errorf("resultstore: Put: %w", err)
+	}
+	if err := dir.Close(); err != nil {
 		return fmt.Errorf("resultstore: Put: %w", err)
 	}
 	return nil
