@@ -29,6 +29,18 @@
 //	GET  /metrics  Prometheus text metrics (queue depths, pool
 //	               utilization, cache hits, latency histograms)
 //
+// Observability: tracing is on by default (-trace); every /search and
+// /shard gets a span tree (auth, rate check, queue wait, cache, plan,
+// per-shard execution, merge, store write), announced to the client in
+// the X-Rdv-Trace response header and joined across daemons via the
+// W3C traceparent header on shard dispatch. Recent traces live in an
+// in-memory ring (-trace-ring) and optionally an fsync'd JSONL file
+// (-trace-log). Add "timings": true to a /search body for the per-phase
+// breakdown in the response. -debug-addr serves GET /debug/traces,
+// GET /debug/runtime and /debug/pprof on a separate listener;
+// -slow-request DURATION WARN-logs the phase breakdown of any slower
+// request.
+//
 // Multi-tenancy: -auth-tokens FILE enables bearer-token auth; each
 // line grants "token tenant weight [rate [burst]]". Tenants share the
 // engine pool by weighted fair queueing (one heavy tenant's backlog
@@ -72,6 +84,7 @@ import (
 	"rendezvous/internal/auth"
 	"rendezvous/internal/resultstore"
 	"rendezvous/internal/serve"
+	"rendezvous/internal/trace"
 )
 
 func main() {
@@ -99,6 +112,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		queueDepth    = fs.Int("queue-depth", 0, "admission queue depth per tenant before 429 (0 = 64)")
 		logRequests   = fs.Bool("log-requests", false, "log one structured line per request to stderr")
 		peerToken     = fs.String("peer-token", "", "bearer token presented to workers (coordinator role, when workers run with -auth-tokens)")
+		traceOn       = fs.Bool("trace", true, "record per-request span traces (inspect via -debug-addr's /debug/traces)")
+		traceRing     = fs.Int("trace-ring", 0, "recent traces kept in memory (0 = 256)")
+		traceLog      = fs.String("trace-log", "", "append every completed trace to this JSONL file (fsync'd); empty disables")
+		debugAddr     = fs.String("debug-addr", "", "separate listen address for /debug/traces, /debug/runtime and /debug/pprof; empty disables")
+		slowRequest   = fs.Duration("slow-request", 0, "log the phase breakdown at WARN for requests slower than this (0 disables; needs -trace)")
 		index         = fs.Bool("index", false, "print the store index as JSON and exit")
 		gc            = fs.Bool("gc", false, "garbage-collect the store and exit")
 		gcMax         = fs.Int("gc-max", 0, "with -gc: keep at most this many newest records (0 = only drop corrupt ones)")
@@ -182,6 +200,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *queueDepth < 0 {
 		return usageErr("-queue-depth %d: want 0 (default %d) or a positive depth", *queueDepth, admission.DefaultQueueDepth)
 	}
+	if *traceRing < 0 {
+		return usageErr("-trace-ring %d: want 0 (default %d) or a positive count", *traceRing, trace.DefaultRingSize)
+	}
+	if !*traceOn {
+		// Flags that only shape the tracer would silently do nothing.
+		if *traceRing != 0 {
+			return usageErr("-trace-ring is only meaningful with -trace")
+		}
+		if *traceLog != "" {
+			return usageErr("-trace-log is only meaningful with -trace")
+		}
+		if *slowRequest != 0 {
+			return usageErr("-slow-request is only meaningful with -trace")
+		}
+	}
+	if *slowRequest < 0 {
+		return usageErr("-slow-request %v: want 0 (disabled) or a positive duration", *slowRequest)
+	}
 	var authenticator *auth.Authenticator
 	if *authTokens != "" {
 		a, err := auth.LoadTokens(*authTokens)
@@ -192,8 +228,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		authenticator = a
 	}
 	var reqLog *slog.Logger
-	if *logRequests {
+	if *logRequests || *slowRequest > 0 {
+		// -slow-request implies request logging: a threshold nobody can
+		// see firing is worse than a usage error.
 		reqLog = slog.New(slog.NewTextHandler(stderr, nil))
+	}
+	var tracer *trace.Tracer
+	var traceSink *trace.Log
+	if *traceOn {
+		if *traceLog != "" {
+			l, err := trace.OpenLog(*traceLog)
+			if err != nil {
+				fmt.Fprintf(stderr, "rdvd: -trace-log: %v\n", err)
+				return 1
+			}
+			traceSink = l
+			defer traceSink.Close()
+		}
+		tracer = trace.New(trace.Config{RingSize: *traceRing, Log: traceSink})
 	}
 
 	store, err := resultstore.Open(*storeDir)
@@ -240,6 +292,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		QueueDepth:    *queueDepth,
 		RequestLog:    reqLog,
 		PeerToken:     *peerToken,
+		Tracer:        tracer,
+		Instance:      *addr,
+		SlowRequest:   *slowRequest,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -269,6 +324,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		} else {
 			fmt.Fprintf(stdout, "rdvd: coordinating %d healthy peer(s)\n", len(d.Peers()))
 		}
+	}
+
+	// The debug listener is separate from the tenant-facing one so
+	// profiling and trace inspection can be firewalled independently
+	// (and a pprof CPU profile cannot be triggered by a search client).
+	var debugServer *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		debugServer = &http.Server{Handler: srv.DebugHandler(), ReadHeaderTimeout: 10 * time.Second}
+		go debugServer.Serve(dln)
+		defer debugServer.Close()
+		fmt.Fprintf(stdout, "rdvd: debug listener on %s (/debug/traces, /debug/runtime, /debug/pprof)\n", dln.Addr())
 	}
 
 	// Header/body reads and idle keep-alives are time-bounded so a

@@ -43,6 +43,11 @@ func TestFlagValidation(t *testing.T) {
 		{"coord-bad-shard-timeout", []string{"-role", "coordinator", "-peers", "http://127.0.0.1:1", "-shard-timeout", "-2m"}, "-shard-timeout"},
 		{"coord-bad-shard-attempts", []string{"-role", "coordinator", "-peers", "http://127.0.0.1:1", "-shard-attempts", "-1"}, "-shard-attempts"},
 		{"bad-peer-url", []string{"-role", "coordinator", "-peers", "not a url"}, "peer"},
+		{"bad-trace-ring", []string{"-trace-ring", "-1"}, "-trace-ring"},
+		{"trace-ring-without-trace", []string{"-trace=false", "-trace-ring", "64"}, "-trace-ring is only meaningful with -trace"},
+		{"trace-log-without-trace", []string{"-trace=false", "-trace-log", "t.jsonl"}, "-trace-log is only meaningful with -trace"},
+		{"slow-request-without-trace", []string{"-trace=false", "-slow-request", "1s"}, "-slow-request is only meaningful with -trace"},
+		{"bad-slow-request", []string{"-slow-request", "-1s"}, "-slow-request"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -112,29 +117,34 @@ func TestServeSmoke(t *testing.T) {
 	dir := t.TempDir()
 	var stdout lockedBuffer
 	var stderr bytes.Buffer
-	go run([]string{"-addr", "127.0.0.1:0", "-store", dir, "-search-workers", "1"}, &stdout, &stderr)
+	go run([]string{"-addr", "127.0.0.1:0", "-store", dir, "-search-workers", "1", "-debug-addr", "127.0.0.1:0"}, &stdout, &stderr)
 
-	var base string
+	var base, debugBase string
 	deadline := time.Now().Add(5 * time.Second)
-	for base == "" {
+	for base == "" || debugBase == "" {
 		if time.Now().After(deadline) {
-			t.Fatalf("daemon never announced its address; stderr: %s", stderr.String())
+			t.Fatalf("daemon never announced its addresses; stderr: %s", stderr.String())
 		}
 		for _, line := range strings.Split(stdout.String(), "\n") {
 			if rest, ok := strings.CutPrefix(line, "rdvd: listening on "); ok {
 				base = "http://" + strings.Fields(rest)[0]
+			}
+			if rest, ok := strings.CutPrefix(line, "rdvd: debug listener on "); ok {
+				debugBase = "http://" + strings.Fields(rest)[0]
 			}
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
 
 	req := `{"graph":{"family":"ring","n":6},"algorithm":"cheap","L":3}`
+	var lastTrace string
 	post := func() map[string]any {
 		resp, err := http.Post(base+"/search", "application/json", strings.NewReader(req))
 		if err != nil {
 			t.Fatal(err)
 		}
 		defer resp.Body.Close()
+		lastTrace = resp.Header.Get("X-Rdv-Trace")
 		var out map[string]any
 		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 			t.Fatal(err)
@@ -147,8 +157,55 @@ func TestServeSmoke(t *testing.T) {
 	if cold := post(); cold["cached"] != false {
 		t.Errorf("cold request: cached = %v, want false", cold["cached"])
 	}
-	if warm := post(); warm["cached"] != true {
+	warm := post()
+	if warm["cached"] != true {
 		t.Errorf("repeat request: cached = %v, want true", warm["cached"])
+	}
+	// Tracing is on by default: the trace is announced in the header,
+	// echoed in the response body, and inspectable on the debug listener.
+	if lastTrace == "" {
+		t.Error("no X-Rdv-Trace header on the traced daemon")
+	}
+	if warm["traceId"] != lastTrace {
+		t.Errorf("body traceId = %v, header %q", warm["traceId"], lastTrace)
+	}
+	resp, err := http.Get(debugBase + "/debug/traces?limit=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var dt struct {
+		Enabled bool `json:"enabled"`
+		Traces  []struct {
+			TraceID string `json:"traceId"`
+		} `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dt); err != nil {
+		t.Fatal(err)
+	}
+	if !dt.Enabled {
+		t.Error("/debug/traces reports tracing disabled")
+	}
+	found := false
+	for _, tr := range dt.Traces {
+		if tr.TraceID == lastTrace {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("trace %q not in /debug/traces (got %d traces)", lastTrace, len(dt.Traces))
+	}
+	if resp, err := http.Get(debugBase + "/debug/runtime"); err != nil {
+		t.Fatal(err)
+	} else {
+		var rt map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&rt); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if g, ok := rt["goroutines"].(float64); !ok || g < 1 {
+			t.Errorf("/debug/runtime goroutines = %v", rt["goroutines"])
+		}
 	}
 }
 

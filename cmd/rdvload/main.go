@@ -23,7 +23,10 @@
 // engine pool saturated (e.g. -graph-n 16 -algorithm fast
 // -search-l 128, roughly 100ms per cold search on one core).
 //
-// The report is one JSON document on stdout. -assert-min-share
+// The report is one JSON document on stdout. It includes the top-5
+// slowest completed requests with the trace IDs the daemon announced
+// in X-Rdv-Trace, so a latency investigation jumps straight to the
+// daemon's /debug/traces. -assert-min-share
 // tenant=frac (repeatable, comma-separated) checks the tenant's share
 // of completed searches; -assert-max-error-rate bounds transport and
 // 5xx failures over all tenants. A violated assertion (or a run that
@@ -164,6 +167,46 @@ type AssertReport struct {
 	OK     bool    `json:"ok"`
 }
 
+// SlowRequest is one of the slowest completed requests of the run,
+// identified by the trace ID the daemon announced in its X-Rdv-Trace
+// response header — so "why was the p99 bad" goes straight from this
+// report to the daemon's /debug/traces without re-running the load.
+type SlowRequest struct {
+	Tenant    string  `json:"tenant"`
+	LatencyMs float64 `json:"latencyMs"`
+	TraceID   string  `json:"traceId,omitempty"`
+}
+
+// slowTracker keeps the top-N slowest completed requests across all
+// tenants and workers, slowest first.
+type slowTracker struct {
+	mu   sync.Mutex
+	max  int
+	reqs []SlowRequest
+}
+
+func (tr *slowTracker) observe(tenant string, latency time.Duration, traceID string) {
+	sr := SlowRequest{Tenant: tenant, LatencyMs: float64(latency) / float64(time.Millisecond), TraceID: traceID}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	i := sort.Search(len(tr.reqs), func(i int) bool { return tr.reqs[i].LatencyMs < sr.LatencyMs })
+	if i >= tr.max {
+		return
+	}
+	tr.reqs = append(tr.reqs, SlowRequest{})
+	copy(tr.reqs[i+1:], tr.reqs[i:])
+	tr.reqs[i] = sr
+	if len(tr.reqs) > tr.max {
+		tr.reqs = tr.reqs[:tr.max]
+	}
+}
+
+func (tr *slowTracker) top() []SlowRequest {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return append([]SlowRequest(nil), tr.reqs...)
+}
+
 // Report is the rdvload JSON output.
 type Report struct {
 	Addr            string                   `json:"addr"`
@@ -172,6 +215,7 @@ type Report struct {
 	TotalIssued     int                      `json:"totalIssued"`
 	TotalCompleted  int                      `json:"totalCompleted"`
 	Tenants         map[string]*TenantReport `json:"tenants"`
+	SlowestRequests []SlowRequest            `json:"slowestRequests,omitempty"`
 	Asserts         []AssertReport           `json:"asserts,omitempty"`
 }
 
@@ -271,6 +315,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		stats[sp.id] = &tenantStats{statuses: make(map[string]int)}
 	}
 	var coldID atomic.Int64
+	slow := &slowTracker{max: 5}
 	var wg sync.WaitGroup
 	start := time.Now()
 	for _, sp := range specs {
@@ -289,7 +334,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 					if isHot {
 						hot++
 					}
-					issueOne(ctx, client, base, sp.token, body, st)
+					issueOne(ctx, client, base, sp.id, sp.token, body, st, slow)
 				}
 			}(sp)
 		}
@@ -302,6 +347,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		DurationSeconds: elapsed.Seconds(),
 		HotFraction:     *hotFrac,
 		Tenants:         make(map[string]*TenantReport, len(specs)),
+		SlowestRequests: slow.top(),
 	}
 	for _, sp := range specs {
 		st := stats[sp.id]
@@ -372,8 +418,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // issueOne sends one search and records the outcome. The loop is
 // closed: each worker has exactly one request outstanding, so offered
-// concurrency is the tenant's worker count.
-func issueOne(ctx context.Context, client *http.Client, base, token string, body []byte, st *tenantStats) {
+// concurrency is the tenant's worker count. Completed requests feed
+// the top-5 slowest tracker with the trace ID from X-Rdv-Trace.
+func issueOne(ctx context.Context, client *http.Client, base, tenant, token string, body []byte, st *tenantStats, slow *slowTracker) {
 	st.mu.Lock()
 	st.issued++
 	st.mu.Unlock()
@@ -407,11 +454,14 @@ func issueOne(ctx context.Context, client *http.Client, base, token string, body
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	latency := time.Since(t0)
+	traceID := resp.Header.Get("X-Rdv-Trace")
 
+	completed := false
 	st.mu.Lock()
 	st.statuses[strconv.Itoa(resp.StatusCode)]++
 	switch {
 	case resp.StatusCode == http.StatusOK && decodeErr == nil && out.Error == "":
+		completed = true
 		st.completed++
 		st.latencies = append(st.latencies, latency.Seconds())
 		if out.Cached {
@@ -423,6 +473,9 @@ func issueOne(ctx context.Context, client *http.Client, base, token string, body
 		st.errors++
 	}
 	st.mu.Unlock()
+	if completed {
+		slow.observe(tenant, latency, traceID)
+	}
 	if resp.StatusCode == http.StatusTooManyRequests {
 		// Refused for capacity: keep offering load (that pressure is the
 		// point of the harness) but yield briefly so a saturated daemon

@@ -3,14 +3,17 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"rendezvous/internal/auth"
 	"rendezvous/internal/resultstore"
 	"rendezvous/internal/serve"
+	"rendezvous/internal/trace"
 )
 
 // newDaemon stands up a real serving stack (store + auth + admission)
@@ -21,7 +24,7 @@ func newDaemon(t *testing.T, tokens string) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := serve.Config{Store: store, MaxConcurrent: 2}
+	cfg := serve.Config{Store: store, MaxConcurrent: 2, Tracer: trace.New(trace.Config{})}
 	if tokens != "" {
 		a, err := auth.ParseTokens([]byte(tokens))
 		if err != nil {
@@ -100,6 +103,42 @@ func TestLoadAnonymous(t *testing.T) {
 	}
 	if len(report.Asserts) != 2 || !report.Asserts[0].OK || !report.Asserts[1].OK {
 		t.Errorf("asserts = %+v", report.Asserts)
+	}
+	// The daemon traces every request, so the slowest-request report
+	// must be populated, sorted slowest-first, and carry trace IDs.
+	if len(report.SlowestRequests) == 0 || len(report.SlowestRequests) > 5 {
+		t.Fatalf("slowestRequests has %d entries, want 1..5", len(report.SlowestRequests))
+	}
+	for i, sr := range report.SlowestRequests {
+		if sr.Tenant != "anon" || sr.LatencyMs <= 0 {
+			t.Errorf("slowestRequests[%d] = %+v", i, sr)
+		}
+		if sr.TraceID == "" {
+			t.Errorf("slowestRequests[%d] has no trace ID", i)
+		}
+		if i > 0 && sr.LatencyMs > report.SlowestRequests[i-1].LatencyMs {
+			t.Errorf("slowestRequests not sorted slowest-first: %+v", report.SlowestRequests)
+		}
+	}
+}
+
+// TestSlowTracker pins the tracker's bound and ordering without a
+// daemon in the loop.
+func TestSlowTracker(t *testing.T) {
+	tr := &slowTracker{max: 5}
+	for i, ms := range []int{3, 9, 1, 7, 5, 8, 2, 6, 4} {
+		tr.observe("t", time.Duration(ms)*time.Millisecond, fmt.Sprintf("trace-%d", i))
+	}
+	top := tr.top()
+	if len(top) != 5 {
+		t.Fatalf("kept %d entries, want 5", len(top))
+	}
+	wantMs := []float64{9, 8, 7, 6, 5}
+	wantID := []string{"trace-1", "trace-5", "trace-3", "trace-7", "trace-4"}
+	for i := range top {
+		if top[i].LatencyMs != wantMs[i] || top[i].TraceID != wantID[i] {
+			t.Errorf("top[%d] = %+v, want %gms %s", i, top[i], wantMs[i], wantID[i])
+		}
 	}
 }
 

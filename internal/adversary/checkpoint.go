@@ -60,6 +60,12 @@ type CheckpointConfig struct {
 	// the checkpoint, reported once up front) and the total. Calls are
 	// serialized; the callback must not block for long.
 	Progress func(completed, total int)
+	// Observer receives stage-boundary events (plan ready, per-shard
+	// start/finish, checkpoint appends, merge) for tracing. Like
+	// Progress it lives here rather than in Options, so observation can
+	// never perturb the search fingerprint. The zero value observes
+	// nothing.
+	Observer SearchObserver
 }
 
 // searchPlan is a search lowered to shard form: the expanded
@@ -398,6 +404,10 @@ func SearchCheckpointed(spec Spec, space sim.SearchSpace, opts Options, cfg Chec
 		return sim.WorstCase{}, err
 	}
 	num := plan.Shards()
+	obs := cfg.Observer
+	if obs.PlanReady != nil {
+		obs.PlanReady(plan.Info())
+	}
 
 	var done map[int]sim.WorstCase
 	var writer *checkpointWriter
@@ -434,6 +444,9 @@ func SearchCheckpointed(spec Spec, space sim.SearchSpace, opts Options, cfg Chec
 		}
 	}
 	completed := num - len(todo)
+	if obs.ShardsRestored != nil {
+		obs.ShardsRestored(completed, num)
+	}
 	if cfg.Progress != nil {
 		cfg.Progress(completed, num)
 	}
@@ -467,9 +480,25 @@ func SearchCheckpointed(spec Spec, space sim.SearchSpace, opts Options, cfg Chec
 					next++
 					mu.Unlock()
 
+					if obs.ShardStarted != nil {
+						obs.ShardStarted(i, num)
+					}
 					wc, err := plan.RunShard(ctx, i)
+					if obs.ShardFinished != nil {
+						runs := wc.Runs
+						if err != nil {
+							runs = 0
+						}
+						obs.ShardFinished(i, num, runs, err)
+					}
 					if err == nil && writer != nil {
+						if obs.CheckpointAppendStarted != nil {
+							obs.CheckpointAppendStarted(i)
+						}
 						err = writer.record(i, wc)
+						if obs.CheckpointAppendFinished != nil {
+							obs.CheckpointAppendFinished(i, err)
+						}
 					}
 					mu.Lock()
 					if err != nil {
@@ -509,5 +538,12 @@ func SearchCheckpointed(spec Spec, space sim.SearchSpace, opts Options, cfg Chec
 		}
 	}
 
-	return MergeShards(results), nil
+	if obs.MergeStarted != nil {
+		obs.MergeStarted(num)
+	}
+	merged := MergeShards(results)
+	if obs.MergeFinished != nil {
+		obs.MergeFinished()
+	}
+	return merged, nil
 }

@@ -38,6 +38,7 @@ import (
 	"rendezvous/internal/adversary"
 	"rendezvous/internal/resultstore"
 	"rendezvous/internal/sim"
+	"rendezvous/internal/trace"
 )
 
 // ShardRequest is the body of POST /shard: one shard of a search,
@@ -75,6 +76,12 @@ type ShardResponse struct {
 	Result *sim.WorstCase `json:"result,omitempty"`
 	// Error is the failure description (absent on success).
 	Error string `json:"error,omitempty"`
+	// Spans is the worker's span tree for this shard (present only when
+	// the coordinator propagated a traceparent and the worker traces):
+	// the worker's half of the distributed trace, which the dispatcher
+	// adopts into the coordinator's trace for reassembly. Observability
+	// payload only — never consulted for correctness.
+	Spans []trace.SpanRecord `json:"spans,omitempty"`
 }
 
 // ShardFingerprint returns the store key of one shard's partial
@@ -438,7 +445,13 @@ func (d *Dispatcher) Search(ctx context.Context, search json.RawMessage, fingerp
 						return
 					case shard = <-queue:
 					}
-					wc, err := d.runShard(ctx, peer, search, fingerprint, shard, shards)
+					sctx, span := trace.Start(ctx, "shard.dispatch",
+						trace.String("peer", peer), trace.Int("shard", shard))
+					wc, err := d.runShard(sctx, peer, search, fingerprint, shard, shards)
+					if err != nil {
+						span.SetAttr(trace.String("error", err.Error()))
+					}
+					span.End()
 					if err != nil {
 						queue <- shard // never lost: another peer (or this one, recovered) retries it
 						d.retries.Add(1)
@@ -509,6 +522,11 @@ func (d *Dispatcher) runShard(ctx context.Context, peer string, search json.RawM
 		return sim.WorstCase{}, fmt.Errorf("cluster: %s shard %d: %w", peer, shard, err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Propagate the trace so the worker's spans join this search's
+	// trace; the worker returns its span tree in the response.
+	if tp := trace.FromContext(ctx).Traceparent(); tp != "" {
+		req.Header.Set("traceparent", tp)
+	}
 	d.authorize(req)
 	resp, err := d.client.Do(req)
 	if err != nil {
@@ -549,6 +567,9 @@ func (d *Dispatcher) runShard(ctx context.Context, peer string, search json.RawM
 	if out.Fingerprint != fingerprint || out.Shard != shard || out.Shards != shards || out.Result == nil {
 		return sim.WorstCase{}, fmt.Errorf("cluster: %s shard %d: response addressed to a different shard (fp %.12s…, shard %d/%d)", peer, shard, out.Fingerprint, out.Shard, out.Shards)
 	}
+	// Fold the worker's span tree into the coordinator's trace (no-op
+	// when untraced; Adopt drops spans from any other trace).
+	trace.FromContext(ctx).Adopt(out.Spans)
 	return *out.Result, nil
 }
 

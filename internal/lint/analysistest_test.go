@@ -167,6 +167,13 @@ func TestNodrift(t *testing.T) {
 	runFixture(t, NewNodrift(nil), "rendezvous/internal/sim", "nodrift")
 }
 
+// TestNodriftTraceScope pins internal/trace inside nodrift's default
+// scope: a raw wall-clock read in trace code must fail rdvlint, with
+// the Clock-adapter Now method as the one recognized escape.
+func TestNodriftTraceScope(t *testing.T) {
+	runFixture(t, NewNodrift(nil), "rendezvous/internal/trace", "nodrifttrace")
+}
+
 func TestAtomicwrite(t *testing.T) {
 	runFixture(t, NewAtomicwrite(nil), "rendezvous/internal/resultstore", "atomicwrite")
 }
@@ -189,6 +196,7 @@ func TestScopeSuppression(t *testing.T) {
 	}{
 		{NewDetrange(nil), "detrange"},
 		{NewNodrift(nil), "nodrift"},
+		{NewNodrift(nil), "nodrifttrace"},
 		{NewAtomicwrite(nil), "atomicwrite"},
 		{NewCtxloop(nil), "ctxloop"},
 	}

@@ -2,14 +2,15 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
 // NewNodrift returns the nodrift analyzer. A nil scope selects the
-// engine packages.
+// engine packages plus internal/trace.
 func NewNodrift(scope []string) *Analyzer {
 	if scope == nil {
-		scope = EnginePackages
+		scope = append(append([]string{}, EnginePackages...), "internal/trace")
 	}
 	return &Analyzer{
 		Name: "nodrift",
@@ -22,7 +23,14 @@ enter via an injected Clock (as internal/admission does), randomness
 via a caller-seeded *rand.Rand, and configuration via options.
 Constructing seeded generators (rand.New, rand.NewSource, ...) and
 using time types (time.Duration, timers like time.After for backoff)
-is fine; sampling ambient state is not.`,
+is fine; sampling ambient state is not.
+
+internal/trace is in scope too: span timestamps must come from the
+tracer's injected Clock so traced and untraced runs are testably
+identical and timestamps can never leak into merged results. The one
+recognized escape is the Clock-adapter pattern — a method named Now
+(on any receiver) may call time.Now, because such a method IS the
+injection seam the rest of the rule steers toward.`,
 		Packages: scope,
 		Run:      runNodrift,
 	}
@@ -54,8 +62,32 @@ var nodriftRandAllowed = map[string]bool{
 	"NewChaCha8": true, // math/rand/v2
 }
 
+// nowMethodBodies collects the body ranges of methods named Now — the
+// Clock-adapter escape. A wall-clock read inside `func (x T) Now()`
+// is the adapter handing the system clock to an injected Clock
+// interface; that method is the sanctioned home of time.Now.
+func nowMethodBodies(file *ast.File) [][2]token.Pos {
+	var ranges [][2]token.Pos
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if ok && fd.Recv != nil && fd.Name.Name == "Now" && fd.Body != nil {
+			ranges = append(ranges, [2]token.Pos{fd.Body.Pos(), fd.Body.End()})
+		}
+	}
+	return ranges
+}
+
 func runNodrift(pass *Pass) {
 	for _, file := range pass.Files {
+		nowBodies := nowMethodBodies(file)
+		inNowMethod := func(pos token.Pos) bool {
+			for _, r := range nowBodies {
+				if pos >= r[0] && pos < r[1] {
+					return true
+				}
+			}
+			return false
+		}
 		ast.Inspect(file, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {
@@ -71,6 +103,10 @@ func runNodrift(pass *Pass) {
 				return true
 			}
 			pkg, name := fn.Pkg().Path(), fn.Name()
+			if pkg == "time" && name == "Now" && inNowMethod(sel.Pos()) {
+				// The Clock-adapter escape.
+				return true
+			}
 			if why, bad := nodriftForbidden[pkg][name]; bad {
 				pass.Reportf(sel.Pos(), "%s.%s in an engine package: %s", pkg, name, why)
 				return true

@@ -47,6 +47,19 @@ func okInjectedClock(c clock) time.Time {
 	return c.Now()
 }
 
+type sysClock struct{}
+
+// The Clock-adapter escape: a method named Now is the injection seam
+// itself, so its wall-clock read is sanctioned.
+func (sysClock) Now() time.Time {
+	return time.Now()
+}
+
+// A method named anything else gets no such grace.
+func (sysClock) Stamp() time.Time {
+	return time.Now() // want "wall clock"
+}
+
 func okDurationArithmetic(d time.Duration) time.Duration {
 	return 2 * d
 }

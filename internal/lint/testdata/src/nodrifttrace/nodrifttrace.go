@@ -1,0 +1,30 @@
+// Package nodrifttrace pins internal/trace inside nodrift's default
+// scope: raw wall-clock reads in trace code are flagged, because span
+// timestamps must flow through the tracer's injected Clock. The only
+// escape is the Clock-adapter pattern — a method named Now.
+package nodrifttrace
+
+import "time"
+
+type clock interface {
+	Now() time.Time
+}
+
+type systemClock struct{}
+
+// The sanctioned escape: the adapter that injects the system clock.
+func (systemClock) Now() time.Time {
+	return time.Now()
+}
+
+func stampSpan() time.Time {
+	return time.Now() // want "wall clock"
+}
+
+func spanDuration(start time.Time) time.Duration {
+	return time.Since(start) // want "wall clock"
+}
+
+func okInjected(c clock, start time.Time) time.Duration {
+	return c.Now().Sub(start)
+}

@@ -43,7 +43,15 @@ type killableWorker struct {
 
 func newKillableWorker(t testing.TB, after int32) *killableWorker {
 	t.Helper()
-	inner, err := New(Config{MaxConcurrent: 4, Workers: 1})
+	return newKillableWorkerCfg(t, after, Config{MaxConcurrent: 4, Workers: 1})
+}
+
+// newKillableWorkerCfg is newKillableWorker with the inner daemon's
+// configuration in the caller's hands (the trace tests give the dying
+// worker its own tracer and instance name).
+func newKillableWorkerCfg(t testing.TB, after int32, cfg Config) *killableWorker {
+	t.Helper()
+	inner, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

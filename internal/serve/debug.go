@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"time"
+
+	"rendezvous/internal/trace"
+)
+
+// DebugHandler returns the daemon's debug/profiling routes, served on
+// a separate listener (cmd/rdvd's -debug-addr) so profiling and trace
+// inspection never ride the tenant-facing listener or its auth and
+// admission path:
+//
+//	GET /debug/traces   — recent traces from the tracer's ring
+//	                      (?min_ms=, ?tenant=, ?limit=)
+//	GET /debug/runtime  — goroutine / heap / GC-pause gauges
+//	GET /debug/pprof/*  — net/http/pprof
+//
+// The handler is safe with tracing disabled: /debug/traces then
+// reports enabled=false with no traces.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/traces", s.handleDebugTraces)
+	mux.HandleFunc("/debug/runtime", handleDebugRuntime)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// debugTraces is the body of GET /debug/traces.
+type debugTraces struct {
+	Enabled bool          `json:"enabled"`
+	Stats   trace.Stats   `json:"stats"`
+	Traces  []trace.Trace `json:"traces"`
+}
+
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, Response{Error: "GET only"})
+		return
+	}
+	var f trace.Filter
+	q := r.URL.Query()
+	if v := q.Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			writeJSON(w, http.StatusBadRequest, Response{Error: "serve: min_ms: want a non-negative number"})
+			return
+		}
+		f.MinDuration = time.Duration(ms * float64(time.Millisecond))
+	}
+	f.Tenant = q.Get("tenant")
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, Response{Error: "serve: limit: want a non-negative integer"})
+			return
+		}
+		f.Limit = n
+	}
+	traces := s.tracer.Traces(f)
+	if traces == nil {
+		traces = []trace.Trace{} // JSON [] rather than null
+	}
+	writeJSON(w, http.StatusOK, debugTraces{Enabled: s.tracer.Enabled(), Stats: s.tracer.Stats(), Traces: traces})
+}
+
+// debugRuntime is the body of GET /debug/runtime: the process gauges a
+// "why is this daemon slow" investigation reaches for first, without
+// needing a pprof round trip.
+type debugRuntime struct {
+	Goroutines     int     `json:"goroutines"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+	HeapAllocBytes uint64  `json:"heapAllocBytes"`
+	HeapSysBytes   uint64  `json:"heapSysBytes"`
+	HeapObjects    uint64  `json:"heapObjects"`
+	NumGC          uint32  `json:"numGC"`
+	LastGCPauseNs  uint64  `json:"lastGCPauseNs"`
+	GCCPUFraction  float64 `json:"gcCPUFraction"`
+}
+
+func handleDebugRuntime(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, Response{Error: "GET only"})
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	out := debugRuntime{
+		Goroutines:     runtime.NumGoroutine(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapSysBytes:   ms.HeapSys,
+		HeapObjects:    ms.HeapObjects,
+		NumGC:          ms.NumGC,
+		GCCPUFraction:  ms.GCCPUFraction,
+	}
+	if ms.NumGC > 0 {
+		out.LastGCPauseNs = ms.PauseNs[(ms.NumGC+255)%256]
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -56,6 +56,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -69,6 +70,7 @@ import (
 	"rendezvous/internal/metrics"
 	"rendezvous/internal/resultstore"
 	"rendezvous/internal/sim"
+	"rendezvous/internal/trace"
 )
 
 // Request size caps. The daemon is a shared process: one oversized
@@ -207,6 +209,12 @@ type Request struct {
 	Workers int `json:"workers,omitempty"`
 	// Stream selects the NDJSON progress-streaming response.
 	Stream bool `json:"stream,omitempty"`
+	// Timings opts into the explain API: the response (or the final
+	// stream event) carries the request's per-phase duration breakdown.
+	// Requires the server to run with tracing enabled; silently absent
+	// otherwise. A transport option like Stream — it never reaches the
+	// engine or the fingerprint.
+	Timings bool `json:"timings,omitempty"`
 }
 
 // compile validates the request and lowers it onto the engine's
@@ -324,6 +332,13 @@ type Response struct {
 	Result *sim.WorstCase `json:"result,omitempty"`
 	// Error is the failure description (absent on success).
 	Error string `json:"error,omitempty"`
+	// TraceID names this request's trace (present when the server
+	// traces; also sent as the X-Rdv-Trace response header). Inspect it
+	// via GET /debug/traces on the daemon's -debug-addr listener.
+	TraceID string `json:"traceId,omitempty"`
+	// Timings is the per-phase duration breakdown (present when the
+	// request opted in with "timings": true and the server traces).
+	Timings []trace.PhaseTiming `json:"timings,omitempty"`
 }
 
 // StreamEvent is one NDJSON line of a streaming answer.
@@ -334,24 +349,26 @@ type StreamEvent struct {
 	Completed int `json:"completed,omitempty"`
 	Total     int `json:"total,omitempty"`
 	// The remaining fields mirror Response (Type == result / error).
-	Fingerprint string         `json:"fingerprint,omitempty"`
-	Cached      bool           `json:"cached,omitempty"`
-	Shared      bool           `json:"shared,omitempty"`
-	Result      *sim.WorstCase `json:"result,omitempty"`
-	Error       string         `json:"error,omitempty"`
+	Fingerprint string              `json:"fingerprint,omitempty"`
+	Cached      bool                `json:"cached,omitempty"`
+	Shared      bool                `json:"shared,omitempty"`
+	Result      *sim.WorstCase      `json:"result,omitempty"`
+	Error       string              `json:"error,omitempty"`
+	TraceID     string              `json:"traceId,omitempty"`
+	Timings     []trace.PhaseTiming `json:"timings,omitempty"`
 }
 
 // searchFunc is the engine entry point, injectable in tests. progress
-// may be nil.
-type searchFunc func(ctx context.Context, spec adversary.Spec, space sim.SearchSpace, opts adversary.Options, progress func(completed, total int)) (sim.WorstCase, error)
+// may be nil; obs's zero value observes nothing.
+type searchFunc func(ctx context.Context, spec adversary.Spec, space sim.SearchSpace, opts adversary.Options, progress func(completed, total int), obs adversary.SearchObserver) (sim.WorstCase, error)
 
 // engineSearch is the production searchFunc: the checkpointed engine
 // driven for shard-level progress (without a checkpoint file — the
 // store persists finished results; the daemon's unit of recovery is
 // the request).
-func engineSearch(ctx context.Context, spec adversary.Spec, space sim.SearchSpace, opts adversary.Options, progress func(completed, total int)) (sim.WorstCase, error) {
+func engineSearch(ctx context.Context, spec adversary.Spec, space sim.SearchSpace, opts adversary.Options, progress func(completed, total int), obs adversary.SearchObserver) (sim.WorstCase, error) {
 	opts.Context = ctx
-	return adversary.SearchCheckpointed(spec, space, opts, adversary.CheckpointConfig{Progress: progress})
+	return adversary.SearchCheckpointed(spec, space, opts, adversary.CheckpointConfig{Progress: progress, Observer: obs})
 }
 
 // Config tunes a Server.
@@ -406,6 +423,16 @@ type Config struct {
 	// AdmissionClock injects the admission layer's time source (tests
 	// only; nil = real clock).
 	AdmissionClock admission.Clock
+	// Tracer records per-request span trees (nil disables tracing; the
+	// request path is then byte-identical to the untraced daemon).
+	Tracer *trace.Tracer
+	// Instance labels this daemon's spans (typically the listen
+	// address), so a cluster trace shows which daemon ran which span.
+	Instance string
+	// SlowRequest, when positive, logs the full phase breakdown at WARN
+	// for any /search or /shard exceeding it (needs RequestLog and
+	// Tracer).
+	SlowRequest time.Duration
 }
 
 // DefaultSearchTimeout is the per-search deadline when
@@ -480,6 +507,9 @@ type Server struct {
 	cluster       *cluster.Dispatcher // nil = run searches locally
 	shards        int                 // requested shard count for distributed searches
 	reqLog        *slog.Logger        // nil = no per-request log
+	tracer        *trace.Tracer       // nil = tracing disabled
+	instance      string              // span "instance" attribute
+	slowReq       time.Duration       // 0 = no slow-request logging
 
 	// Metrics (always registered; /metrics renders them).
 	reg          *metrics.Registry
@@ -565,6 +595,9 @@ func New(cfg Config) (*Server, error) {
 		search:   engineSearch,
 		shards:   cfg.Shards,
 		reqLog:   cfg.RequestLog,
+		tracer:   cfg.Tracer,
+		instance: cfg.Instance,
+		slowReq:  cfg.SlowRequest,
 		inflight: make(map[string]*flight),
 		reg:      metrics.NewRegistry(),
 	}
@@ -721,19 +754,39 @@ func (sr *statusRecorder) Flush() {
 
 // observeMiddleware installs the request's observability record,
 // counts the request into rdv_requests_total and, when a request log
-// is configured, emits one structured record per request.
+// is configured, emits one structured record per request. When the
+// server traces, it also opens the request's root span on /search and
+// /shard — joining an incoming W3C traceparent (a coordinator's
+// per-shard span) when one is presented, so coordinator and worker
+// spans land in one trace — and announces the trace ID to the client
+// in the X-Rdv-Trace response header before the handler runs.
 func (s *Server) observeMiddleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		m := &requestMeta{tenant: auth.Anonymous}
 		rec := &statusRecorder{ResponseWriter: w}
 		start := time.Now()
-		next.ServeHTTP(rec, r.WithContext(context.WithValue(r.Context(), metaKey{}, m)))
+		ctx := context.WithValue(r.Context(), metaKey{}, m)
+		var span *trace.Span
+		if name := spanNameFor(r.URL.Path); name != "" {
+			attrs := []trace.Attr{trace.String("endpoint", r.URL.Path), trace.String("instance", s.instance)}
+			if traceID, parentID, ok := trace.ParseTraceparent(r.Header.Get("traceparent")); ok {
+				ctx, span = s.tracer.StartRemote(ctx, traceID, parentID, name, attrs...)
+			} else {
+				ctx, span = s.tracer.StartRoot(ctx, name, attrs...)
+			}
+			if span != nil {
+				w.Header().Set("X-Rdv-Trace", span.TraceID())
+			}
+		}
+		next.ServeHTTP(rec, r.WithContext(ctx))
 		status := rec.status
 		if status == 0 {
 			// Handler wrote nothing (e.g. client gone before the flight
 			// finished): net/http would have sent 200 on return.
 			status = http.StatusOK
 		}
+		elapsed := time.Since(start)
+		span.SetAttr(trace.String("tenant", m.tenant.ID), trace.Int("status", status))
 		s.mRequests.Inc(r.URL.Path, m.tenant.ID, strconv.Itoa(status))
 		if s.reqLog != nil {
 			s.reqLog.Info("request",
@@ -741,13 +794,44 @@ func (s *Server) observeMiddleware(next http.Handler) http.Handler {
 				"method", r.Method,
 				"tenant", m.tenant.ID,
 				"status", status,
-				"duration", time.Since(start),
+				"duration", elapsed,
 				"fingerprint", m.fingerprint,
 				"cached", m.cached,
 				"shared", m.shared,
+				"trace", span.TraceID(),
 			)
+			if s.slowReq > 0 && elapsed >= s.slowReq && span != nil {
+				phases := trace.Summarize(span.Snapshot(), span.SpanID())
+				parts := make([]string, 0, len(phases))
+				for _, p := range phases {
+					parts = append(parts, p.String())
+				}
+				s.reqLog.Warn("slow request",
+					"endpoint", r.URL.Path,
+					"tenant", m.tenant.ID,
+					"duration", elapsed,
+					"threshold", s.slowReq,
+					"trace", span.TraceID(),
+					"fingerprint", m.fingerprint,
+					"phases", strings.Join(parts, ", "),
+				)
+			}
 		}
+		span.End()
 	})
+}
+
+// spanNameFor maps traced endpoints to their root span names; other
+// paths ("" result) are untraced (health probes and metric scrapes
+// would drown the ring in noise).
+func spanNameFor(path string) string {
+	switch path {
+	case "/search":
+		return "search"
+	case "/shard":
+		return "shard"
+	}
+	return ""
 }
 
 // authMiddleware resolves the request's tenant. /healthz and /metrics
@@ -761,7 +845,9 @@ func (s *Server) authMiddleware(next http.Handler) http.Handler {
 			next.ServeHTTP(w, r)
 			return
 		}
+		authSpan := trace.StartLeaf(r.Context(), "auth")
 		tenant, err := s.auth.Authenticate(r.Header.Get("Authorization"))
+		authSpan.End()
 		if err != nil {
 			w.Header().Set("WWW-Authenticate", `Bearer realm="rdvd"`)
 			writeJSON(w, http.StatusUnauthorized, Response{Error: "serve: unauthorized"})
@@ -874,7 +960,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	// slot) is charged separately, by the flight creator only, so a
 	// request deduplicated onto an existing flight is never
 	// double-charged.
-	if err := s.adm.Allow(admissionTenant(m.tenant)); err != nil {
+	rateSpan := trace.StartLeaf(r.Context(), "ratecheck")
+	err := s.adm.Allow(admissionTenant(m.tenant))
+	rateSpan.End()
+	if err != nil {
 		var oe *admission.OverloadError
 		if errors.As(err, &oe) {
 			writeOverload(w, oe, Response{Error: oe.Error()})
@@ -892,24 +981,37 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, Response{Error: fmt.Sprintf("serve: malformed request: %v", err)})
 		return
 	}
+	fpSpan := trace.StartLeaf(r.Context(), "fingerprint")
 	spec, space, opts, fp, err := s.compileAndFingerprint(req)
+	fpSpan.End()
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, Response{Error: err.Error()})
 		return
 	}
 	m.fingerprint = fp
+	root := trace.FromContext(r.Context())
+	root.SetAttr(trace.String("fingerprint", fp))
 
 	// Cache hit: answered without touching the engine or the pool.
 	if s.store != nil {
-		if wc, ok := s.store.Get(fp); ok {
+		cacheSpan := trace.StartLeaf(r.Context(), "cache")
+		wc, ok := s.store.Get(fp)
+		cacheSpan.SetAttr(trace.Bool("hit", ok))
+		cacheSpan.End()
+		if ok {
 			m.cached = true
 			s.mCacheHits.Inc()
 			s.mSearchSec.Observe(time.Since(start).Seconds(), "cache")
+			resp := Response{Fingerprint: fp, Cached: true, Result: &wc, TraceID: root.TraceID()}
+			if req.Timings {
+				resp.Timings = trace.Summarize(root.Snapshot(), root.SpanID())
+			}
 			if req.Stream {
-				s.streamFinal(w, StreamEvent{Type: "result", Fingerprint: fp, Cached: true, Result: &wc})
+				s.streamFinal(w, StreamEvent{Type: "result", Fingerprint: fp, Cached: true, Result: &wc,
+					TraceID: resp.TraceID, Timings: resp.Timings})
 				return
 			}
-			writeJSON(w, http.StatusOK, Response{Fingerprint: fp, Cached: true, Result: &wc})
+			writeJSON(w, http.StatusOK, resp)
 			return
 		}
 	}
@@ -919,14 +1021,19 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	defer s.leave(f)
 	m.shared = !created
 	if created {
-		go s.run(f, admissionTenant(m.tenant), req, spec, space, opts)
+		// The flight outlives this request, so its spans hang off the
+		// flight's own context — augmented with the creator's trace so
+		// queue wait, engine execution and the store write-back land in
+		// the creator's span tree. Requests that merely join the flight
+		// trace only their own (cheap) pipeline.
+		go s.run(f, trace.ContextWith(f.ctx, root), admissionTenant(m.tenant), req, spec, space, opts)
 	}
 
 	if req.Stream {
-		s.streamFlight(w, r, f, created)
+		s.streamFlight(w, r, f, created, req.Timings)
 		return
 	}
-	s.respondFlight(w, r, f, created)
+	s.respondFlight(w, r, f, created, req.Timings)
 }
 
 // respondFlight writes the non-streaming /search answer once the
@@ -937,7 +1044,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 // context cancelled between the engine completing and this select
 // running) would otherwise sometimes get an empty body for a search
 // that succeeded.
-func (s *Server) respondFlight(w http.ResponseWriter, r *http.Request, f *flight, created bool) {
+func (s *Server) respondFlight(w http.ResponseWriter, r *http.Request, f *flight, created, timings bool) {
+	root := trace.FromContext(r.Context())
+	explain := func() []trace.PhaseTiming {
+		if !timings || root == nil {
+			return nil
+		}
+		return trace.Summarize(root.Snapshot(), root.SpanID())
+	}
 	finish := func() {
 		if f.err != nil {
 			// An admission refusal surfacing through the flight (the
@@ -945,14 +1059,14 @@ func (s *Server) respondFlight(w http.ResponseWriter, r *http.Request, f *flight
 			// back off, not a server fault.
 			var oe *admission.OverloadError
 			if errors.As(f.err, &oe) {
-				writeOverload(w, oe, Response{Fingerprint: f.fp, Shared: !created, Error: f.err.Error()})
+				writeOverload(w, oe, Response{Fingerprint: f.fp, Shared: !created, Error: f.err.Error(), TraceID: root.TraceID()})
 				return
 			}
-			writeJSON(w, http.StatusInternalServerError, Response{Fingerprint: f.fp, Shared: !created, Error: f.err.Error()})
+			writeJSON(w, http.StatusInternalServerError, Response{Fingerprint: f.fp, Shared: !created, Error: f.err.Error(), TraceID: root.TraceID()})
 			return
 		}
 		wc := f.wc
-		writeJSON(w, http.StatusOK, Response{Fingerprint: f.fp, Shared: !created, Result: &wc})
+		writeJSON(w, http.StatusOK, Response{Fingerprint: f.fp, Shared: !created, Result: &wc, TraceID: root.TraceID(), Timings: explain()})
 	}
 	select {
 	case <-f.done:
@@ -1009,10 +1123,12 @@ func (s *Server) leave(f *flight) {
 
 // run executes the flight's search — locally on the bounded pool, or
 // fanned out across the cluster when the server is a coordinator —
-// and publishes the result. tenant is the flight creator's identity:
-// only the creator occupies an admission queue slot; requests that
-// join the flight later wait on done without holding capacity.
-func (s *Server) run(f *flight, tenant admission.Tenant, req Request, spec adversary.Spec, space sim.SearchSpace, opts adversary.Options) {
+// and publishes the result. fctx is the flight's context augmented
+// with the creator's trace span (same cancellation as f.ctx). tenant
+// is the flight creator's identity: only the creator occupies an
+// admission queue slot; requests that join the flight later wait on
+// done without holding capacity.
+func (s *Server) run(f *flight, fctx context.Context, tenant admission.Tenant, req Request, spec adversary.Spec, space sim.SearchSpace, opts adversary.Options) {
 	var wc sim.WorstCase
 	var err error
 	if s.cluster != nil {
@@ -1020,38 +1136,46 @@ func (s *Server) run(f *flight, tenant admission.Tenant, req Request, spec adver
 		// so it does not take a local engine-pool slot (a coordinator's
 		// throughput is its worker fleet, not its core count). The
 		// per-search timeout still bounds it.
-		ctx := f.ctx
+		ctx := fctx
 		if s.searchTimeout > 0 {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, s.searchTimeout)
 			defer cancel()
 		}
 		start := time.Now()
-		wc, err = dispatch(ctx, s.cluster, req, spec, space, f.fp, s.shards, f.broadcast)
+		dctx, dispatchSpan := trace.Start(ctx, "dispatch", trace.Int("peers", len(s.cluster.Peers())))
+		wc, err = dispatch(dctx, s.cluster, req, spec, space, f.fp, s.shards, f.broadcast)
+		dispatchSpan.End()
 		s.mSearchSec.Observe(time.Since(start).Seconds(), "cluster")
 	} else {
 		// Acquire under the flight's context: when every request waiting
 		// on this flight disconnects, leave() cancels f.ctx and the
 		// queued waiter is dequeued immediately — a flight nobody wants
 		// can never be granted a slot.
-		release, aerr := s.adm.Acquire(f.ctx, tenant)
+		queueSpan := trace.StartLeaf(fctx, "queue")
+		release, aerr := s.adm.Acquire(fctx, tenant)
+		queueSpan.End()
 		if aerr != nil {
 			err = aerr
 		} else {
-			ctx := f.ctx
+			ctx := fctx
 			if s.searchTimeout > 0 {
 				var cancel context.CancelFunc
 				ctx, cancel = context.WithTimeout(ctx, s.searchTimeout)
 				defer cancel()
 			}
 			start := time.Now()
-			wc, err = s.search(ctx, spec, space, opts, f.broadcast)
+			ectx, engineSpan := trace.Start(ctx, "engine")
+			wc, err = s.search(ectx, spec, space, opts, f.broadcast, traceObserver(ectx))
+			engineSpan.End()
 			s.mSearchSec.Observe(time.Since(start).Seconds(), "engine")
 			release()
 		}
 	}
 	if err == nil && s.store != nil {
+		storeSpan := trace.StartLeaf(fctx, "store")
 		_ = s.store.Put(f.fp, wc) // best-effort write-back
+		storeSpan.End()
 	}
 	s.mu.Lock()
 	f.wc, f.err = wc, err
@@ -1064,12 +1188,99 @@ func (s *Server) run(f *flight, tenant admission.Tenant, req Request, spec adver
 	close(f.done)
 }
 
+// traceObserver bridges the engine's SearchObserver events onto spans
+// under ctx (the engine span). The "plan" span opens immediately —
+// plan compilation is the first thing SearchCheckpointed does — and
+// closes when PlanReady reports the decomposition; each executed shard
+// gets a "shard.exec" span tagged with its index, tier and run count;
+// checkpoint appends and the final merge get their own spans. With no
+// span in ctx the zero observer is returned and the engine runs
+// unobserved.
+func traceObserver(ctx context.Context) adversary.SearchObserver {
+	if trace.FromContext(ctx) == nil {
+		return adversary.SearchObserver{}
+	}
+	var (
+		mu        sync.Mutex
+		tier      string
+		planSpan  *trace.Span
+		shardRuns = make(map[int]*trace.Span)
+		ckptRuns  = make(map[int]*trace.Span)
+		mergeSpan *trace.Span
+	)
+	planSpan = trace.StartLeaf(ctx, "plan")
+	return adversary.SearchObserver{
+		PlanReady: func(info adversary.PlanInfo) {
+			mu.Lock()
+			tier = info.Tier.String()
+			mu.Unlock()
+			planSpan.SetAttr(
+				trace.String("tier", info.Tier.String()),
+				trace.Int("shards", info.Shards),
+				trace.Int("labelPairs", info.LabelPairs),
+				trace.Int("startPairs", info.StartPairs),
+				trace.Int("delays", info.Delays),
+			)
+			planSpan.End()
+		},
+		ShardStarted: func(shard, shards int) {
+			mu.Lock()
+			t := tier
+			mu.Unlock()
+			sp := trace.StartLeaf(ctx, "shard.exec",
+				trace.Int("shard", shard), trace.Int("shards", shards), trace.String("tier", t))
+			mu.Lock()
+			shardRuns[shard] = sp
+			mu.Unlock()
+		},
+		ShardFinished: func(shard, shards, runs int, err error) {
+			mu.Lock()
+			sp := shardRuns[shard]
+			delete(shardRuns, shard)
+			mu.Unlock()
+			sp.SetAttr(trace.Int("runs", runs))
+			if err != nil {
+				sp.SetAttr(trace.String("error", err.Error()))
+			}
+			sp.End()
+		},
+		CheckpointAppendStarted: func(shard int) {
+			sp := trace.StartLeaf(ctx, "checkpoint.append", trace.Int("shard", shard))
+			mu.Lock()
+			ckptRuns[shard] = sp
+			mu.Unlock()
+		},
+		CheckpointAppendFinished: func(shard int, err error) {
+			mu.Lock()
+			sp := ckptRuns[shard]
+			delete(ckptRuns, shard)
+			mu.Unlock()
+			if err != nil {
+				sp.SetAttr(trace.String("error", err.Error()))
+			}
+			sp.End()
+		},
+		MergeStarted: func(shards int) {
+			mu.Lock()
+			defer mu.Unlock()
+			mergeSpan = trace.StartLeaf(ctx, "merge", trace.Int("shards", shards))
+		},
+		MergeFinished: func() {
+			mu.Lock()
+			sp := mergeSpan
+			mu.Unlock()
+			sp.End()
+		},
+	}
+}
+
 // dispatch fans an already-compiled search out through the cluster:
 // it fixes the shard count both sides will independently re-derive,
 // embeds the request as the shard protocol's search body, and merges
 // the peers' shard results bit-for-bit identically to a local Search.
 func dispatch(ctx context.Context, d *cluster.Dispatcher, req Request, spec adversary.Spec, space sim.SearchSpace, fp string, shards int, progress func(completed, total int)) (sim.WorstCase, error) {
-	req.Stream = false // stream is a transport option of /search, not part of the search
+	req.Stream = false  // stream is a transport option of /search, not part of the search
+	req.Timings = false // likewise: explain is answered by the coordinator, not the workers
 	search, err := json.Marshal(req)
 	if err != nil {
 		return sim.WorstCase{}, fmt.Errorf("serve: marshal search for dispatch: %w", err)
@@ -1131,7 +1342,10 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, cluster.ShardResponse{Error: fmt.Sprintf("serve: malformed embedded search: %v", err)})
 		return
 	}
+	root := trace.FromContext(r.Context())
+	fpSpan := trace.StartLeaf(r.Context(), "fingerprint")
 	spec, space, opts, fp, err := s.compileAndFingerprint(req)
+	fpSpan.End()
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, cluster.ShardResponse{Error: err.Error()})
 		return
@@ -1162,11 +1376,16 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 
 	m := metaOf(r)
 	m.fingerprint = fp
+	root.SetAttr(trace.String("fingerprint", fp), trace.Int("shard", sreq.Shard), trace.Int("shards", sreq.Shards))
 	sfp := cluster.ShardFingerprint(fp, sreq.Shard, sreq.Shards)
 	if s.store != nil {
-		if wc, ok := s.store.Get(sfp); ok {
+		cacheSpan := trace.StartLeaf(r.Context(), "cache")
+		wc, ok := s.store.Get(sfp)
+		cacheSpan.SetAttr(trace.Bool("hit", ok))
+		cacheSpan.End()
+		if ok {
 			m.cached = true
-			writeJSON(w, http.StatusOK, cluster.ShardResponse{Fingerprint: fp, Shard: sreq.Shard, Shards: sreq.Shards, Cached: true, Result: &wc})
+			writeJSON(w, http.StatusOK, cluster.ShardResponse{Fingerprint: fp, Shard: sreq.Shard, Shards: sreq.Shards, Cached: true, Result: &wc, Spans: root.Snapshot()})
 			return
 		}
 	}
@@ -1182,7 +1401,9 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	// slot is released by defer: a panic below unwinds through
 	// recoverMiddleware, and a leaked slot would wedge the pool
 	// permanently.
+	queueSpan := trace.StartLeaf(r.Context(), "queue")
 	release, aerr := s.adm.Acquire(r.Context(), admissionTenant(m.tenant))
+	queueSpan.End()
 	if aerr != nil {
 		var oe *admission.OverloadError
 		if errors.As(aerr, &oe) {
@@ -1202,25 +1423,43 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	}
 	wc, err := func() (sim.WorstCase, error) {
 		planKey := fmt.Sprintf("%s/%d", fp, sreq.Shards)
+		planSpan := trace.StartLeaf(ctx, "plan")
 		plan := s.planFor(planKey)
+		planSpan.SetAttr(trace.Bool("cached", plan != nil))
 		if plan == nil {
 			var perr error
 			plan, perr = adversary.NewPlan(spec, space, opts, sreq.Shards)
 			if perr != nil {
+				planSpan.End()
 				return sim.WorstCase{}, perr
 			}
 			s.storePlan(planKey, plan)
 		}
-		return plan.RunShard(ctx, sreq.Shard)
+		planSpan.SetAttr(trace.String("tier", plan.Info().Tier.String()))
+		planSpan.End()
+		execSpan := trace.StartLeaf(ctx, "execute",
+			trace.Int("shard", sreq.Shard), trace.String("tier", plan.Info().Tier.String()),
+			trace.Int("labelPairs", plan.Info().LabelPairs), trace.Int("startPairs", plan.Info().StartPairs))
+		out, rerr := plan.RunShard(ctx, sreq.Shard)
+		if rerr == nil {
+			execSpan.SetAttr(trace.Int("runs", out.Runs))
+		}
+		execSpan.End()
+		return out, rerr
 	}()
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, cluster.ShardResponse{Fingerprint: fp, Shard: sreq.Shard, Shards: sreq.Shards, Error: err.Error()})
+		writeJSON(w, http.StatusInternalServerError, cluster.ShardResponse{Fingerprint: fp, Shard: sreq.Shard, Shards: sreq.Shards, Error: err.Error(), Spans: root.Snapshot()})
 		return
 	}
 	if s.store != nil {
+		storeSpan := trace.StartLeaf(r.Context(), "store")
 		_ = s.store.Put(sfp, wc) // best-effort
+		storeSpan.End()
 	}
-	writeJSON(w, http.StatusOK, cluster.ShardResponse{Fingerprint: fp, Shard: sreq.Shard, Shards: sreq.Shards, Result: &wc})
+	// The span tree rides back in the response (the daemon's own root is
+	// snapshotted in-progress — it ends when the middleware returns), so
+	// the coordinator can adopt the worker's half of the trace.
+	writeJSON(w, http.StatusOK, cluster.ShardResponse{Fingerprint: fp, Shard: sreq.Shard, Shards: sreq.Shards, Result: &wc, Spans: root.Snapshot()})
 }
 
 // streamFinal writes a one-event NDJSON stream (used for cache hits).
@@ -1231,8 +1470,9 @@ func (s *Server) streamFinal(w http.ResponseWriter, ev StreamEvent) {
 }
 
 // streamFlight streams shard progress and the final result of a
-// flight as NDJSON.
-func (s *Server) streamFlight(w http.ResponseWriter, r *http.Request, f *flight, created bool) {
+// flight as NDJSON. The final event carries the request's trace ID
+// and, when the request opted in, the phase-timing summary.
+func (s *Server) streamFlight(w http.ResponseWriter, r *http.Request, f *flight, created, timings bool) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
@@ -1248,12 +1488,17 @@ func (s *Server) streamFlight(w http.ResponseWriter, r *http.Request, f *flight,
 		enc.Encode(StreamEvent{Type: "progress", Completed: completed, Total: total})
 		flush()
 	}
+	root := trace.FromContext(r.Context())
 	final := func() {
+		var phases []trace.PhaseTiming
+		if timings && root != nil {
+			phases = trace.Summarize(root.Snapshot(), root.SpanID())
+		}
 		if f.err != nil {
-			enc.Encode(StreamEvent{Type: "error", Fingerprint: f.fp, Shared: !created, Error: f.err.Error()})
+			enc.Encode(StreamEvent{Type: "error", Fingerprint: f.fp, Shared: !created, Error: f.err.Error(), TraceID: root.TraceID(), Timings: phases})
 		} else {
 			wc := f.wc
-			enc.Encode(StreamEvent{Type: "result", Fingerprint: f.fp, Shared: !created, Result: &wc})
+			enc.Encode(StreamEvent{Type: "result", Fingerprint: f.fp, Shared: !created, Result: &wc, TraceID: root.TraceID(), Timings: phases})
 		}
 		flush()
 	}

@@ -242,7 +242,7 @@ func TestSingleFlight(t *testing.T) {
 		release     = make(chan struct{})
 	)
 	want := ringWant(t)
-	srv.search = func(ctx context.Context, spec adversary.Spec, space sim.SearchSpace, opts adversary.Options, progress func(int, int)) (sim.WorstCase, error) {
+	srv.search = func(ctx context.Context, spec adversary.Spec, space sim.SearchSpace, opts adversary.Options, progress func(int, int), _ adversary.SearchObserver) (sim.WorstCase, error) {
 		if invocations.Add(1) == 1 {
 			close(started)
 		}
@@ -311,7 +311,7 @@ func TestCancelMidSearch(t *testing.T) {
 		engineDone  = make(chan error, 2)
 	)
 	want := ringWant(t)
-	srv.search = func(ctx context.Context, spec adversary.Spec, space sim.SearchSpace, opts adversary.Options, progress func(int, int)) (sim.WorstCase, error) {
+	srv.search = func(ctx context.Context, spec adversary.Spec, space sim.SearchSpace, opts adversary.Options, progress func(int, int), _ adversary.SearchObserver) (sim.WorstCase, error) {
 		n := invocations.Add(1)
 		started <- struct{}{}
 		if n == 1 {
@@ -500,7 +500,7 @@ func TestEngineSearchMatchesSearch(t *testing.T) {
 	}
 	var events int
 	got, err := engineSearch(context.Background(), spec, sim.SearchSpace{L: 3, Delays: []int{0, 1}},
-		adversary.Options{Workers: 1}, func(completed, total int) { events++ })
+		adversary.Options{Workers: 1}, func(completed, total int) { events++ }, adversary.SearchObserver{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -580,7 +580,7 @@ func TestDisconnectAfterFinishStillWrites(t *testing.T) {
 		cancel() // the client is already gone
 		rec := httptest.NewRecorder()
 		req := httptest.NewRequest(http.MethodPost, "/search", strings.NewReader("{}")).WithContext(ctx)
-		srv.respondFlight(rec, req, f, true)
+		srv.respondFlight(rec, req, f, true, false)
 		if rec.Body.Len() == 0 {
 			t.Fatalf("iteration %d: empty body for a finished flight", i)
 		}
@@ -611,7 +611,7 @@ func TestStreamDisconnectAfterFinishStillWrites(t *testing.T) {
 		cancel()
 		rec := httptest.NewRecorder()
 		req := httptest.NewRequest(http.MethodPost, "/search", strings.NewReader("{}")).WithContext(ctx)
-		srv.streamFlight(rec, req, f, true)
+		srv.streamFlight(rec, req, f, true, false)
 		var final *StreamEvent
 		dec := json.NewDecoder(rec.Body)
 		for dec.More() {

@@ -1,0 +1,27 @@
+package trace
+
+import "context"
+
+// Context aliases context.Context so the package's signatures read
+// naturally without importing context at every call site's mention.
+type Context = context.Context
+
+type spanKey struct{}
+
+// ContextWith returns ctx carrying the span. A nil span returns ctx
+// unchanged.
+func ContextWith(ctx Context, s *Span) Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}

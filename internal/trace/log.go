@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+)
+
+// A Log appends completed traces to a JSONL file, one trace per line,
+// fsync'd after every write: trace evidence for a crash is exactly the
+// evidence that must survive the crash. The trace log is append-only
+// history, not replaceable state, so O_APPEND — not the store's
+// write-rename idiom — is the right durability shape here.
+type Log struct {
+	mu sync.Mutex
+	f  *os.File // guarded by mu
+}
+
+// OpenLog opens (creating if needed) the JSONL trace log at path.
+func OpenLog(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Log{f: f}, nil
+}
+
+// Write appends one trace as a JSON line and fsyncs.
+func (l *Log) Write(tr Trace) error {
+	line, err := json.Marshal(tr)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.f.Write(line); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Close syncs and closes the log file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}

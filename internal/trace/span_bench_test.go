@@ -1,0 +1,21 @@
+package trace
+
+import (
+	"context"
+	"testing"
+)
+
+func BenchmarkRequestSpanPath(b *testing.B) {
+	tr := New(Config{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ctx, root := tr.StartRoot(context.Background(), "search", String("endpoint", "/search"), String("instance", "bench"))
+		for _, name := range []string{"auth", "ratecheck", "fingerprint", "cache"} {
+			s := StartLeaf(ctx, name)
+			s.SetAttr(Bool("hit", true))
+			s.End()
+		}
+		root.SetAttr(String("tenant", "anon"), Int("status", 200))
+		root.End()
+	}
+}

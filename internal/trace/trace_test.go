@@ -1,0 +1,440 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic Clock that advances a fixed step per
+// Now call.
+type fakeClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	step time.Duration
+}
+
+func newFakeClock(step time.Duration) *fakeClock {
+	return &fakeClock{now: time.Unix(1700000000, 0).UTC(), step: step}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.now
+	c.now = c.now.Add(c.step)
+	return t
+}
+
+// seqIDs hands out deterministic distinct IDs.
+func seqIDs() func([]byte) {
+	var mu sync.Mutex
+	var n byte
+	return func(b []byte) {
+		mu.Lock()
+		n++
+		v := n
+		mu.Unlock()
+		for i := range b {
+			b[i] = v
+		}
+	}
+}
+
+func newTestTracer(t *testing.T, cfg Config) *Tracer {
+	t.Helper()
+	if cfg.Clock == nil {
+		cfg.Clock = newFakeClock(time.Millisecond)
+	}
+	if cfg.ReadID == nil {
+		cfg.ReadID = seqIDs()
+	}
+	return New(cfg)
+}
+
+func TestRootSpanPublishes(t *testing.T) {
+	tr := newTestTracer(t, Config{})
+	ctx, root := tr.StartRoot(context.Background(), "search", String("tenant", "acme"))
+	if root == nil {
+		t.Fatal("StartRoot returned nil span")
+	}
+	if got := FromContext(ctx); got != root {
+		t.Fatalf("FromContext = %v, want root", got)
+	}
+	cctx, child := Start(ctx, "cache")
+	if child == nil {
+		t.Fatal("Start returned nil child")
+	}
+	if child.TraceID() != root.TraceID() {
+		t.Fatalf("child trace %q != root trace %q", child.TraceID(), root.TraceID())
+	}
+	_, grand := Start(cctx, "disk")
+	grand.End()
+	child.End()
+	root.End()
+
+	traces := tr.Traces(Filter{})
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	got := traces[0]
+	if got.TraceID != root.TraceID() || got.Root != root.SpanID() {
+		t.Fatalf("trace ids = %q/%q, want %q/%q", got.TraceID, got.Root, root.TraceID(), root.SpanID())
+	}
+	if len(got.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(got.Spans))
+	}
+	// Completion order: disk, cache, search.
+	if got.Spans[0].Name != "disk" || got.Spans[1].Name != "cache" || got.Spans[2].Name != "search" {
+		t.Fatalf("span order = %s,%s,%s", got.Spans[0].Name, got.Spans[1].Name, got.Spans[2].Name)
+	}
+	if got.Spans[0].ParentID != got.Spans[1].SpanID || got.Spans[1].ParentID != got.Spans[2].SpanID {
+		t.Fatal("parentage broken")
+	}
+	if got.Spans[2].ParentID != "" {
+		t.Fatalf("root parent = %q, want empty", got.Spans[2].ParentID)
+	}
+	if tenant, _ := got.RootRecord().Attrs.Get("tenant").(string); tenant != "acme" {
+		t.Fatalf("tenant attr = %q", tenant)
+	}
+	for _, s := range got.Spans {
+		if s.InProgress {
+			t.Fatalf("span %s marked in-progress", s.Name)
+		}
+		if s.Duration <= 0 {
+			t.Fatalf("span %s duration %v", s.Name, s.Duration)
+		}
+	}
+}
+
+func TestDeterministicDurations(t *testing.T) {
+	clock := newFakeClock(time.Millisecond)
+	tr := newTestTracer(t, Config{Clock: clock})
+	ctx, root := tr.StartRoot(context.Background(), "search") // t=0
+	_, child := Start(ctx, "engine")                          // t=1ms
+	child.End()                                               // t=2ms → duration 1ms
+	root.End()                                                // t=3ms → duration 3ms
+	got := tr.Traces(Filter{})[0]
+	if got.Duration != 3*time.Millisecond {
+		t.Fatalf("root duration = %v, want 3ms", got.Duration)
+	}
+	if got.Spans[0].Duration != time.Millisecond {
+		t.Fatalf("child duration = %v, want 1ms", got.Spans[0].Duration)
+	}
+}
+
+func TestRingBounded(t *testing.T) {
+	tr := newTestTracer(t, Config{RingSize: 3})
+	var ids []string
+	for i := 0; i < 5; i++ {
+		_, root := tr.StartRoot(context.Background(), "search")
+		ids = append(ids, root.TraceID())
+		root.End()
+	}
+	traces := tr.Traces(Filter{})
+	if len(traces) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(traces))
+	}
+	// Newest first: ids[4], ids[3], ids[2].
+	for i, want := range []string{ids[4], ids[3], ids[2]} {
+		if traces[i].TraceID != want {
+			t.Fatalf("traces[%d] = %q, want %q", i, traces[i].TraceID, want)
+		}
+	}
+	st := tr.Stats()
+	if st.Published != 5 || st.Buffered != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	clock := newFakeClock(0)
+	tr := newTestTracer(t, Config{Clock: clock})
+	mk := func(tenant string, dur time.Duration) string {
+		_, root := tr.StartRoot(context.Background(), "search", String("tenant", tenant))
+		clock.mu.Lock()
+		clock.now = clock.now.Add(dur)
+		clock.mu.Unlock()
+		root.End()
+		return root.TraceID()
+	}
+	slow := mk("acme", 50*time.Millisecond)
+	mk("acme", time.Millisecond)
+	other := mk("globex", 80*time.Millisecond)
+
+	got := tr.Traces(Filter{MinDuration: 10 * time.Millisecond})
+	if len(got) != 2 || got[0].TraceID != other || got[1].TraceID != slow {
+		t.Fatalf("min-duration filter = %v", got)
+	}
+	got = tr.Traces(Filter{Tenant: "acme", MinDuration: 10 * time.Millisecond})
+	if len(got) != 1 || got[0].TraceID != slow {
+		t.Fatalf("tenant filter = %v", got)
+	}
+	got = tr.Traces(Filter{Limit: 1})
+	if len(got) != 1 || got[0].TraceID != other {
+		t.Fatalf("limit filter = %v", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer enabled")
+	}
+	ctx, root := tr.StartRoot(context.Background(), "search")
+	if root != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	_, child := Start(ctx, "cache")
+	if child != nil {
+		t.Fatal("nil parent produced a child")
+	}
+	// All span methods must no-op on nil.
+	child.SetAttr(Int("n", 1))
+	child.End()
+	child.Adopt([]SpanRecord{{TraceID: "x"}})
+	if child.Snapshot() != nil || child.Traceparent() != "" || child.TraceID() != "" || child.SpanID() != "" {
+		t.Fatal("nil span leaked data")
+	}
+	if tr.Traces(Filter{}) != nil {
+		t.Fatal("nil tracer returned traces")
+	}
+	if st := tr.Stats(); st != (Stats{}) {
+		t.Fatalf("nil tracer stats = %+v", st)
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := newTestTracer(t, Config{})
+	_, root := tr.StartRoot(context.Background(), "search")
+	header := root.Traceparent()
+	if !strings.HasPrefix(header, "00-") || !strings.HasSuffix(header, "-01") {
+		t.Fatalf("traceparent = %q", header)
+	}
+	traceID, spanID, ok := ParseTraceparent(header)
+	if !ok || traceID != root.TraceID() || spanID != root.SpanID() {
+		t.Fatalf("parse(%q) = %q,%q,%v", header, traceID, spanID, ok)
+	}
+	for _, bad := range []string{
+		"",
+		"00-abc-def-01",
+		"01-" + traceID + "-" + spanID + "-01",
+		"00-" + strings.Repeat("0", 32) + "-" + spanID + "-01",
+		"00-" + traceID + "-" + strings.Repeat("0", 16) + "-01",
+		"00-" + strings.Repeat("AB", 16) + "-" + spanID + "-01",
+		"00-" + traceID + "-" + spanID,
+	} {
+		if _, _, ok := ParseTraceparent(bad); ok {
+			t.Fatalf("ParseTraceparent(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRemoteAdoption(t *testing.T) {
+	// Coordinator starts a trace; "worker" (second tracer) joins it via
+	// traceparent; coordinator adopts the worker's snapshot.
+	coord := newTestTracer(t, Config{})
+	worker := newTestTracer(t, Config{})
+
+	cctx, croot := coord.StartRoot(context.Background(), "search")
+	_, dispatch := Start(cctx, "shard.dispatch", Int("shard", 0))
+	traceID, parentID, ok := ParseTraceparent(dispatch.Traceparent())
+	if !ok {
+		t.Fatal("bad traceparent")
+	}
+
+	wctx, wroot := worker.StartRemote(context.Background(), traceID, parentID, "shard", String("instance", "worker-1"))
+	if wroot.TraceID() != croot.TraceID() {
+		t.Fatalf("worker trace %q != coordinator trace %q", wroot.TraceID(), croot.TraceID())
+	}
+	_, exec := Start(wctx, "execute")
+	exec.End()
+	snap := wroot.Snapshot()
+	// execute finished, worker root still open.
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d spans, want 2", len(snap))
+	}
+	if snap[0].Name != "execute" || snap[0].InProgress {
+		t.Fatalf("snapshot[0] = %+v", snap[0])
+	}
+	if snap[1].Name != "shard" || !snap[1].InProgress || snap[1].ParentID != dispatch.SpanID() {
+		t.Fatalf("snapshot[1] = %+v", snap[1])
+	}
+
+	// Mixed-in foreign records must be dropped.
+	dispatch.Adopt(append(snap, SpanRecord{TraceID: "feedfeed", SpanID: "1", Name: "alien"}))
+	dispatch.End()
+	croot.End()
+	wroot.End()
+
+	got := coord.Traces(Filter{})[0]
+	if len(got.Spans) != 4 {
+		t.Fatalf("coordinator trace has %d spans, want 4", len(got.Spans))
+	}
+	byID := make(map[string]SpanRecord)
+	for _, s := range got.Spans {
+		if s.Name == "alien" {
+			t.Fatal("foreign span adopted")
+		}
+		byID[s.SpanID] = s
+	}
+	// Every non-root span's parent resolves within the trace.
+	for _, s := range got.Spans {
+		if s.SpanID == got.Root {
+			continue
+		}
+		if _, ok := byID[s.ParentID]; !ok {
+			t.Fatalf("span %s parent %s not in trace", s.Name, s.ParentID)
+		}
+	}
+	// The worker also published its half locally when wroot ended.
+	if w := worker.Traces(Filter{}); len(w) != 1 || w[0].TraceID != croot.TraceID() {
+		t.Fatalf("worker traces = %v", w)
+	}
+}
+
+func TestLateEndAfterPublishDropped(t *testing.T) {
+	tr := newTestTracer(t, Config{})
+	ctx, root := tr.StartRoot(context.Background(), "search")
+	_, child := Start(ctx, "engine")
+	root.End() // publishes with child in-progress
+	child.End()
+
+	got := tr.Traces(Filter{})[0]
+	if len(got.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(got.Spans))
+	}
+	var sawOpen bool
+	for _, s := range got.Spans {
+		if s.Name == "engine" {
+			sawOpen = true
+			if !s.InProgress {
+				t.Fatal("open child not marked in-progress")
+			}
+		}
+	}
+	if !sawOpen {
+		t.Fatal("open child missing from published trace")
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	tr := newTestTracer(t, Config{})
+	_, root := tr.StartRoot(context.Background(), "search")
+	root.End()
+	root.End()
+	if st := tr.Stats(); st.Published != 1 {
+		t.Fatalf("published %d, want 1", st.Published)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	clock := newFakeClock(time.Millisecond)
+	tr := newTestTracer(t, Config{Clock: clock})
+	ctx, root := tr.StartRoot(context.Background(), "search")
+	_, cache := Start(ctx, "cache")
+	cache.End()
+	for i := 0; i < 3; i++ {
+		_, sh := Start(ctx, "shard.dispatch", Int("shard", i))
+		sh.End()
+	}
+	root.End()
+	got := tr.Traces(Filter{})[0]
+	phases := Summarize(got.Spans, got.Root)
+	if len(phases) != 2 {
+		t.Fatalf("got %d phases: %v", len(phases), phases)
+	}
+	if phases[0].Phase != "cache" || phases[0].Count != 1 {
+		t.Fatalf("phases[0] = %+v", phases[0])
+	}
+	if phases[1].Phase != "shard.dispatch" || phases[1].Count != 3 || phases[1].DurationMs != 3 {
+		t.Fatalf("phases[1] = %+v", phases[1])
+	}
+	if s := phases[1].String(); s != "shard.dispatch 3×3.00ms" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestLogWritesJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "traces.jsonl")
+	log, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := newTestTracer(t, Config{Log: log})
+	for i := 0; i < 2; i++ {
+		_, root := tr.StartRoot(context.Background(), "search")
+		root.End()
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	for _, line := range lines {
+		var got Trace
+		if err := json.Unmarshal([]byte(line), &got); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		if got.TraceID == "" || got.Root == "" || len(got.Spans) != 1 {
+			t.Fatalf("decoded trace = %+v", got)
+		}
+	}
+	if st := tr.Stats(); st.LogErrors != 0 {
+		t.Fatalf("log errors = %d", st.LogErrors)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := New(Config{}) // real clock + crypto IDs under race detector
+	ctx, root := tr.StartRoot(context.Background(), "search")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sctx, s := Start(ctx, "shard.exec", Int("shard", i))
+			_, inner := Start(sctx, "checkpoint.append")
+			inner.End()
+			s.SetAttr(Int("runs", i*2))
+			s.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	got := tr.Traces(Filter{})[0]
+	if len(got.Spans) != 33 {
+		t.Fatalf("got %d spans, want 33", len(got.Spans))
+	}
+	ids := make(map[string]bool)
+	for _, s := range got.Spans {
+		if ids[s.SpanID] {
+			t.Fatalf("duplicate span id %s", s.SpanID)
+		}
+		ids[s.SpanID] = true
+	}
+}
+
+func TestIDsNonZeroAndWellFormed(t *testing.T) {
+	// Force the all-zero path.
+	tr := New(Config{Clock: newFakeClock(0), ReadID: func(b []byte) {
+		for i := range b {
+			b[i] = 0
+		}
+	}})
+	_, root := tr.StartRoot(context.Background(), "search")
+	if !validHexID(root.TraceID(), 32) || !validHexID(root.SpanID(), 16) {
+		t.Fatalf("ids = %q / %q", root.TraceID(), root.SpanID())
+	}
+}

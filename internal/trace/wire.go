@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Traceparent renders the span as a W3C traceparent header value
+// (version 00, sampled flag set): 00-<traceID>-<spanID>-01. Empty for
+// a nil span, so callers can inject unconditionally.
+func (s *Span) Traceparent() string {
+	if s == nil {
+		return ""
+	}
+	return "00-" + s.data.traceID + "-" + s.spanID + "-01"
+}
+
+// ParseTraceparent splits a W3C traceparent header value into trace
+// and parent-span IDs. It accepts version 00 headers with well-formed,
+// non-zero lowercase-hex IDs and rejects everything else — a bad
+// header means "start a fresh trace", never an error to the client.
+func ParseTraceparent(header string) (traceID, spanID string, ok bool) {
+	parts := strings.Split(header, "-")
+	if len(parts) != 4 || parts[0] != "00" {
+		return "", "", false
+	}
+	traceID, spanID = parts[1], parts[2]
+	if !validHexID(traceID, 32) || !validHexID(spanID, 16) || len(parts[3]) != 2 {
+		return "", "", false
+	}
+	return traceID, spanID, true
+}
+
+// validHexID reports whether s is exactly n lowercase-hex digits and
+// not all zero.
+func validHexID(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	zero := true
+	for i := 0; i < n; i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+		if c != '0' {
+			zero = false
+		}
+	}
+	return !zero
+}
+
+// A PhaseTiming is one row of a request's phase breakdown: the direct
+// children of the root span grouped by name (shard fan-out collapses
+// into one "shard.dispatch" row with Count > 1).
+type PhaseTiming struct {
+	Phase      string  `json:"phase"`
+	Count      int     `json:"count"`
+	DurationMs float64 `json:"durationMs"`
+}
+
+// String renders the timing for log lines: "engine 3×12.40ms" or
+// "cache 0.03ms".
+func (p PhaseTiming) String() string {
+	if p.Count > 1 {
+		return fmt.Sprintf("%s %d×%.2fms", p.Phase, p.Count, p.DurationMs)
+	}
+	return fmt.Sprintf("%s %.2fms", p.Phase, p.DurationMs)
+}
+
+// Summarize builds the phase breakdown for the span tree rooted at
+// rootSpanID: direct children of the root, grouped by name in order of
+// first start, durations summed. Because the serve instrumentation
+// keeps root children sequential (auth → ratecheck → fingerprint →
+// cache → queue → engine → store), the rows add up to roughly the root
+// span's duration — that's the explain API's contract.
+func Summarize(records []SpanRecord, rootSpanID string) []PhaseTiming {
+	type agg struct {
+		count int
+		total time.Duration
+		first time.Time
+	}
+	byName := make(map[string]*agg)
+	var order []string
+	for _, rec := range records {
+		if rec.ParentID != rootSpanID {
+			continue
+		}
+		a := byName[rec.Name]
+		if a == nil {
+			a = &agg{first: rec.Start}
+			byName[rec.Name] = a
+			order = append(order, rec.Name)
+		}
+		a.count++
+		a.total += rec.Duration
+	}
+	// Records arrive in completion order; re-sort rows by first start so
+	// the breakdown reads in request order.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && byName[order[j]].first.Before(byName[order[j-1]].first); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	out := make([]PhaseTiming, 0, len(order))
+	for _, name := range order {
+		a := byName[name]
+		out = append(out, PhaseTiming{
+			Phase:      name,
+			Count:      a.count,
+			DurationMs: float64(a.total) / float64(time.Millisecond),
+		})
+	}
+	return out
+}
