@@ -16,6 +16,8 @@
 //	rdvbench -tier batch     # force an execution tier: auto (default), generic, table, batch, ring
 //	rdvbench -cache DIR      # serve repeated sweeps from a result store at DIR
 //	rdvbench -resume DIR     # checkpoint sweeps into DIR; a cancelled run resumes
+//	rdvbench -scenario F     # run the searches of a scenario file (JSON) instead
+//	rdvbench -scenario F -verify  # verify the file against the experiment it names
 //
 // Tables are identical for every -workers, -tablemem, -symmetry and
 // valid -tier value; parallelism, the meeting-table tiers and the
@@ -28,7 +30,14 @@
 // -resume are persistence options with the same bit-for-bit property:
 // a store hit returns the exact WorstCase a cold sweep would compute,
 // and a resumed sweep merges to the same output as an uninterrupted
-// one. Flag values are validated up front: -workers below -1,
+// one.
+//
+// -scenario runs a declarative scenario file (internal/scenario format)
+// through the engine's model-generic path instead of the experiment
+// registry; with -verify the file must name the experiment it
+// re-expresses, and rdvbench runs both sides and asserts they agree
+// search for search — same fingerprints, bit-for-bit the same results.
+// Flag values are validated up front: -workers below -1,
 // -tablemem below -1, unknown -symmetry modes or -tier names and an
 // unusable -cache/-resume directory are usage errors. The process
 // exits non-zero if any bound check fails or the timeout expires.
@@ -47,6 +56,7 @@ import (
 	"rendezvous/internal/adversary"
 	"rendezvous/internal/bench"
 	"rendezvous/internal/resultstore"
+	"rendezvous/internal/scenario"
 )
 
 func main() {
@@ -86,6 +96,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tierName = fs.String("tier", "auto", "execution tier: auto, generic, table, batch or ring")
 		cacheDir = fs.String("cache", "", "result-store directory for sweep caching (empty = no cache)")
 		resume   = fs.String("resume", "", "checkpoint directory for resumable sweeps (empty = no checkpoints)")
+		scenPath = fs.String("scenario", "", "scenario file (JSON) to run instead of the experiment registry")
+		verify   = fs.Bool("verify", false, "with -scenario: verify the file against the bench experiment it names")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -114,6 +126,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *markdown && *jsonOut {
 		return usageErr("-markdown and -json are mutually exclusive")
+	}
+	if *verify && *scenPath == "" {
+		return usageErr("-verify requires -scenario")
+	}
+	if *scenPath != "" && (*runList != "" || *markdown || *jsonOut || *list) {
+		return usageErr("-scenario is exclusive with -run, -list, -markdown and -json")
 	}
 	var store *resultstore.Store
 	if *cacheDir != "" {
@@ -159,6 +177,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 		budget = -1
 	}
 	opts := bench.Options{Workers: *workers, Context: ctx, TableBudget: budget, Symmetry: sym, Tier: tier, Store: store, CheckpointDir: *resume}
+
+	if *scenPath != "" {
+		data, err := os.ReadFile(*scenPath)
+		if err != nil {
+			return usageErr("-scenario: %v", err)
+		}
+		f, err := scenario.ParseFile(data)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if *verify {
+			if err := bench.VerifyScenario(f, opts); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "%s: %d searches verified against %s: identical fingerprints and bit-for-bit identical results\n",
+				*scenPath, len(f.Searches), f.Experiment)
+			return 0
+		}
+		results, err := bench.RunScenario(f, opts)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		for i, wc := range results {
+			fmt.Fprintf(stdout, "search %d: time=%d cost=%d runs=%d allMet=%v\n",
+				i, wc.Time.Value, wc.Cost.Value, wc.Runs, wc.AllMet)
+		}
+		return 0
+	}
 
 	report := jsonReport{Experiments: []*bench.Table{}}
 	report.Options.Workers = *workers

@@ -20,7 +20,14 @@
 //	               store without invoking the engine ("cached": true);
 //	               concurrent identical requests share one engine run
 //	               ("shared": true). Add "stream": true for NDJSON
-//	               shard-level progress events.
+//	               shard-level progress events. Alternatively the body
+//	               may carry a declarative scenario document (any
+//	               registered model, including "dynamic"):
+//	               {"scenario":{"version":1,"model":"dynamic","graph":{...},
+//	               "algorithm":"cheap","l":3,"phases":[...]}}
+//	               A scenario naming an unregistered model is refused
+//	               with a structured error ("code":"unsupported_model")
+//	               listing the models this daemon serves.
 //	POST /shard    one shard of a search's fixed decomposition (what a
 //	               coordinator sends its workers; same validation and
 //	               caps as /search)

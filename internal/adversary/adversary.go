@@ -230,12 +230,6 @@ type Options struct {
 	// tier dispatch. The zero value (SymmetryAuto) reduces whenever the
 	// graph's automorphism group permits; see Symmetry.
 	Symmetry Symmetry
-	// NoFastPath forces the generic trajectory executor when Tier is
-	// TierAuto, exactly like Tier: TierGeneric. An explicitly forced
-	// Tier takes precedence and NoFastPath is then ignored. It predates
-	// Tier and is kept for existing callers; there is no reason to set
-	// it in new code.
-	NoFastPath bool
 }
 
 func (o Options) simOptions() sim.SearchOptions {
@@ -287,16 +281,13 @@ func (s Spec) FastPathEligible() bool {
 // maxima, and every such first configuration is its orbit's
 // representative.
 //
-// Search is newSearchPlan (the one tier-dispatch implementation,
-// shared with SearchCheckpointed) driven through the engine's shared
-// fan-out scaffolding: the plan's sweep on worker-count shards, folded
-// in shard order.
+// Search is SearchModel over PaperModel: the (spec, space, opts)
+// spelling lowered onto the model contract and driven through the
+// engine's shared fan-out scaffolding — the compiled sweep (from
+// newSearchPlan, the one tier-dispatch implementation, shared with
+// SearchCheckpointed) on worker-count shards, folded in shard order.
 func Search(spec Spec, space sim.SearchSpace, opts Options) (sim.WorstCase, error) {
-	plan, err := newSearchPlan(spec, space, opts)
-	if err != nil {
-		return sim.WorstCase{}, err
-	}
-	return sim.Sharded(opts.simOptions(), plan.labelPairs, plan.sweep, (*sim.WorstCase).Merge)
+	return SearchModel(paperModel(spec, space, opts), opts)
 }
 
 // reduceSpace is the symmetry-reduction step: it replaces the space's

@@ -82,7 +82,7 @@ func TestFastPathMatchesGeneric(t *testing.T) {
 		if !spec.FastPathEligible() {
 			t.Fatalf("%s: spec unexpectedly ineligible for the fast path", algo.Name())
 		}
-		generic, err := Search(spec, space, Options{NoFastPath: true})
+		generic, err := Search(spec, space, Options{Tier: TierGeneric})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -127,7 +127,7 @@ func TestNegativeDelayFallsBack(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := Search(spec, space, Options{NoFastPath: true})
+	want, err := Search(spec, space, Options{Tier: TierGeneric})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestEqualStartPairsRejectedEverywhere(t *testing.T) {
 	for _, opts := range []Options{
 		{},
 		{Workers: 4},
-		{NoFastPath: true},
+		{Tier: TierGeneric},
 		{Tier: TierTable},
 		{Tier: TierBatch},
 		{Tier: TierRing},
@@ -174,8 +174,8 @@ func TestCancellation(t *testing.T) {
 	for _, opts := range []Options{
 		{Context: ctx},
 		{Context: ctx, Workers: 4},
-		{Context: ctx, NoFastPath: true},
-		{Context: ctx, Workers: 4, NoFastPath: true},
+		{Context: ctx, Tier: TierGeneric},
+		{Context: ctx, Workers: 4, Tier: TierGeneric},
 	} {
 		if _, err := Search(spec, space, opts); err != context.Canceled {
 			t.Errorf("opts %+v: err = %v, want context.Canceled", opts, err)
@@ -187,7 +187,7 @@ func TestCancellation(t *testing.T) {
 // identically through every path.
 func TestSearchSpaceErrors(t *testing.T) {
 	spec := specFor(graph.OrientedRing(8), explore.OrientedRingSweep{}, core.Cheap{}, 4)
-	for _, opts := range []Options{{}, {Workers: 4}, {NoFastPath: true}} {
+	for _, opts := range []Options{{}, {Workers: 4}, {Tier: TierGeneric}} {
 		if _, err := Search(spec, sim.SearchSpace{L: 1}, opts); err == nil {
 			t.Errorf("opts %+v: want error for L < 2", opts)
 		}
@@ -200,7 +200,7 @@ func TestSearchSpaceErrors(t *testing.T) {
 func TestParallelRace(t *testing.T) {
 	spec := specFor(graph.OrientedRing(16), explore.OrientedRingSweep{}, core.Fast{}, 8)
 	space := sim.SearchSpace{L: 8, Delays: []int{0, 1, 15}}
-	want, err := Search(spec, space, Options{NoFastPath: true})
+	want, err := Search(spec, space, Options{Tier: TierGeneric})
 	if err != nil {
 		t.Fatal(err)
 	}

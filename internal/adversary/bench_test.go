@@ -55,11 +55,11 @@ func runSweep(b *testing.B, opts Options) {
 }
 
 func BenchmarkRingSweepSerial(b *testing.B) {
-	runSweep(b, Options{Workers: 1, NoFastPath: true})
+	runSweep(b, Options{Workers: 1, Tier: TierGeneric})
 }
 
 func BenchmarkRingSweepParallel(b *testing.B) {
-	runSweep(b, Options{Workers: -1, NoFastPath: true})
+	runSweep(b, Options{Workers: -1, Tier: TierGeneric})
 }
 
 func BenchmarkRingSweepFastPathSerial(b *testing.B) {

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"rendezvous/internal/meetoracle"
+	"rendezvous/internal/model"
 	"rendezvous/internal/sim"
 )
 
@@ -101,9 +102,6 @@ func newSearchPlan(spec Spec, space sim.SearchSpace, opts Options) (*searchPlan,
 		return nil, err
 	}
 	tier := opts.Tier
-	if tier == TierAuto && opts.NoFastPath {
-		tier = TierGeneric
-	}
 	switch tier {
 	case TierAuto, TierGeneric, TierTable, TierRing, TierBatch:
 	default:
@@ -399,7 +397,19 @@ func (w *checkpointWriter) close() {
 // bind a checkpoint to) runs without persistence, exactly as Search
 // would run it.
 func SearchCheckpointed(spec Spec, space sim.SearchSpace, opts Options, cfg CheckpointConfig) (sim.WorstCase, error) {
-	plan, err := NewPlan(spec, space, opts, cfg.Shards)
+	return SearchModelCheckpointed(paperModel(spec, space, opts), opts, cfg)
+}
+
+// SearchModelCheckpointed is SearchCheckpointed over any model: the
+// model-generic checkpoint driver. It has SearchCheckpointed's entire
+// contract — fixed shards, append-as-completed persistence, resume,
+// bit-for-bit identity with SearchModel for every worker count and
+// interruption point — with the checkpoint file bound to the model's
+// own fingerprint (its own domain salt), so checkpoints of different
+// models can never be misread for each other. Only the execution
+// options (Workers, Context) are read from opts.
+func SearchModelCheckpointed(m model.Model, opts Options, cfg CheckpointConfig) (sim.WorstCase, error) {
+	plan, err := NewModelPlan(m, cfg.Shards)
 	if err != nil {
 		return sim.WorstCase{}, err
 	}
@@ -414,7 +424,7 @@ func SearchCheckpointed(spec Spec, space sim.SearchSpace, opts Options, cfg Chec
 	if cfg.Path != "" {
 		fp := cfg.Fingerprint
 		if fp == "" {
-			if fp, err = Fingerprint(spec, space, opts); err != nil {
+			if fp, err = m.Fingerprint(); err != nil {
 				// Unfingerprintable searches (an explorer that rejects the
 				// graph) cannot be bound to a checkpoint file, but the
 				// generic tier may still execute them (schedules that never

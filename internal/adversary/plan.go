@@ -38,11 +38,7 @@ type Plan struct {
 // same boundaries — the determinism contract checkpoint/resume and the
 // cluster dispatcher rely on.
 func NewPlan(spec Spec, space sim.SearchSpace, opts Options, shards int) (*Plan, error) {
-	p, err := newSearchPlan(spec, space, opts)
-	if err != nil {
-		return nil, err
-	}
-	return &Plan{plan: p, shards: resolveShardCount(len(p.labelPairs), shards)}, nil
+	return NewModelPlan(paperModel(spec, space, opts), shards)
 }
 
 // PlanShards returns the shard count NewPlan would fix for the search

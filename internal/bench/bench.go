@@ -57,6 +57,12 @@ type Options struct {
 	// cancelled run resumes from completed shards with bit-for-bit
 	// identical merged output.
 	CheckpointDir string
+	// Recorder, when non-nil, observes every engine-backed sweep an
+	// experiment performs, in execution order, with the exact inputs
+	// and the exact result. It is how the scenario equivalence harness
+	// captures an experiment's searches to compare them against the
+	// declarative re-expression; it never changes what runs.
+	Recorder func(spec adversary.Spec, space sim.SearchSpace, wc sim.WorstCase)
 }
 
 // search lowers the experiment options onto the adversary engine.
@@ -69,7 +75,14 @@ func (o Options) search() adversary.Options {
 // checkpoint directory makes the sweep resumable, and a plain run
 // falls through to adversary.Search. Results are identical on every
 // path.
-func (o Options) searchRun(spec adversary.Spec, space sim.SearchSpace) (sim.WorstCase, error) {
+func (o Options) searchRun(spec adversary.Spec, space sim.SearchSpace) (wc sim.WorstCase, err error) {
+	if o.Recorder != nil {
+		defer func() {
+			if err == nil {
+				o.Recorder(spec, space, wc)
+			}
+		}()
+	}
 	opts := o.search()
 	if o.CheckpointDir == "" {
 		// SearchCached handles the nil-store case as a plain Search.
@@ -95,7 +108,7 @@ func (o Options) searchRun(spec adversary.Spec, space sim.SearchSpace) (sim.Wors
 		}
 	}
 	ckpt := filepath.Join(o.CheckpointDir, fp+".ckpt")
-	wc, err := adversary.SearchCheckpointed(spec, space, opts,
+	wc, err = adversary.SearchCheckpointed(spec, space, opts,
 		adversary.CheckpointConfig{Path: ckpt, Fingerprint: fp})
 	if err != nil {
 		return sim.WorstCase{}, err
@@ -108,12 +121,6 @@ func (o Options) searchRun(spec adversary.Spec, space sim.SearchSpace) (sim.Wors
 	// directory does not accumulate one stale file per configuration.
 	os.Remove(ckpt)
 	return wc, nil
-}
-
-// ringsimSearch lowers the experiment options onto the segment-level
-// ring engine, for experiments that address it directly (E14).
-func (o Options) ringsimSearch() sim.SearchOptions {
-	return sim.SearchOptions{Workers: o.Workers, Context: o.Context}
 }
 
 // err reports the context's cancellation, for experiments whose sweeps

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math/bits"
 
+	"rendezvous/internal/adversary"
 	"rendezvous/internal/core"
-	"rendezvous/internal/ringsim"
+	"rendezvous/internal/explore"
+	"rendezvous/internal/graph"
 	"rendezvous/internal/sim"
 )
 
@@ -17,6 +19,12 @@ import (
 // weight w from 1 (the Cheap end) to ⌈log L⌉ and beyond (the Fast end),
 // at L = 4096 — feasible only with the segment-level ring executor,
 // which runs in O(|schedule|) per execution instead of O(|schedule|·E).
+//
+// The sweeps go through the engine (searchRun), whose automatic tier
+// dispatch routes every execution on the canonical oriented ring with
+// the sweep explorer to exactly that segment-level executor — so the
+// experiment inherits the store, checkpointing and recording like every
+// other engine-backed sweep.
 //
 // The paper asks whether FastWithRelabeling is on or near the optimal
 // curve; the measured frontier is convex-ish and strictly tradeoff-
@@ -31,13 +39,26 @@ func E14TradeoffCurveFine(opts Options) (*Table, error) {
 		Claim:   "for each cost value between Θ(E) and Θ(E log L), what is the minimum rendezvous time? (Conclusion, open problem — charted empirically over the FastWithRelabeling family)",
 		Columns: []string{"w", "t(L,w)", "worst cost", "cost/E", "worst time", "time/E", "time bound (4t+5)E"},
 		Notes: []string{
-			"measured with the segment-level ring executor (internal/ringsim); 160 sampled adversarial label pairs x all 23 offsets x delays {0,1,E}",
+			"measured with the engine's segment-level ring tier; 160 sampled adversarial label pairs x all 23 offsets x delays {0,1,E}",
 			"w sweeps the whole curve: w=1 is the Cheap-like end (time Θ(EL)), w=⌈log L⌉ is the Fast-like end (time Θ(E log L))",
 		},
 	}
 	logL := bits.Len(uint(L - 1)) // ⌈log2 L⌉ = 12
+	g := graph.OrientedRing(n)
 	pairs := sampledLabelPairs(L, 160, 2024)
 	delays := []int{0, 1, e}
+	params := core.Params{L: L}
+	search := func(algo core.Algorithm) (sim.WorstCase, error) {
+		return opts.searchRun(adversary.Spec{
+			Graph:       g,
+			Explorer:    explore.OrientedRingSweep{},
+			ScheduleFor: func(l int) sim.Schedule { return algo.Schedule(l, params) },
+		}, sim.SearchSpace{
+			LabelPairs: pairs,
+			StartPairs: ringOffsets(n),
+			Delays:     delays,
+		})
+	}
 
 	type point struct {
 		w, cost, time int
@@ -47,10 +68,11 @@ func E14TradeoffCurveFine(opts Options) (*Table, error) {
 		algo := core.NewFastWithRelabeling(w)
 		if w == 1 {
 			// t(L,1) = L: the schedule has 2L+1 segments. Fine for
-			// ringsim, but limit the pair count to keep the table quick.
+			// the ring tier, but limit the pair count to keep the table
+			// quick.
 			algo = core.NewFastWithRelabeling(1)
 		}
-		wc, err := ringsim.SearchWith(n, func(l int) sim.Schedule { return algo.Schedule(l, core.Params{L: L}) }, pairs, delays, opts.ringsimSearch())
+		wc, err := search(algo)
 		if err != nil {
 			return nil, err
 		}
@@ -58,20 +80,20 @@ func E14TradeoffCurveFine(opts Options) (*Table, error) {
 			return nil, fmt.Errorf("bench: E14: w=%d: executions failed to meet", w)
 		}
 		tLen := algo.T(L)
-		curve = append(curve, point{w, wc.Cost, wc.Time})
-		t.AddRow(w, tLen, wc.Cost, float64(wc.Cost)/float64(e), wc.Time, float64(wc.Time)/float64(e),
+		curve = append(curve, point{w, wc.Cost.Value, wc.Time.Value})
+		t.AddRow(w, tLen, wc.Cost.Value, float64(wc.Cost.Value)/float64(e), wc.Time.Value, float64(wc.Time.Value)/float64(e),
 			core.RelabelingTimeBound(e, L, w))
 	}
 
 	// Fast itself for reference (the far end of the curve).
-	fastWC, err := ringsim.SearchWith(n, func(l int) sim.Schedule { return core.Fast{}.Schedule(l, core.Params{L: L}) }, pairs, delays, opts.ringsimSearch())
+	fastWC, err := search(core.Fast{})
 	if err != nil {
 		return nil, err
 	}
 	if !fastWC.AllMet {
 		return nil, fmt.Errorf("bench: E14: fast: executions failed to meet")
 	}
-	t.AddRow("fast", "-", fastWC.Cost, float64(fastWC.Cost)/float64(e), fastWC.Time, float64(fastWC.Time)/float64(e), core.FastTimeBound(e, L))
+	t.AddRow("fast", "-", fastWC.Cost.Value, float64(fastWC.Cost.Value)/float64(e), fastWC.Time.Value, float64(fastWC.Time.Value)/float64(e), core.FastTimeBound(e, L))
 
 	// Shape checks: the frontier is a genuine tradeoff — time decreases
 	// (weakly, with small-w discreteness) while cost increases.
@@ -85,9 +107,9 @@ func E14TradeoffCurveFine(opts Options) (*Table, error) {
 	// Near the Fast end, FWR(⌈log L⌉) should be within a small factor of
 	// Fast on both axes.
 	end := curve[logL-1]
-	nearFast := end.time <= 2*fastWC.Time && fastWC.Cost <= 4*end.cost
+	nearFast := end.time <= 2*fastWC.Time.Value && fastWC.Cost.Value <= 4*end.cost
 	t.AddCheck("FWR(⌈log L⌉) meets the Fast end of the curve", nearFast,
-		"fwr(%d): (cost %d, time %d) vs fast: (cost %d, time %d)", logL, end.cost, end.time, fastWC.Cost, fastWC.Time)
+		"fwr(%d): (cost %d, time %d) vs fast: (cost %d, time %d)", logL, end.cost, end.time, fastWC.Cost.Value, fastWC.Time.Value)
 
 	// Monotone frontier (weakly decreasing time in w), allowing
 	// discreteness wobble of one E.
@@ -119,8 +141,8 @@ func E14TradeoffCurveFine(opts Options) (*Table, error) {
 	}
 	t.AddCheck("frontier is U-shaped with an interior optimum", uShaped,
 		"times %v, minimum at w=%d", curveTimes, curve[argmin].w)
-	t.AddCheck("interior optimum beats Fast on both axes", curve[argmin].time < fastWC.Time && curve[argmin].cost < fastWC.Cost,
+	t.AddCheck("interior optimum beats Fast on both axes", curve[argmin].time < fastWC.Time.Value && curve[argmin].cost < fastWC.Cost.Value,
 		"fwr(w=%d): (cost %d, time %d) vs fast: (cost %d, time %d)",
-		curve[argmin].w, curve[argmin].cost, curve[argmin].time, fastWC.Cost, fastWC.Time)
+		curve[argmin].w, curve[argmin].cost, curve[argmin].time, fastWC.Cost.Value, fastWC.Time.Value)
 	return t, nil
 }

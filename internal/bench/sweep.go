@@ -3,74 +3,34 @@ package bench
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"rendezvous/internal/adversary"
 	"rendezvous/internal/core"
 	"rendezvous/internal/explore"
 	"rendezvous/internal/graph"
+	"rendezvous/internal/scenario"
 	"rendezvous/internal/sim"
 )
+
+// The configuration-space generators moved to internal/scenario when
+// the scenario format was introduced, so that declarative files and
+// these experiments share one definition of each canonical space; the
+// local names below delegate and keep every experiment's call sites
+// unchanged.
 
 // ringOffsets returns the start pairs (0, d) for all d in 1..n-1. On an
 // oriented ring only the relative offset matters, so this is an
 // exhaustive start-pair space at 1/n of the price.
-func ringOffsets(n int) [][2]int {
-	pairs := make([][2]int, 0, n-1)
-	for d := 1; d < n; d++ {
-		pairs = append(pairs, [2]int{0, d})
-	}
-	return pairs
-}
+func ringOffsets(n int) [][2]int { return scenario.RingOffsets(n) }
 
 // allLabelPairs returns all ordered pairs of distinct labels in {1..L}.
-func allLabelPairs(L int) [][2]int {
-	pairs := make([][2]int, 0, L*(L-1))
-	for a := 1; a <= L; a++ {
-		for b := 1; b <= L; b++ {
-			if a != b {
-				pairs = append(pairs, [2]int{a, b})
-			}
-		}
-	}
-	return pairs
-}
+func allLabelPairs(L int) [][2]int { return scenario.AllLabelPairs(L) }
 
 // sampledLabelPairs returns a seeded sample of distinct-label pairs,
-// always including the structurally adversarial ones: consecutive
-// labels, the top pair, the bottom pair, and pairs straddling powers of
-// two (which share long transformed-label prefixes and so delay Fast's
-// first difference).
+// always including the structurally adversarial ones (see
+// scenario.SampledLabelPairs).
 func sampledLabelPairs(L, count int, seed int64) [][2]int {
-	if total := L * (L - 1); count > total {
-		count = total // fewer distinct ordered pairs exist than requested
-	}
-	seen := make(map[[2]int]bool)
-	var pairs [][2]int
-	add := func(a, b int) {
-		if a < 1 || b < 1 || a > L || b > L || a == b || seen[[2]int{a, b}] {
-			return
-		}
-		seen[[2]int{a, b}] = true
-		pairs = append(pairs, [2]int{a, b})
-	}
-	add(1, 2)
-	add(L-1, L)
-	add(L, L-1)
-	for p := 2; p < L; p *= 2 {
-		add(p-1, p)
-		add(p, p+1)
-		add(p, 2*p-1)
-	}
-	rng := rand.New(rand.NewSource(seed))
-	for len(pairs) < count {
-		a, b := rng.Intn(L)+1, rng.Intn(L)+1
-		if a == b {
-			continue
-		}
-		add(a, b)
-	}
-	return pairs
+	return scenario.SampledLabelPairs(L, count, seed)
 }
 
 // ringWorst computes the adversary's worst time and cost for algo on the
@@ -121,12 +81,9 @@ func graphWorst(opts Options, g *graph.Graph, ex explore.Explorer, L int, algo c
 	return wc, nil
 }
 
-// delaysFor returns the canonical adversarial delay set for a given E:
-// simultaneous, one round, half an exploration, exactly E (the pivot of
-// the proofs' case analyses), just past it, and far beyond.
-func delaysFor(e int) []int {
-	return []int{0, 1, e / 2, e, e + 1, 2 * e}
-}
+// delaysFor returns the canonical adversarial delay set for a given E
+// (the scenario format's "spread" pattern).
+func delaysFor(e int) []int { return scenario.DelaysFor(e) }
 
 // fitExponent fits the least-squares slope of log(y) against log(x) —
 // used to estimate empirical scaling exponents such as Corollary 2.1's

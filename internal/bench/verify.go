@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+
+	"rendezvous/internal/adversary"
+	"rendezvous/internal/scenario"
+	"rendezvous/internal/sim"
+)
+
+// scenarioOptions lowers the experiment options onto the scenario
+// compiler's runner-side defaults.
+func (o Options) scenarioOptions() scenario.Options {
+	return scenario.Options{Tier: o.Tier, Symmetry: o.Symmetry, TableBudget: o.TableBudget}
+}
+
+// RunScenario compiles and runs every search of a scenario file through
+// the engine's model-generic path, returning the results in file
+// order. It is rdvbench -scenario: the declarative way to run what the
+// experiments run imperatively.
+func RunScenario(f *scenario.File, opts Options) ([]sim.WorstCase, error) {
+	models, err := f.CompileAll(opts.scenarioOptions())
+	if err != nil {
+		return nil, err
+	}
+	results := make([]sim.WorstCase, len(models))
+	searchOpts := adversary.Options{Workers: opts.Workers, Context: opts.Context}
+	for i, m := range models {
+		if results[i], err = adversary.SearchModel(m, searchOpts); err != nil {
+			return nil, fmt.Errorf("bench: scenario search %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+// VerifyScenario asserts that a scenario file is a faithful
+// re-expression of the bench experiment it names: the experiment is run
+// with a Recorder capturing every engine-backed sweep (inputs and
+// results, in order), the file's searches are compiled and executed
+// independently through the model-generic path, and the two sides must
+// agree search for search — same count, same content-address
+// fingerprint (which pins graph, explorer, schedules, expanded space
+// and symmetry), and bit-for-bit the same WorstCase. The scenario side
+// runs without the store, so the comparison is between two genuinely
+// independent computations.
+func VerifyScenario(f *scenario.File, opts Options) error {
+	if f.Experiment == "" {
+		return fmt.Errorf("bench: scenario file %q names no experiment to verify against", f.Name)
+	}
+	exp, err := ByID(f.Experiment)
+	if err != nil {
+		return err
+	}
+
+	type recorded struct {
+		fp string
+		wc sim.WorstCase
+	}
+	var got []recorded
+	ropts := opts
+	engineOpts := opts.search()
+	ropts.Recorder = func(spec adversary.Spec, space sim.SearchSpace, wc sim.WorstCase) {
+		fp, err := adversary.Fingerprint(spec, space, engineOpts)
+		if err != nil {
+			fp = "unfingerprintable: " + err.Error()
+		}
+		got = append(got, recorded{fp, wc})
+	}
+	if _, err := exp.Run(ropts); err != nil {
+		return fmt.Errorf("bench: %s: %w", f.Experiment, err)
+	}
+
+	models, err := f.CompileAll(opts.scenarioOptions())
+	if err != nil {
+		return err
+	}
+	if len(models) != len(got) {
+		return fmt.Errorf("bench: %s performed %d engine searches but the scenario file declares %d",
+			f.Experiment, len(got), len(models))
+	}
+	// No store and no checkpoints on the scenario side: an independent
+	// recomputation, not a cache readback.
+	searchOpts := adversary.Options{Workers: opts.Workers, Context: opts.Context}
+	for i, m := range models {
+		fp, err := m.Fingerprint()
+		if err != nil {
+			return fmt.Errorf("bench: %s: scenario search %d: %w", f.Experiment, i, err)
+		}
+		if fp != got[i].fp {
+			return fmt.Errorf("bench: %s: search %d fingerprint mismatch:\nexperiment: %s\nscenario:   %s",
+				f.Experiment, i, got[i].fp, fp)
+		}
+		wc, err := adversary.SearchModel(m, searchOpts)
+		if err != nil {
+			return fmt.Errorf("bench: %s: scenario search %d: %w", f.Experiment, i, err)
+		}
+		if wc != got[i].wc {
+			return fmt.Errorf("bench: %s: search %d result mismatch:\nexperiment: %+v\nscenario:   %+v",
+				f.Experiment, i, got[i].wc, wc)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rendezvous/internal/scenario"
+)
+
+// TestCommittedScenarioFilesParse pins that every committed scenario
+// file parses, names a real experiment, and compiles end to end. The
+// full bit-for-bit verification of every file runs in CI through
+// rdvbench -scenario -verify; this test keeps the files from rotting
+// without the expensive double execution.
+func TestCommittedScenarioFilesParse(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "scenarios")
+	matches, err := filepath.Glob(filepath.Join(dir, "E*.json"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no scenario files under %s (err %v)", dir, err)
+	}
+	if len(matches) != len(Registry()) {
+		t.Fatalf("found %d scenario files, want one per experiment (%d)", len(matches), len(Registry()))
+	}
+	for _, path := range matches {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		f, err := scenario.ParseFile(data)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if _, err := ByID(f.Experiment); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if _, err := f.CompileAll(scenario.Options{}); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+	}
+}
+
+// TestVerifyScenarioEquivalence runs the full equivalence harness for
+// the cheap experiments: the hand-coded experiment and its declarative
+// file must perform the same searches (identical fingerprints) with
+// bit-for-bit identical results. E13 exercises a real search matrix
+// (including a legitimately non-meeting sweep); E8 pins that an
+// engine-free experiment matches its empty search list.
+func TestVerifyScenarioEquivalence(t *testing.T) {
+	for _, id := range []string{"E13", "E8"} {
+		data, err := os.ReadFile(filepath.Join("..", "..", "examples", "scenarios", id+".json"))
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		f, err := scenario.ParseFile(data)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if err := VerifyScenario(f, Options{Workers: -1}); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+	}
+}
+
+// TestVerifyScenarioCatchesDivergence pins that the harness actually
+// discriminates: a file whose searches do not match the experiment's
+// must fail verification, and a file with no experiment binding is
+// rejected up front.
+func TestVerifyScenarioCatchesDivergence(t *testing.T) {
+	if err := VerifyScenario(&scenario.File{Version: 1}, Options{}); err == nil {
+		t.Fatal("a file with no experiment binding must not verify")
+	}
+	// E8 performs no engine searches, so any declared search is a
+	// count mismatch.
+	f, err := scenario.ParseFile([]byte(`{"version":1,"experiment":"E8","searches":[
+		{"graph":{"family":"ring","n":8},"explorer":"ring-sweep","algorithm":"cheap","l":4}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyScenario(f, Options{Workers: -1}); err == nil {
+		t.Fatal("a search-count mismatch must not verify")
+	}
+}

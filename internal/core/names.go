@@ -1,18 +1,38 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// algorithmNames is the hint printed by AlgorithmByName's errors.
+const algorithmNames = "cheap, cheap-sim, cheap-lazy, fast, fast-undoubled, fwr(w) [w >= 1], oracle"
+
+// maxRelabelingWeight bounds the parametric fwr(w) spelling: schedules
+// grow with w, and no experiment in the repository goes beyond
+// fwr(14), so a cap far above that still stops a hostile name from
+// requesting an absurd weight.
+const maxRelabelingWeight = 64
 
 // AlgorithmByName resolves the textual algorithm names shared by every
-// front end (cmd/rdvsim, the rdvd service, and any future CLI): one
-// registry, so the supported set cannot drift between surfaces.
+// front end (cmd/rdvsim, the rdvd service, scenario files, and any
+// future CLI): one registry, so the supported set cannot drift between
+// surfaces. The FastWithRelabeling family is parametric: "fwr(w)" for
+// any weight w >= 1 (the legacy spellings fwr1, fwr2, fwr3 remain
+// valid).
 func AlgorithmByName(name string) (Algorithm, error) {
 	switch name {
 	case "cheap":
 		return Cheap{}, nil
 	case "cheap-sim":
 		return CheapSimultaneous{}, nil
+	case "cheap-lazy":
+		return CheapLazy{}, nil
 	case "fast":
 		return Fast{}, nil
+	case "fast-undoubled":
+		return FastUndoubled{}, nil
 	case "fwr1":
 		return NewFastWithRelabeling(1), nil
 	case "fwr2":
@@ -22,8 +42,16 @@ func AlgorithmByName(name string) (Algorithm, error) {
 	case "oracle":
 		return WaitForMate{}, nil
 	case "":
-		return nil, fmt.Errorf("core: algorithm name is required (want cheap, cheap-sim, fast, fwr1, fwr2, fwr3 or oracle)")
-	default:
-		return nil, fmt.Errorf("core: unknown algorithm %q (want cheap, cheap-sim, fast, fwr1, fwr2, fwr3 or oracle)", name)
+		return nil, fmt.Errorf("core: algorithm name is required (want %s)", algorithmNames)
 	}
+	if arg, ok := strings.CutPrefix(name, "fwr("); ok {
+		if digits, ok := strings.CutSuffix(arg, ")"); ok {
+			w, err := strconv.Atoi(digits)
+			if err != nil || w < 1 || w > maxRelabelingWeight {
+				return nil, fmt.Errorf("core: bad relabeling weight in %q (want fwr(w), 1 <= w <= %d)", name, maxRelabelingWeight)
+			}
+			return NewFastWithRelabeling(w), nil
+		}
+	}
+	return nil, fmt.Errorf("core: unknown algorithm %q (want %s)", name, algorithmNames)
 }

@@ -25,7 +25,9 @@ func ByName(name string, g *graph.Graph, hamiltonianBudget int) (Explorer, error
 		return Eulerian{}, nil
 	case "hamiltonian":
 		return Hamiltonian{}, nil
+	case "rotor-router":
+		return RotorRouter{}, nil
 	default:
-		return nil, fmt.Errorf("explore: unknown explorer %q (want auto, dfs, unmarked-dfs, ring-sweep, eulerian or hamiltonian)", name)
+		return nil, fmt.Errorf("explore: unknown explorer %q (want auto, dfs, unmarked-dfs, ring-sweep, eulerian, hamiltonian or rotor-router)", name)
 	}
 }

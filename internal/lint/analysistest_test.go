@@ -187,6 +187,22 @@ func TestCtxloop(t *testing.T) {
 	runFixture(t, NewCtxloop(nil), "rendezvous/internal/cluster", "ctxloop")
 }
 
+// The model contract and the scenario compiler joined the determinism
+// scope when searches went scenario-declarative: both sit on the
+// fingerprint/result path, so the engine analyzers must fire there
+// exactly as they do in the engine proper.
+func TestNodriftModelScope(t *testing.T) {
+	runFixture(t, NewNodrift(nil), "rendezvous/internal/model", "nodrift")
+}
+
+func TestDetrangeScenarioScope(t *testing.T) {
+	runFixture(t, NewDetrange(nil), "rendezvous/internal/scenario", "detrange")
+}
+
+func TestCtxloopModelScope(t *testing.T) {
+	runFixture(t, NewCtxloop(nil), "rendezvous/internal/model", "ctxloop")
+}
+
 // TestScopeSuppression re-checks the violating fixtures under an
 // out-of-scope import path: package scoping must silence everything.
 func TestScopeSuppression(t *testing.T) {

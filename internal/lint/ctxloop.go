@@ -11,6 +11,9 @@ var ctxloopPackages = []string{
 	"internal/cluster",
 	"internal/meetoracle",
 	"internal/sim",
+	// Model sweeps execute inside engine shards; an unbounded loop
+	// there stalls cancellation exactly like one in the engine proper.
+	"internal/model",
 }
 
 // NewCtxloop returns the ctxloop analyzer. A nil scope selects the

@@ -19,6 +19,11 @@ var EnginePackages = []string{
 	"internal/cluster",
 	"internal/sim",
 	"internal/graph",
+	// The model contract and the scenario compiler sit directly on the
+	// fingerprint/result path: a nondeterministic enumeration in either
+	// changes what a document denotes from run to run.
+	"internal/model",
+	"internal/scenario",
 }
 
 // calleeFunc resolves a call's callee to its types.Func, or nil for

@@ -1,0 +1,62 @@
+package scenario_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"rendezvous/internal/scenario"
+)
+
+// FuzzScenarioParse fuzzes the strict parser with arbitrary bytes and
+// pins two invariants on every input that parses: compiling never
+// panics (it either yields a model or a descriptive error), and the
+// format is self-hosting — re-marshalling a parsed document produces a
+// document the same parser accepts again.
+func FuzzScenarioParse(f *testing.F) {
+	seeds := []string{
+		`{"version":1,"graph":{"family":"ring","n":8},"algorithm":"cheap","l":4}`,
+		`{"version":1,"graph":{"family":"ring","n":24},"explorer":"ring-sweep","algorithm":"fast","l":64,"labelSample":{"count":10,"seed":7},"ringOffsets":true,"delayPattern":"basic"}`,
+		`{"version":1,"model":"dynamic","graph":{"family":"path","n":4},"algorithm":"cheap","l":3,"phases":[{"rounds":2,"disable":[[1,2]]},{"rounds":3}]}`,
+		`{"version":1,"name":"file","experiment":"E1","searches":[{"graph":{"family":"grid","rows":3,"cols":3},"explorer":"dfs","algorithm":"cheap","l":3,"delayPattern":"spread"}]}`,
+		`{"version":1,"graph":{"family":"tree","seed":7,"draws":[10,16],"take":1},"explorer":"dfs","algorithm":"cheap","l":6}`,
+		`{"version":1,"model":"quantum","graph":{"family":"ring","n":8},"algorithm":"cheap","l":4}`,
+		`{"version":2,"graph":{"family":"ring","n":8},"algorithm":"cheap","l":4}`,
+		`{"version":1,"graph":{"family":"ring","n":513},"algorithm":"cheap","l":4}`,
+		`{"version":1,"searches":[]}`,
+		`not json at all`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if s, err := scenario.ParseSearch(data); err == nil {
+			// Whatever compiles must also compile after a round trip,
+			// to the same model semantics (spot-checked by name).
+			m, cerr := s.Compile(scenario.Options{})
+			re, err := json.Marshal(s)
+			if err != nil {
+				t.Fatalf("marshal of a parsed search failed: %v", err)
+			}
+			s2, err := scenario.ParseSearch(re)
+			if err != nil {
+				t.Fatalf("re-parse of our own marshal failed: %v\ndoc: %s", err, re)
+			}
+			m2, cerr2 := s2.Compile(scenario.Options{})
+			if (cerr == nil) != (cerr2 == nil) {
+				t.Fatalf("compile disagreement across the round trip: %v vs %v", cerr, cerr2)
+			}
+			if cerr == nil && m.Name() != m2.Name() {
+				t.Fatalf("round trip changed the model: %s vs %s", m.Name(), m2.Name())
+			}
+		}
+		if fl, err := scenario.ParseFile(data); err == nil {
+			re, err := json.Marshal(fl)
+			if err != nil {
+				t.Fatalf("marshal of a parsed file failed: %v", err)
+			}
+			if _, err := scenario.ParseFile(re); err != nil {
+				t.Fatalf("re-parse of our own marshal failed: %v\ndoc: %s", err, re)
+			}
+		}
+	})
+}

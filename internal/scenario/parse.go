@@ -1,0 +1,67 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// decodeStrict decodes one JSON value into v, rejecting unknown fields
+// and trailing content. Strictness is the format's fuzz-tested
+// contract: a scenario that parses is exactly a scenario this version
+// defines, so typos ("delayz") fail loudly instead of silently
+// selecting a default space.
+func decodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("scenario: trailing content after the document")
+	}
+	// dec.More is false on whitespace-then-EOF and on garbage alike;
+	// distinguish by asking for the next token.
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("scenario: trailing content after the document")
+	}
+	return nil
+}
+
+// ParseSearch parses and validates one standalone Search document
+// (version required). The returned search is validated structurally;
+// graph construction and range checks against the built graph happen
+// in Compile.
+func ParseSearch(data []byte) (*Search, error) {
+	var s Search
+	if err := decodeStrict(data, &s); err != nil {
+		return nil, err
+	}
+	if err := s.validate(true); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// ParseFile parses and validates a scenario File (version required on
+// the file; the contained searches inherit it and must not carry their
+// own).
+func ParseFile(data []byte) (*File, error) {
+	var f File
+	if err := decodeStrict(data, &f); err != nil {
+		return nil, err
+	}
+	if f.Version != Version {
+		return nil, fmt.Errorf("scenario: unsupported file version %d (this build parses version %d)", f.Version, Version)
+	}
+	if len(f.Searches) > MaxSearches {
+		return nil, fmt.Errorf("scenario: files are capped at %d searches (got %d)", MaxSearches, len(f.Searches))
+	}
+	for i := range f.Searches {
+		if err := f.Searches[i].validate(false); err != nil {
+			return nil, fmt.Errorf("scenario: searches[%d]: %w", i, err)
+		}
+	}
+	return &f, nil
+}

@@ -99,11 +99,11 @@ func localWant(t testing.TB, body string) sim.WorstCase {
 	if err := json.Unmarshal([]byte(body), &req); err != nil {
 		t.Fatal(err)
 	}
-	spec, space, opts, err := req.compile(1)
+	m, opts, err := req.compile(1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	wc, err := adversary.Search(spec, space, opts)
+	wc, err := adversary.SearchModel(m, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,15 +193,15 @@ func TestShardEndpoint(t *testing.T) {
 	if err := json.Unmarshal([]byte(body), &req); err != nil {
 		t.Fatal(err)
 	}
-	spec, space, opts, err := req.compile(1)
+	m, _, err := req.compile(1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fp, err := adversary.Fingerprint(spec, space, opts)
+	fp, err := m.Fingerprint()
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := adversary.NewPlan(spec, space, opts, 4)
+	plan, err := adversary.NewModelPlan(m, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

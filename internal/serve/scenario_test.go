@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rendezvous/internal/resultstore"
+	"rendezvous/internal/scenario"
+)
+
+// TestScenarioFormMatchesInline pins the tentpole at the HTTP layer: a
+// scenario-form request describing the same search as an inline-form
+// request compiles to the same fingerprint, so the second spelling is
+// answered from the store without touching the engine, with an
+// identical result.
+func TestScenarioFormMatchesInline(t *testing.T) {
+	_, ts := newTestServer(t)
+	status, inline := postSearch(t, ts.URL, ringRequest)
+	if status != http.StatusOK {
+		t.Fatalf("inline form: status %d (%s)", status, inline.Error)
+	}
+	if inline.Result == nil || *inline.Result != ringWant(t) {
+		t.Fatalf("inline form: result %+v", inline.Result)
+	}
+	scenarioBody := `{"scenario":{"version":1,"graph":{"family":"ring","n":6},"explorer":"ring-sweep","algorithm":"cheap","l":3,"delays":[0,1]}}`
+	status, scen := postSearch(t, ts.URL, scenarioBody)
+	if status != http.StatusOK {
+		t.Fatalf("scenario form: status %d (%s)", status, scen.Error)
+	}
+	if scen.Fingerprint != inline.Fingerprint {
+		t.Errorf("the two spellings fingerprint apart: inline %s, scenario %s", inline.Fingerprint, scen.Fingerprint)
+	}
+	if !scen.Cached {
+		t.Error("the scenario spelling missed the cache entry the inline spelling wrote")
+	}
+	if scen.Result == nil || *scen.Result != *inline.Result {
+		t.Errorf("scenario form: result %+v, want %+v", scen.Result, inline.Result)
+	}
+}
+
+// TestScenarioDynamicServed runs a dynamic-model scenario through
+// /search: a model the inline form cannot spell at all. The search
+// must execute, cache under the model's own fingerprint domain, and
+// repeat as a cache hit.
+func TestScenarioDynamicServed(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := `{"scenario":{"version":1,"model":"dynamic","graph":{"family":"path","n":4},"algorithm":"cheap","l":3,"phases":[{"rounds":2,"disable":[[1,2]]},{"rounds":3}]}}`
+	status, first := postSearch(t, ts.URL, body)
+	if status != http.StatusOK {
+		t.Fatalf("status %d (%s)", status, first.Error)
+	}
+	if first.Result == nil {
+		t.Fatal("no result")
+	}
+	status, second := postSearch(t, ts.URL, body)
+	if status != http.StatusOK {
+		t.Fatalf("repeat: status %d (%s)", status, second.Error)
+	}
+	if !second.Cached {
+		t.Error("repeat of an identical dynamic scenario was not a cache hit")
+	}
+	if second.Fingerprint != first.Fingerprint || *second.Result != *first.Result {
+		t.Errorf("repeat diverged: %s %+v vs %s %+v", second.Fingerprint, second.Result, first.Fingerprint, first.Result)
+	}
+}
+
+// TestScenarioUnsupportedModel pins the structured rejection: a
+// scenario naming a model this daemon does not serve answers 400 with
+// the stable code and the registered model list, not a bare prose
+// error.
+func TestScenarioUnsupportedModel(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := `{"scenario":{"version":1,"model":"quantum","graph":{"family":"ring","n":6},"algorithm":"cheap","l":3}}`
+	status, out := postSearch(t, ts.URL, body)
+	if status != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", status)
+	}
+	if out.Code != "unsupported_model" {
+		t.Errorf("code %q, want unsupported_model", out.Code)
+	}
+	if !reflect.DeepEqual(out.Models, scenario.Models()) {
+		t.Errorf("models %v, want %v", out.Models, scenario.Models())
+	}
+	if !strings.Contains(out.Error, "quantum") {
+		t.Errorf("error %q does not name the rejected model", out.Error)
+	}
+}
+
+// TestScenarioFormRejections: the envelope-level validation around the
+// scenario form — mutual exclusion with the inline fields, and the
+// daemon's stricter L cap applied to the scenario's resolved label
+// space (the format itself admits benchmark-scale sweeps).
+func TestScenarioFormRejections(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name, body, want string
+	}{
+		{"inline fields alongside scenario",
+			`{"algorithm":"cheap","scenario":{"version":1,"graph":{"family":"ring","n":6},"algorithm":"cheap","l":3}}`,
+			"mutually exclusive"},
+		{"scenario l over the served cap",
+			`{"scenario":{"version":1,"graph":{"family":"ring","n":6},"algorithm":"cheap","l":1024}}`,
+			"exceeds the served maximum"},
+		{"implied l over the served cap",
+			`{"scenario":{"version":1,"graph":{"family":"ring","n":6},"algorithm":"cheap","labelPairs":[[1,1024]]}}`,
+			"exceeds the served maximum"},
+		{"scenario version missing",
+			`{"scenario":{"graph":{"family":"ring","n":6},"algorithm":"cheap","l":3}}`,
+			"unsupported version"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, out := postSearch(t, ts.URL, tc.body)
+			if status != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400 (%+v)", status, out)
+			}
+			if !strings.Contains(out.Error, tc.want) {
+				t.Errorf("error %q does not contain %q", out.Error, tc.want)
+			}
+		})
+	}
+}
+
+// TestScenarioDistributed fans a dynamic-model scenario out across two
+// workers: the scenario document rides opaquely inside the shard
+// protocol, each worker re-validates and recompiles it, and the merged
+// result is bit-for-bit identical to a single-node run of the same
+// model.
+func TestScenarioDistributed(t *testing.T) {
+	body := `{"scenario":{"version":1,"model":"dynamic","graph":{"family":"ring","n":6},"algorithm":"cheap","l":3,"delays":[0,1],"phases":[{"rounds":1,"disable":[[0,1]]},{"rounds":2}]}}`
+	want := localWant(t, body)
+	store, err := resultstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, w2 := newWorker(t, store), newWorker(t, nil)
+	got, err := distribute(t, body, 6, nil, w1.URL, w2.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("distributed %+v != local %+v", got, want)
+	}
+	// The unsupported-model rejection must hold on /shard workers too:
+	// version skew aside, a worker that does not know the model cannot
+	// silently run something else. (Same compile prologue as /search —
+	// this exercises it through the distribute path's error surface.)
+	if _, err := distribute(t, `{"scenario":{"version":1,"model":"quantum","graph":{"family":"ring","n":6},"algorithm":"cheap","l":3}}`, 2, nil, w1.URL); err == nil {
+		t.Error("distributing an unknown-model scenario must fail")
+	}
+}

@@ -68,7 +68,9 @@ import (
 	"rendezvous/internal/explore"
 	"rendezvous/internal/graph"
 	"rendezvous/internal/metrics"
+	"rendezvous/internal/model"
 	"rendezvous/internal/resultstore"
+	"rendezvous/internal/scenario"
 	"rendezvous/internal/sim"
 	"rendezvous/internal/trace"
 )
@@ -78,19 +80,25 @@ import (
 // is a fatal throw no middleware can recover), so graph and label
 // sizes are bounded far above every experiment in the repository but
 // far below anything that could hurt. Oversized requests are 400s.
+// Shared caps are aliased to the scenario format's, so the inline
+// request form and the declarative scenario form can never drift on
+// what sizes they admit.
 const (
 	// MaxNodes caps the served graph size (nodes).
-	MaxNodes = 512
-	// MaxL caps the served label-space size.
+	MaxNodes = scenario.MaxNodes
+	// MaxL caps the served label-space size. Deliberately stricter than
+	// the format-level scenario.MaxL (which admits offline benchmark
+	// sweeps): the daemon enforces this cap on scenario-form requests
+	// too, on the scenario's resolved L.
 	MaxL = 512
 	// MaxDelay caps each wake delay. An unbounded delay would drive the
 	// generic executor's meeting scan to a horizon of wakeB + |schedule|
 	// rounds — an effectively infinite, per-execution-uncancellable
 	// loop.
-	MaxDelay = 1 << 20
+	MaxDelay = scenario.MaxDelay
 	// MaxListLen caps each explicit enumeration list (labelPairs,
 	// startPairs, delays).
-	MaxListLen = 1 << 16
+	MaxListLen = scenario.MaxListLen
 	// MaxBodyBytes caps the request body read off the wire, so a
 	// multi-gigabyte JSON document dies at the decoder, not in the
 	// allocator.
@@ -185,8 +193,20 @@ func (gs GraphSpec) Build() (*graph.Graph, error) {
 	}
 }
 
-// Request is the body of POST /search.
+// Request is the body of POST /search. A search is spelled one of
+// two ways: the inline fields below (the paper model only), or a
+// complete declarative scenario document in Scenario (any registered
+// model). The two spellings are mutually exclusive; the transport
+// options (workers, stream, timings) belong to the envelope and apply
+// to both.
 type Request struct {
+	// Scenario, when present, is a standalone internal/scenario Search
+	// document (with its own "version", "model", tier and symmetry
+	// fields), validated by the scenario parser and lowered onto a
+	// model. It is kept raw here so cluster dispatch re-embeds the
+	// client's exact document and workers re-validate it identically.
+	Scenario json.RawMessage `json:"scenario,omitempty"`
+
 	Graph GraphSpec `json:"graph"`
 	// Explorer is auto (default), dfs, unmarked-dfs, ring-sweep,
 	// eulerian or hamiltonian.
@@ -217,15 +237,43 @@ type Request struct {
 	Timings bool `json:"timings,omitempty"`
 }
 
-// compile validates the request and lowers it onto the engine's
-// types. defaultWorkers is the server-wide per-search worker count
-// used when the request does not override it.
-func (r Request) compile(defaultWorkers int) (adversary.Spec, sim.SearchSpace, adversary.Options, error) {
-	var (
-		spec  adversary.Spec
-		space sim.SearchSpace
-		opts  adversary.Options
-	)
+// compile validates the request and lowers it onto a model.Model —
+// adversary.PaperModel for the inline form, whatever the scenario
+// compiler yields for the scenario form. defaultWorkers is the
+// server-wide per-search worker count used when the request does not
+// override it; it lands in the returned execution options alongside
+// nothing else (tier, symmetry and budgets are the model's own
+// state).
+func (r Request) compile(defaultWorkers int) (model.Model, adversary.Options, error) {
+	var opts adversary.Options
+	workers := r.Workers
+	if workers == 0 {
+		workers = defaultWorkers
+	}
+	opts.Workers = workers
+	if r.Scenario != nil {
+		// The scenario form: the document is a complete search of its
+		// own; the inline fields must all be absent, so a request can
+		// never half-override what the document pins.
+		if r.Graph != (GraphSpec{}) || r.Explorer != "" || r.Algorithm != "" || r.L != 0 ||
+			r.LabelPairs != nil || r.StartPairs != nil || r.Delays != nil || r.Symmetry != "" {
+			return nil, opts, fmt.Errorf("serve: scenario and inline search fields are mutually exclusive")
+		}
+		sc, err := scenario.ParseSearch(r.Scenario)
+		if err != nil {
+			return nil, opts, err
+		}
+		// The format admits benchmark-scale label spaces; the daemon
+		// does not (scenario.MaxL > serve.MaxL).
+		if l := sc.EffectiveL(); l > MaxL {
+			return nil, opts, fmt.Errorf("serve: scenario l %d exceeds the served maximum %d", l, MaxL)
+		}
+		m, err := sc.Compile(scenario.Options{})
+		if err != nil {
+			return nil, opts, err
+		}
+		return m, opts, nil
+	}
 	// JSON [] decodes to a non-nil empty slice, but the engine defaults
 	// (exhaustive enumeration) fire only on nil; normalize so an
 	// explicitly empty list means "default", as documented, instead of
@@ -241,15 +289,15 @@ func (r Request) compile(defaultWorkers int) (adversary.Spec, sim.SearchSpace, a
 	}
 	g, err := r.Graph.Build()
 	if err != nil {
-		return spec, space, opts, err
+		return nil, opts, err
 	}
 	ex, err := explore.ByName(r.Explorer, g, 16)
 	if err != nil {
-		return spec, space, opts, fmt.Errorf("serve: %w", err)
+		return nil, opts, fmt.Errorf("serve: %w", err)
 	}
 	algo, err := core.AlgorithmByName(r.Algorithm)
 	if err != nil {
-		return spec, space, opts, fmt.Errorf("serve: %w", err)
+		return nil, opts, fmt.Errorf("serve: %w", err)
 	}
 	L := r.L
 	if L == 0 && r.LabelPairs != nil {
@@ -260,15 +308,15 @@ func (r Request) compile(defaultWorkers int) (adversary.Spec, sim.SearchSpace, a
 		}
 	}
 	if L < 2 {
-		return spec, space, opts, fmt.Errorf("serve: need L >= 2 (got %d)", L)
+		return nil, opts, fmt.Errorf("serve: need L >= 2 (got %d)", L)
 	}
 	if L > MaxL {
-		return spec, space, opts, fmt.Errorf("serve: L %d exceeds the served maximum %d", L, MaxL)
+		return nil, opts, fmt.Errorf("serve: L %d exceeds the served maximum %d", L, MaxL)
 	}
 	if r.LabelPairs != nil {
 		for i, lp := range r.LabelPairs {
 			if lp[0] < 1 || lp[1] < 1 || lp[0] > L || lp[1] > L {
-				return spec, space, opts, fmt.Errorf("serve: labelPairs[%d] = %v: labels must be in 1..%d", i, lp, L)
+				return nil, opts, fmt.Errorf("serve: labelPairs[%d] = %v: labels must be in 1..%d", i, lp, L)
 			}
 		}
 	}
@@ -281,41 +329,39 @@ func (r Request) compile(defaultWorkers int) (adversary.Spec, sim.SearchSpace, a
 	// graph size is: one request must not be able to hurt the shared
 	// process.
 	if len(r.LabelPairs) > MaxListLen || len(r.StartPairs) > MaxListLen || len(r.Delays) > MaxListLen {
-		return spec, space, opts, fmt.Errorf("serve: enumeration lists are capped at %d entries", MaxListLen)
+		return nil, opts, fmt.Errorf("serve: enumeration lists are capped at %d entries", MaxListLen)
 	}
 	for i, sp := range r.StartPairs {
 		if sp[0] < 0 || sp[0] >= g.N() || sp[1] < 0 || sp[1] >= g.N() {
-			return spec, space, opts, fmt.Errorf("serve: startPairs[%d] = %v: nodes must be in 0..%d", i, sp, g.N()-1)
+			return nil, opts, fmt.Errorf("serve: startPairs[%d] = %v: nodes must be in 0..%d", i, sp, g.N()-1)
 		}
 		if sp[0] == sp[1] {
-			return spec, space, opts, fmt.Errorf("serve: startPairs[%d] = %v: the model requires distinct start nodes", i, sp)
+			return nil, opts, fmt.Errorf("serve: startPairs[%d] = %v: the model requires distinct start nodes", i, sp)
 		}
 	}
 	for i, d := range r.Delays {
 		if d < 0 || d > MaxDelay {
-			return spec, space, opts, fmt.Errorf("serve: delays[%d] = %d: want 0..%d", i, d, MaxDelay)
+			return nil, opts, fmt.Errorf("serve: delays[%d] = %d: want 0..%d", i, d, MaxDelay)
 		}
 	}
 	sym := adversary.SymmetryAuto
 	if r.Symmetry != "" {
 		sym, err = adversary.ParseSymmetry(r.Symmetry)
 		if err != nil {
-			return spec, space, opts, fmt.Errorf("serve: %w", err)
+			return nil, opts, fmt.Errorf("serve: %w", err)
 		}
 	}
-	workers := r.Workers
-	if workers == 0 {
-		workers = defaultWorkers
-	}
 	params := core.Params{L: L}
-	spec = adversary.Spec{
-		Graph:       g,
-		Explorer:    ex,
-		ScheduleFor: func(l int) sim.Schedule { return algo.Schedule(l, params) },
+	m := adversary.PaperModel{
+		Spec: adversary.Spec{
+			Graph:       g,
+			Explorer:    ex,
+			ScheduleFor: func(l int) sim.Schedule { return algo.Schedule(l, params) },
+		},
+		Space:    sim.SearchSpace{L: L, LabelPairs: r.LabelPairs, StartPairs: r.StartPairs, Delays: r.Delays},
+		Symmetry: sym,
 	}
-	space = sim.SearchSpace{L: L, LabelPairs: r.LabelPairs, StartPairs: r.StartPairs, Delays: r.Delays}
-	opts = adversary.Options{Workers: workers, Symmetry: sym}
-	return spec, space, opts, nil
+	return m, opts, nil
 }
 
 // Response is the body of a non-streaming POST /search answer.
@@ -332,6 +378,13 @@ type Response struct {
 	Result *sim.WorstCase `json:"result,omitempty"`
 	// Error is the failure description (absent on success).
 	Error string `json:"error,omitempty"`
+	// Code classifies machine-actionable errors. The only value today
+	// is "unsupported_model": the request named a model this daemon
+	// does not serve; Models then lists what it does.
+	Code string `json:"code,omitempty"`
+	// Models is the daemon's registered model list (present only with
+	// Code == "unsupported_model").
+	Models []string `json:"models,omitempty"`
 	// TraceID names this request's trace (present when the server
 	// traces; also sent as the X-Rdv-Trace response header). Inspect it
 	// via GET /debug/traces on the daemon's -debug-addr listener.
@@ -339,6 +392,21 @@ type Response struct {
 	// Timings is the per-phase duration breakdown (present when the
 	// request opted in with "timings": true and the server traces).
 	Timings []trace.PhaseTiming `json:"timings,omitempty"`
+}
+
+// errorResponse shapes a compile/validation failure into the 400
+// body. An unknown-model rejection from the scenario parser comes
+// back structured — a stable code plus the registered model list — so
+// clients can distinguish "this daemon doesn't speak that model" from
+// a malformed document without parsing prose.
+func errorResponse(err error) Response {
+	resp := Response{Error: err.Error()}
+	var ume *scenario.UnknownModelError
+	if errors.As(err, &ume) {
+		resp.Code = "unsupported_model"
+		resp.Models = ume.Known
+	}
+	return resp
 }
 
 // StreamEvent is one NDJSON line of a streaming answer.
@@ -358,17 +426,18 @@ type StreamEvent struct {
 	Timings     []trace.PhaseTiming `json:"timings,omitempty"`
 }
 
-// searchFunc is the engine entry point, injectable in tests. progress
+// searchFunc is the engine entry point, injectable in tests: any
+// model, driven through the model-generic checkpoint driver. progress
 // may be nil; obs's zero value observes nothing.
-type searchFunc func(ctx context.Context, spec adversary.Spec, space sim.SearchSpace, opts adversary.Options, progress func(completed, total int), obs adversary.SearchObserver) (sim.WorstCase, error)
+type searchFunc func(ctx context.Context, m model.Model, opts adversary.Options, progress func(completed, total int), obs adversary.SearchObserver) (sim.WorstCase, error)
 
 // engineSearch is the production searchFunc: the checkpointed engine
 // driven for shard-level progress (without a checkpoint file — the
 // store persists finished results; the daemon's unit of recovery is
 // the request).
-func engineSearch(ctx context.Context, spec adversary.Spec, space sim.SearchSpace, opts adversary.Options, progress func(completed, total int), obs adversary.SearchObserver) (sim.WorstCase, error) {
+func engineSearch(ctx context.Context, m model.Model, opts adversary.Options, progress func(completed, total int), obs adversary.SearchObserver) (sim.WorstCase, error) {
 	opts.Context = ctx
-	return adversary.SearchCheckpointed(spec, space, opts, adversary.CheckpointConfig{Progress: progress, Observer: obs})
+	return adversary.SearchModelCheckpointed(m, opts, adversary.CheckpointConfig{Progress: progress, Observer: obs})
 }
 
 // Config tunes a Server.
@@ -933,18 +1002,18 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 // error is always a client error (400): an unfingerprintable search
 // is one the engine itself would reject (invalid space, explorer
 // rejecting the graph).
-func (s *Server) compileAndFingerprint(req Request) (adversary.Spec, sim.SearchSpace, adversary.Options, string, error) {
-	spec, space, opts, err := req.compile(s.workers)
+func (s *Server) compileAndFingerprint(req Request) (model.Model, adversary.Options, string, error) {
+	m, opts, err := req.compile(s.workers)
 	if err != nil {
-		return spec, space, opts, "", err
+		return nil, opts, "", err
 	}
 	s.fpSem <- struct{}{}
-	fp, err := adversary.Fingerprint(spec, space, opts)
+	fp, err := m.Fingerprint()
 	<-s.fpSem
 	if err != nil {
-		return spec, space, opts, "", err
+		return nil, opts, "", err
 	}
-	return spec, space, opts, fp, nil
+	return m, opts, fp, nil
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -982,10 +1051,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fpSpan := trace.StartLeaf(r.Context(), "fingerprint")
-	spec, space, opts, fp, err := s.compileAndFingerprint(req)
+	mdl, opts, fp, err := s.compileAndFingerprint(req)
 	fpSpan.End()
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, Response{Error: err.Error()})
+		writeJSON(w, http.StatusBadRequest, errorResponse(err))
 		return
 	}
 	m.fingerprint = fp
@@ -1026,7 +1095,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		// queue wait, engine execution and the store write-back land in
 		// the creator's span tree. Requests that merely join the flight
 		// trace only their own (cheap) pipeline.
-		go s.run(f, trace.ContextWith(f.ctx, root), admissionTenant(m.tenant), req, spec, space, opts)
+		go s.run(f, trace.ContextWith(f.ctx, root), admissionTenant(m.tenant), req, mdl, opts)
 	}
 
 	if req.Stream {
@@ -1128,7 +1197,7 @@ func (s *Server) leave(f *flight) {
 // is the flight creator's identity: only the creator occupies an
 // admission queue slot; requests that join the flight later wait on
 // done without holding capacity.
-func (s *Server) run(f *flight, fctx context.Context, tenant admission.Tenant, req Request, spec adversary.Spec, space sim.SearchSpace, opts adversary.Options) {
+func (s *Server) run(f *flight, fctx context.Context, tenant admission.Tenant, req Request, m model.Model, opts adversary.Options) {
 	var wc sim.WorstCase
 	var err error
 	if s.cluster != nil {
@@ -1144,7 +1213,7 @@ func (s *Server) run(f *flight, fctx context.Context, tenant admission.Tenant, r
 		}
 		start := time.Now()
 		dctx, dispatchSpan := trace.Start(ctx, "dispatch", trace.Int("peers", len(s.cluster.Peers())))
-		wc, err = dispatch(dctx, s.cluster, req, spec, space, f.fp, s.shards, f.broadcast)
+		wc, err = dispatch(dctx, s.cluster, req, m, f.fp, s.shards, f.broadcast)
 		dispatchSpan.End()
 		s.mSearchSec.Observe(time.Since(start).Seconds(), "cluster")
 	} else {
@@ -1166,7 +1235,7 @@ func (s *Server) run(f *flight, fctx context.Context, tenant admission.Tenant, r
 			}
 			start := time.Now()
 			ectx, engineSpan := trace.Start(ctx, "engine")
-			wc, err = s.search(ectx, spec, space, opts, f.broadcast, traceObserver(ectx))
+			wc, err = s.search(ectx, m, opts, f.broadcast, traceObserver(ectx))
 			engineSpan.End()
 			s.mSearchSec.Observe(time.Since(start).Seconds(), "engine")
 			release()
@@ -1278,14 +1347,14 @@ func traceObserver(ctx context.Context) adversary.SearchObserver {
 // it fixes the shard count both sides will independently re-derive,
 // embeds the request as the shard protocol's search body, and merges
 // the peers' shard results bit-for-bit identically to a local Search.
-func dispatch(ctx context.Context, d *cluster.Dispatcher, req Request, spec adversary.Spec, space sim.SearchSpace, fp string, shards int, progress func(completed, total int)) (sim.WorstCase, error) {
+func dispatch(ctx context.Context, d *cluster.Dispatcher, req Request, m model.Model, fp string, shards int, progress func(completed, total int)) (sim.WorstCase, error) {
 	req.Stream = false  // stream is a transport option of /search, not part of the search
 	req.Timings = false // likewise: explain is answered by the coordinator, not the workers
 	search, err := json.Marshal(req)
 	if err != nil {
 		return sim.WorstCase{}, fmt.Errorf("serve: marshal search for dispatch: %w", err)
 	}
-	num, err := adversary.PlanShards(spec, space, shards)
+	num, err := adversary.ModelPlanShards(m, shards)
 	if err != nil {
 		return sim.WorstCase{}, err
 	}
@@ -1299,15 +1368,15 @@ func dispatch(ctx context.Context, d *cluster.Dispatcher, req Request, spec adve
 // engine default. The merged result is bit-for-bit identical to a
 // single-node search of the same request.
 func Distribute(ctx context.Context, d *cluster.Dispatcher, req Request, shards int, progress func(completed, total int)) (sim.WorstCase, string, error) {
-	spec, space, opts, err := req.compile(0)
+	m, _, err := req.compile(0)
 	if err != nil {
 		return sim.WorstCase{}, "", err
 	}
-	fp, err := adversary.Fingerprint(spec, space, opts)
+	fp, err := m.Fingerprint()
 	if err != nil {
 		return sim.WorstCase{}, "", err
 	}
-	wc, err := dispatch(ctx, d, req, spec, space, fp, shards, progress)
+	wc, err := dispatch(ctx, d, req, m, fp, shards, progress)
 	return wc, fp, err
 }
 
@@ -1344,7 +1413,7 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	}
 	root := trace.FromContext(r.Context())
 	fpSpan := trace.StartLeaf(r.Context(), "fingerprint")
-	spec, space, opts, fp, err := s.compileAndFingerprint(req)
+	mdl, _, fp, err := s.compileAndFingerprint(req)
 	fpSpan.End()
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, cluster.ShardResponse{Error: err.Error()})
@@ -1360,7 +1429,7 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	// trajectory caches — is built inside the engine pool below, so a
 	// burst of shard requests cannot allocate unboundedly before the
 	// pool gates it.
-	num, err := adversary.PlanShards(spec, space, sreq.Shards)
+	num, err := adversary.ModelPlanShards(mdl, sreq.Shards)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, cluster.ShardResponse{Error: err.Error()})
 		return
@@ -1428,7 +1497,7 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		planSpan.SetAttr(trace.Bool("cached", plan != nil))
 		if plan == nil {
 			var perr error
-			plan, perr = adversary.NewPlan(spec, space, opts, sreq.Shards)
+			plan, perr = adversary.NewModelPlan(mdl, sreq.Shards)
 			if perr != nil {
 				planSpan.End()
 				return sim.WorstCase{}, perr

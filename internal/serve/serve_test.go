@@ -16,6 +16,7 @@ import (
 	"rendezvous/internal/core"
 	"rendezvous/internal/explore"
 	"rendezvous/internal/graph"
+	"rendezvous/internal/model"
 	"rendezvous/internal/resultstore"
 	"rendezvous/internal/sim"
 )
@@ -242,7 +243,7 @@ func TestSingleFlight(t *testing.T) {
 		release     = make(chan struct{})
 	)
 	want := ringWant(t)
-	srv.search = func(ctx context.Context, spec adversary.Spec, space sim.SearchSpace, opts adversary.Options, progress func(int, int), _ adversary.SearchObserver) (sim.WorstCase, error) {
+	srv.search = func(ctx context.Context, m model.Model, opts adversary.Options, progress func(int, int), _ adversary.SearchObserver) (sim.WorstCase, error) {
 		if invocations.Add(1) == 1 {
 			close(started)
 		}
@@ -311,7 +312,7 @@ func TestCancelMidSearch(t *testing.T) {
 		engineDone  = make(chan error, 2)
 	)
 	want := ringWant(t)
-	srv.search = func(ctx context.Context, spec adversary.Spec, space sim.SearchSpace, opts adversary.Options, progress func(int, int), _ adversary.SearchObserver) (sim.WorstCase, error) {
+	srv.search = func(ctx context.Context, m model.Model, opts adversary.Options, progress func(int, int), _ adversary.SearchObserver) (sim.WorstCase, error) {
 		n := invocations.Add(1)
 		started <- struct{}{}
 		if n == 1 {
@@ -499,7 +500,8 @@ func TestEngineSearchMatchesSearch(t *testing.T) {
 		ScheduleFor: func(l int) sim.Schedule { return core.Cheap{}.Schedule(l, params) },
 	}
 	var events int
-	got, err := engineSearch(context.Background(), spec, sim.SearchSpace{L: 3, Delays: []int{0, 1}},
+	m := adversary.PaperModel{Spec: spec, Space: sim.SearchSpace{L: 3, Delays: []int{0, 1}}}
+	got, err := engineSearch(context.Background(), m,
 		adversary.Options{Workers: 1}, func(completed, total int) { events++ }, adversary.SearchObserver{})
 	if err != nil {
 		t.Fatal(err)

@@ -37,8 +37,10 @@ import (
 	"rendezvous/internal/graph"
 	"rendezvous/internal/lowerbound"
 	"rendezvous/internal/meetoracle"
+	"rendezvous/internal/model"
 	"rendezvous/internal/resultstore"
 	"rendezvous/internal/ringsim"
+	"rendezvous/internal/scenario"
 	"rendezvous/internal/serve"
 	"rendezvous/internal/sim"
 	"rendezvous/internal/uxs"
@@ -280,6 +282,48 @@ func SearchCached(store *Store, g *Graph, ex Explorer, scheduleFor func(label in
 // search that reports shard-level progress via cfg.Progress.
 func SearchCheckpointed(g *Graph, ex Explorer, scheduleFor func(label int) Schedule, space SearchSpace, opts SearchOptions, cfg CheckpointConfig) (WorstCase, error) {
 	return adversary.SearchCheckpointed(adversary.Spec{Graph: g, Explorer: ex, ScheduleFor: scheduleFor}, space, opts, cfg)
+}
+
+// Pluggable models and declarative scenarios (internal/model +
+// internal/scenario): the engine executes any implementation of the
+// Model contract — the paper's own model is its first implementation —
+// and a versioned JSON scenario document selects a model, a graph, an
+// algorithm and a configuration space declaratively. (The name
+// "Scenario" itself is taken by the simulator's two-agent execution
+// setup above; the declarative documents are ScenarioSearch and
+// ScenarioFile.)
+type (
+	// Model is the pluggable rendezvous-model contract: a space
+	// enumeration, a compiled per-shard executor, and a canonical
+	// fingerprint for the result store.
+	Model = model.Model
+	// ScenarioSearch is one declarative search document (versioned
+	// JSON; any registered model).
+	ScenarioSearch = scenario.Search
+	// ScenarioFile is a named collection of scenario searches,
+	// optionally bound to a bench experiment for equivalence
+	// verification.
+	ScenarioFile = scenario.File
+	// ScenarioOptions supplies runner-side defaults (tier, symmetry,
+	// table budget) a document does not pin.
+	ScenarioOptions = scenario.Options
+)
+
+// ParseScenario parses and validates one declarative search document.
+func ParseScenario(data []byte) (*ScenarioSearch, error) { return scenario.ParseSearch(data) }
+
+// ParseScenarioFile parses and validates a scenario file.
+func ParseScenarioFile(data []byte) (*ScenarioFile, error) { return scenario.ParseFile(data) }
+
+// ScenarioModels lists the registered model names (sorted).
+func ScenarioModels() []string { return scenario.Models() }
+
+// SearchModel runs the adversary search over any model — a compiled
+// scenario, or a custom Model implementation — with the engine's full
+// determinism contract: bit-for-bit identical output for every worker
+// count. Only execution options (Workers, Context) are read from opts.
+func SearchModel(m Model, opts SearchOptions) (WorstCase, error) {
+	return adversary.SearchModel(m, opts)
 }
 
 // Distributed search (internal/cluster + internal/serve): the engine's

@@ -212,12 +212,12 @@ func TestFacadeSearch(t *testing.T) {
 				t.Errorf("SearchParallel diverged:\nserial:   %+v\nparallel: %+v", serial, parallel)
 			}
 			generic, err := rendezvous.SearchWith(tc.g, ex, scheduleFor, space,
-				rendezvous.SearchOptions{Workers: 2, NoFastPath: true})
+				rendezvous.SearchOptions{Workers: 2, Tier: rendezvous.TierGeneric})
 			if err != nil {
 				t.Fatal(err)
 			}
 			if generic != serial {
-				t.Errorf("SearchWith(NoFastPath) diverged:\nserial:  %+v\ngeneric: %+v", serial, generic)
+				t.Errorf("SearchWith(TierGeneric) diverged:\nserial:  %+v\ngeneric: %+v", serial, generic)
 			}
 		})
 	}
